@@ -1,0 +1,139 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every table and figure of the paper (the rows and
+   series the paper reports) from one shared, memoized run grid — this
+   is the reproduction output recorded in EXPERIMENTS.md.
+
+   Part 2 runs Bechamel micro-benchmarks: one Test.make per paper
+   table/figure (regeneration cost on the warm grid) plus allocator
+   operation kernels that check the paper's CPU-cost ordering
+   (BSD/QuickFit fast, FirstFit/G++ searching, GNU local heavyweight)
+   at native speed.
+
+   Scale comes from LOCLAB_SCALE (default 0.25); pass LOCLAB_BENCH=0 to
+   skip part 2 (e.g. in CI). *)
+
+open Bechamel
+
+let scale =
+  match Sys.getenv_opt "LOCLAB_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.25)
+  | None -> 0.25
+
+let run_micro = Sys.getenv_opt "LOCLAB_BENCH" <> Some "0"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate every table and figure                          *)
+(* ------------------------------------------------------------------ *)
+
+let ctx = Core.Context.create ~scale ()
+
+let () =
+  Printf.printf
+    "loclab bench: reproducing Grunwald/Zorn/Henderson PLDI'93 at scale %.2f\n\n"
+    scale;
+  List.iter
+    (fun e ->
+      Printf.printf "================ %s — %s (%s) ================\n%s\n"
+        e.Core.Experiment.id e.Core.Experiment.title e.Core.Experiment.paper_ref
+        (e.Core.Experiment.render ctx))
+    Core.Experiment.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* One Test.make per paper table/figure: regeneration from the warm
+   grid (simulation amortized away; measures the reporting pipeline).
+   abl-flush and abl-lifetime run fresh simulations on every render, so
+   looping them under Bechamel would re-simulate for seconds per sample;
+   they are regenerated once in part 1 and skipped here. *)
+let experiment_tests =
+  Core.Experiment.all
+  |> List.filter (fun e ->
+         e.Core.Experiment.id <> "abl-flush"
+         && e.Core.Experiment.id <> "abl-lifetime")
+  |> List.map (fun e ->
+         Test.make ~name:e.Core.Experiment.id
+           (Staged.stage (fun () -> ignore (e.Core.Experiment.render ctx))))
+
+(* Steady-state churn kernel: allocate four mixed-size objects, free
+   them.  Exercises the fast path plus occasional refills. *)
+let allocator_kernel key =
+  let heap = Allocators.Heap.create () in
+  let alloc = Allocators.Registry.build key heap in
+  (* Prime the heap so the kernel measures steady state, not sbrk. *)
+  let warm =
+    List.init 256 (fun i ->
+        Allocators.Allocator.malloc alloc (8 + (8 * (i mod 16))))
+  in
+  List.iter (Allocators.Allocator.free alloc) warm;
+  Staged.stage (fun () ->
+      let a = Allocators.Allocator.malloc alloc 24 in
+      let b = Allocators.Allocator.malloc alloc 40 in
+      let c = Allocators.Allocator.malloc alloc 128 in
+      let d = Allocators.Allocator.malloc alloc 1024 in
+      Allocators.Allocator.free alloc b;
+      Allocators.Allocator.free alloc a;
+      Allocators.Allocator.free alloc d;
+      Allocators.Allocator.free alloc c)
+
+let allocator_tests =
+  List.map
+    (fun spec ->
+      let key = spec.Allocators.Registry.key in
+      Test.make ~name:("alloc:" ^ key) (allocator_kernel key))
+    Allocators.Registry.all
+
+(* Substrate kernels. *)
+let substrate_tests =
+  let cache = Cachesim.Cache.create (Cachesim.Config.make (64 * 1024)) in
+  let counter = ref 0 in
+  let cache_kernel =
+    Staged.stage (fun () ->
+        incr counter;
+        ignore
+          (Cachesim.Cache.access_block cache ~kind:Memsim.Event.Read
+             ~source:Memsim.Event.App ~block:(!counter * 37 land 0xFFFF)))
+  in
+  let stack = Vmsim.Lru_stack.create () in
+  let scounter = ref 0 in
+  let stack_kernel =
+    Staged.stage (fun () ->
+        incr scounter;
+        ignore (Vmsim.Lru_stack.access stack (!scounter * 31 land 0x3FF)))
+  in
+  [ Test.make ~name:"substrate:cache-access" cache_kernel;
+    Test.make ~name:"substrate:lru-stack-access" stack_kernel ]
+
+let run_tests tests =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg [ instance ] elt in
+          let result = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.1f ns/run\n" (Test.Elt.name elt) est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" (Test.Elt.name elt))
+        (Test.elements test))
+    tests
+
+let () =
+  if run_micro then begin
+    Printf.printf
+      "\n================ Bechamel micro-benchmarks ================\n";
+    Printf.printf "\nAllocator churn kernels (4 mallocs + 4 frees per run):\n";
+    run_tests allocator_tests;
+    Printf.printf "\nSimulator substrate kernels:\n";
+    run_tests substrate_tests;
+    Printf.printf
+      "\nExperiment regeneration (warm grid), one per table/figure:\n";
+    run_tests experiment_tests
+  end

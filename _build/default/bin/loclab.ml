@@ -1,0 +1,243 @@
+(* loclab — reproduce the tables and figures of Grunwald, Zorn &
+   Henderson, "Improving the Cache Locality of Memory Allocation"
+   (PLDI 1993), from trace-driven simulation of synthetic re-creations
+   of the paper's five allocation-intensive programs. *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc =
+    "Workload scale (1.0 = the calibrated full runs, ~1:50 of the paper's \
+     instruction counts with absolute retained-heap sizes).  Smaller is \
+     faster but noisier; page-fault curves want >= 0.5."
+  in
+  Arg.(value & opt float 0.25 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let penalty_arg =
+  let doc = "Cache miss penalty in cycles (the paper uses 25)." in
+  Arg.(value & opt int 25 & info [ "p"; "penalty" ] ~docv:"CYCLES" ~doc)
+
+let make_ctx scale penalty =
+  if scale <= 0. || scale > 4.0 then begin
+    Printf.eprintf "loclab: scale must be in (0, 4]\n";
+    exit 2
+  end;
+  let model = Metrics.Cost_model.with_penalty Metrics.Cost_model.paper penalty in
+  Core.Context.create ~scale ~model ()
+
+(* ---- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Experiments (loclab run <id>):";
+    List.iter
+      (fun e ->
+        Printf.printf "  %-14s %-45s [%s]\n" e.Core.Experiment.id
+          e.Core.Experiment.title e.Core.Experiment.paper_ref)
+      Core.Experiment.all;
+    print_endline "\nPrograms (synthetic re-creations, lib/workload):";
+    List.iter
+      (fun p ->
+        Printf.printf "  %-10s %s\n" p.Workload.Profile.key
+          p.Workload.Profile.description)
+      Workload.Programs.all;
+    print_endline "\nAllocators (lib/allocators):";
+    List.iter
+      (fun s ->
+        Printf.printf "  %-15s %s\n" s.Allocators.Registry.key
+          s.Allocators.Registry.description)
+      Allocators.Registry.all
+  in
+  let doc = "List experiments, programs and allocators." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ---- run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let ids_arg =
+    let doc = "Experiment ids (see $(b,loclab list)); e.g. fig2 tab4." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run scale penalty ids =
+    (* Validate ids before paying for any simulation. *)
+    List.iter
+      (fun id ->
+        match Core.Experiment.find id with
+        | _ -> ()
+        | exception Not_found ->
+            Printf.eprintf "loclab: unknown experiment %S (try: loclab list)\n"
+              id;
+            exit 2)
+      ids;
+    let ctx = make_ctx scale penalty in
+    List.iter
+      (fun id ->
+        print_endline (Core.Experiment.run ctx id);
+        print_newline ())
+      ids
+  in
+  let doc = "Regenerate the given tables/figures." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ scale_arg $ penalty_arg $ ids_arg)
+
+(* ---- all ----------------------------------------------------------- *)
+
+let all_cmd =
+  let run scale penalty =
+    let ctx = make_ctx scale penalty in
+    List.iter
+      (fun (id, out) ->
+        Printf.printf "================ %s ================\n%s\n" id out)
+      (Core.Experiment.run_all ctx)
+  in
+  let doc = "Regenerate every table and figure (shares one run grid)." in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg $ penalty_arg)
+
+(* ---- probe --------------------------------------------------------- *)
+
+let probe_cmd =
+  let program_arg =
+    let doc = "Program profile key (see $(b,loclab list))." in
+    Arg.(value & opt string "gs-large" & info [ "program" ] ~docv:"KEY" ~doc)
+  in
+  let alloc_arg =
+    let doc = "Allocator key (see $(b,loclab list))." in
+    Arg.(value & opt string "quickfit" & info [ "allocator" ] ~docv:"KEY" ~doc)
+  in
+  let run scale penalty program allocator =
+    (match Workload.Programs.find program with
+    | _ -> ()
+    | exception Not_found ->
+        Printf.eprintf "loclab: unknown program %S\n" program;
+        exit 2);
+    if
+      allocator <> "custom"
+      && not (List.mem allocator (Allocators.Registry.keys ()))
+    then begin
+      Printf.eprintf "loclab: unknown allocator %S\n" allocator;
+      exit 2
+    end;
+    let ctx = make_ctx scale penalty in
+    let d = Core.Runs.get ctx.Core.Context.runs ~profile:program ~allocator in
+    let r = d.Core.Runs.result in
+    let st = r.Workload.Driver.alloc_stats in
+    Printf.printf "%s under %s (scale %.2f)\n" program allocator scale;
+    Printf.printf "  instructions      %s (app %s, malloc %s, free %s)\n"
+      (Metrics.Table.fmt_int r.Workload.Driver.instructions)
+      (Metrics.Table.fmt_int r.Workload.Driver.app_instructions)
+      (Metrics.Table.fmt_int r.Workload.Driver.malloc_instructions)
+      (Metrics.Table.fmt_int r.Workload.Driver.free_instructions);
+    Printf.printf "  data references   %s (allocator %s)\n"
+      (Metrics.Table.fmt_int r.Workload.Driver.data_refs)
+      (Metrics.Table.fmt_int r.Workload.Driver.allocator_refs);
+    Printf.printf "  time in alloc     %s\n"
+      (Metrics.Table.fmt_pct (Workload.Driver.allocator_fraction r));
+    Printf.printf "  objects           %s allocated, %s freed\n"
+      (Metrics.Table.fmt_int st.Allocators.Alloc_stats.malloc_calls)
+      (Metrics.Table.fmt_int st.Allocators.Alloc_stats.free_calls);
+    Printf.printf "  heap              sbrk %s, max live %s, frag %s\n"
+      (Metrics.Table.fmt_kb r.Workload.Driver.heap_used)
+      (Metrics.Table.fmt_kb r.Workload.Driver.max_live_bytes)
+      (Metrics.Table.fmt_pct
+         (Allocators.Alloc_stats.internal_fragmentation st));
+    List.iter
+      (fun (cfg, s) ->
+        Printf.printf "  %-9s miss rate %6.3f%%  (app %.3f%%, alloc %.3f%%)\n"
+          cfg.Cachesim.Config.name
+          (Cachesim.Stats.miss_rate_pct s)
+          (100. *. Cachesim.Stats.source_miss_rate s Memsim.Event.App)
+          (100.
+          *. (let a =
+                s.Cachesim.Stats.malloc_accesses
+                + s.Cachesim.Stats.free_accesses
+              and m =
+                s.Cachesim.Stats.malloc_misses + s.Cachesim.Stats.free_misses
+              in
+              if a = 0 then 0. else float_of_int m /. float_of_int a)))
+      d.Core.Runs.caches;
+    let et64 =
+      Core.Runs.exec_time d ~model:ctx.Core.Context.model ~cache:"64K-dm"
+    in
+    Printf.printf "  est. time (64K)   %.3f s (%.3f s in misses)\n"
+      (Metrics.Exec_time.total_seconds et64)
+      (Metrics.Exec_time.miss_seconds et64)
+  in
+  let doc = "Deep-dive one (program, allocator) pair." in
+  Cmd.v (Cmd.info "probe" ~doc)
+    Term.(const run $ scale_arg $ penalty_arg $ program_arg $ alloc_arg)
+
+(* ---- record / replay ------------------------------------------------ *)
+
+let record_cmd =
+  let program_arg =
+    let doc = "Program profile key." in
+    Arg.(value & opt string "espresso" & info [ "program" ] ~docv:"KEY" ~doc)
+  in
+  let alloc_arg =
+    let doc = "Allocator key." in
+    Arg.(value & opt string "quickfit" & info [ "allocator" ] ~docv:"KEY" ~doc)
+  in
+  let out_arg =
+    let doc = "Output trace file." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run scale program allocator out =
+    (match Workload.Programs.find program with
+    | _ -> ()
+    | exception Not_found ->
+        Printf.eprintf "loclab: unknown program %S\n" program;
+        exit 2);
+    let result =
+      Memsim.Trace_file.record_to_file out (fun sink ->
+          Workload.Driver.run ~sink ~scale
+            ~profile:(Workload.Programs.find program)
+            ~allocator ())
+    in
+    Printf.printf "recorded %s events (%s, %s, scale %.2f) to %s\n"
+      (Metrics.Table.fmt_int result.Workload.Driver.data_refs)
+      program allocator scale out
+  in
+  let doc = "Record a workload's reference trace to a file." in
+  Cmd.v (Cmd.info "record" ~doc)
+    Term.(const run $ scale_arg $ program_arg $ alloc_arg $ out_arg)
+
+let replay_cmd =
+  let file_arg =
+    let doc = "Trace file produced by $(b,loclab record)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let multi = Cachesim.Multi.create Cachesim.Config.paper_direct_mapped in
+    let pages = Vmsim.Page_sim.create () in
+    let counter = Memsim.Sink.Counter.create () in
+    let sink =
+      Memsim.Sink.fanout
+        [ Cachesim.Multi.sink multi;
+          Vmsim.Page_sim.sink pages;
+          Memsim.Sink.Counter.sink counter ]
+    in
+    let n = Memsim.Trace_file.replay_file file sink in
+    Printf.printf "replayed %s events from %s\n\n" (Metrics.Table.fmt_int n)
+      file;
+    List.iter
+      (fun (name, pct) -> Printf.printf "  %-9s miss rate %6.3f%%\n" name pct)
+      (Cachesim.Multi.miss_rate_series multi);
+    Printf.printf "\n  footprint %s, page faults at footprint/2: %s\n"
+      (Metrics.Table.fmt_kb (Vmsim.Page_sim.footprint_bytes pages))
+      (Metrics.Table.fmt_int
+         (Vmsim.Page_sim.faults pages
+            ~memory_bytes:(max 4096 (Vmsim.Page_sim.footprint_bytes pages / 2))))
+  in
+  let doc = "Replay a recorded trace through the cache and page simulators." in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg)
+
+let main =
+  let doc =
+    "Reproduction of 'Improving the Cache Locality of Memory Allocation' \
+     (PLDI 1993)"
+  in
+  let info = Cmd.info "loclab" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ list_cmd; run_cmd; all_cmd; probe_cmd; record_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/cache_study.ml: Allocators Array Cachesim List Metrics Printf String Sys Workload

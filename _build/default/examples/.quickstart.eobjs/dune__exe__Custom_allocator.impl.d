@@ -1,0 +1,1 @@
+examples/custom_allocator.ml: Allocators Array Cachesim List Metrics Printf String Sys Workload

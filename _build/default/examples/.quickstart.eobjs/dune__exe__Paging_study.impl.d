@@ -1,0 +1,1 @@
+examples/paging_study.ml: Array List Metrics Printf String Sys Vmsim Workload

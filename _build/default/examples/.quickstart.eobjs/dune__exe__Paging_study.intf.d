@@ -1,0 +1,1 @@
+examples/paging_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Allocators Cachesim List Memsim Printf

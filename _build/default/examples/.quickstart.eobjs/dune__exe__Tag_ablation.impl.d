@@ -1,0 +1,1 @@
+examples/tag_ablation.ml: Allocators Array Cachesim List Metrics Printf Sys Workload

@@ -1,0 +1,1 @@
+examples/tag_ablation.mli:

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Cachesim Filename List Memsim Printf Sys Unix Workload

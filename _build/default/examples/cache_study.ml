@@ -1,0 +1,45 @@
+(* Cache study: replay one synthetic program against every allocator and
+   sweep the cache size, reproducing the methodology behind the paper's
+   Figures 6-8 on any program.
+
+   Run with: dune exec examples/cache_study.exe [-- <program> [scale]] *)
+
+let () =
+  let program = if Array.length Sys.argv > 1 then Sys.argv.(1) else "espresso" in
+  let scale =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.1
+  in
+  let profile =
+    try Workload.Programs.find program
+    with Not_found ->
+      Printf.eprintf "unknown program %S; one of: %s\n" program
+        (String.concat ", " (Workload.Programs.keys ()));
+      exit 2
+  in
+  let series =
+    Metrics.Series.create
+      ~title:
+        (Printf.sprintf "Data cache miss rate, %s (scale %.2f)"
+           profile.Workload.Profile.label scale)
+      ~x_label:"cache KB" ~y_label:"miss %"
+  in
+  List.iter
+    (fun spec ->
+      let key = spec.Allocators.Registry.key in
+      if key <> "gnu-local-tags" && key <> "firstfit-nc" then begin
+        let multi = Cachesim.Multi.create Cachesim.Config.paper_direct_mapped in
+        let _result =
+          Workload.Driver.run ~sink:(Cachesim.Multi.sink multi) ~scale ~profile
+            ~allocator:key ()
+        in
+        let pts =
+          List.map
+            (fun (cfg, stats) ->
+              ( float_of_int (cfg.Cachesim.Config.size_bytes / 1024),
+                Cachesim.Stats.miss_rate_pct stats ))
+            (Cachesim.Multi.results multi)
+        in
+        Metrics.Series.add series ~name:spec.Allocators.Registry.label pts
+      end)
+    Allocators.Registry.all;
+  Metrics.Series.print series

@@ -1,0 +1,88 @@
+(* Custom allocator synthesis: the CustoMalloc workflow the paper's
+   conclusions point at (section 4.4 / 5.1).
+
+   1. Profile a program's allocation sizes.
+   2. Design size classes from the measured histogram (Figure 9 array).
+   3. Build the synthesized allocator and compare it against BSD and
+      QuickFit on the same workload.
+
+   Run with: dune exec examples/custom_allocator.exe [-- <program>] *)
+
+let measure profile key =
+  let multi =
+    Cachesim.Multi.create [ Cachesim.Config.make (64 * 1024) ]
+  in
+  let heap = Allocators.Heap.create () in
+  let alloc =
+    if key = "custom" then begin
+      let histogram =
+        Workload.Dist.to_histogram profile.Workload.Profile.size_dist
+          ~scale:100_000
+      in
+      Allocators.Custom.allocator (Allocators.Custom.create_for ~histogram heap)
+    end
+    else Allocators.Registry.build key heap
+  in
+  let r =
+    Workload.Driver.run_with
+      ~sink:(Cachesim.Multi.sink multi)
+      ~scale:0.1 ~profile ~heap ~alloc ()
+  in
+  let miss =
+    match Cachesim.Multi.results multi with
+    | [ (_, s) ] -> Cachesim.Stats.miss_rate s
+    | _ -> assert false
+  in
+  (r, miss)
+
+let () =
+  let program = if Array.length Sys.argv > 1 then Sys.argv.(1) else "espresso" in
+  let profile =
+    try Workload.Programs.find program
+    with Not_found ->
+      Printf.eprintf "unknown program %S\n" program;
+      exit 2
+  in
+
+  (* Step 1-2: design classes from the measured size mix. *)
+  let histogram =
+    Workload.Dist.to_histogram profile.Workload.Profile.size_dist ~scale:100_000
+  in
+  let classes = Allocators.Size_map.design histogram in
+  Printf.printf "Profiled %s: %d distinct request sizes\n"
+    profile.Workload.Profile.label (List.length histogram);
+  Printf.printf "Designed %d size classes: %s\n\n" (List.length classes)
+    (String.concat ", " (List.map string_of_int classes));
+
+  (* Step 3: head-to-head. *)
+  let table =
+    Metrics.Table.create
+      ~title:"Synthesized allocator vs its parents (64K cache, scale 0.1)"
+      ~columns:
+        [ ("Allocator", Metrics.Table.Left);
+          ("time in alloc", Metrics.Table.Right);
+          ("internal frag", Metrics.Table.Right);
+          ("sbrk heap", Metrics.Table.Right);
+          ("miss rate", Metrics.Table.Right);
+          ("est. total (Mcycles)", Metrics.Table.Right) ]
+  in
+  List.iter
+    (fun key ->
+      let r, miss = measure profile key in
+      let et =
+        Metrics.Exec_time.of_miss_rate ~model:Metrics.Cost_model.paper
+          ~instructions:r.Workload.Driver.instructions
+          ~data_refs:r.Workload.Driver.data_refs ~miss_rate:miss
+      in
+      Metrics.Table.add_row table
+        [ key;
+          Metrics.Table.fmt_pct (Workload.Driver.allocator_fraction r);
+          Metrics.Table.fmt_pct
+            (Allocators.Alloc_stats.internal_fragmentation
+               r.Workload.Driver.alloc_stats);
+          Metrics.Table.fmt_kb r.Workload.Driver.heap_used;
+          Metrics.Table.fmt_pct miss;
+          Metrics.Table.fmt_float ~decimals:1
+            (float_of_int (Metrics.Exec_time.total_cycles et) /. 1e6) ])
+    [ "bsd"; "quickfit"; "gnu-local"; "custom" ];
+  Metrics.Table.print table

@@ -1,0 +1,51 @@
+(* Boundary-tag ablation (the paper's Table 6 experiment, section 4.3):
+   run GNU local with and without emulated 8-byte per-object boundary
+   tags and measure the cache pollution they cause.
+
+   Run with: dune exec examples/tag_ablation.exe [-- <program>] *)
+
+let run profile ~emulate_tags =
+  let multi = Cachesim.Multi.create Cachesim.Config.paper_direct_mapped in
+  let heap = Allocators.Heap.create () in
+  let alloc =
+    Allocators.Gnu_local.allocator (Allocators.Gnu_local.create ~emulate_tags heap)
+  in
+  let r =
+    Workload.Driver.run_with
+      ~sink:(Cachesim.Multi.sink multi)
+      ~scale:0.15 ~profile ~heap ~alloc ()
+  in
+  (r, Cachesim.Multi.results multi)
+
+let () =
+  let program = if Array.length Sys.argv > 1 then Sys.argv.(1) else "gs-large" in
+  let profile =
+    try Workload.Programs.find program
+    with Not_found ->
+      Printf.eprintf "unknown program %S\n" program;
+      exit 2
+  in
+  let r_plain, caches_plain = run profile ~emulate_tags:false in
+  let r_tags, caches_tags = run profile ~emulate_tags:true in
+  Printf.printf "Boundary-tag pollution in GNU local on %s\n\n"
+    profile.Workload.Profile.label;
+  Printf.printf "%-10s %14s %14s %10s\n" "cache" "no tags (%)" "with tags (%)"
+    "delta";
+  List.iter2
+    (fun (cfg, plain) (_, tags) ->
+      Printf.printf "%-10s %14.3f %14.3f %+10.3f\n" cfg.Cachesim.Config.name
+        (Cachesim.Stats.miss_rate_pct plain)
+        (Cachesim.Stats.miss_rate_pct tags)
+        (Cachesim.Stats.miss_rate_pct tags
+        -. Cachesim.Stats.miss_rate_pct plain))
+    caches_plain caches_tags;
+  let granted r = r.Workload.Driver.alloc_stats.Allocators.Alloc_stats.bytes_granted in
+  Printf.printf "\nbytes granted: %s without tags, %s with tags (+%.1f%%)\n"
+    (Metrics.Table.fmt_int (granted r_plain))
+    (Metrics.Table.fmt_int (granted r_tags))
+    (100.
+    *. (float_of_int (granted r_tags - granted r_plain)
+       /. float_of_int (granted r_plain)));
+  print_endline
+    "\nPaper's conclusion: tags cost 0.1-1.1% of execution time -- real but\n\
+     not decisive; eliminating them is only worthwhile if it is free."

@@ -1,0 +1,1 @@
+lib/allocators/allocator.ml: Addr Alloc_stats Cost Hashtbl Heap List Memsim Printf Region

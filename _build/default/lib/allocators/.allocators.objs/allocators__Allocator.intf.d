@@ -1,0 +1,1 @@
+lib/allocators/allocator.mli: Alloc_stats Heap Memsim

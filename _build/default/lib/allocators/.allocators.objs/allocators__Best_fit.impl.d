@@ -1,0 +1,1 @@
+lib/allocators/best_fit.ml: Allocator Boundary_tag Freelist Heap List Option Seq_fit

@@ -1,0 +1,1 @@
+lib/allocators/best_fit.mli: Allocator Heap

@@ -1,0 +1,1 @@
+lib/allocators/boundary_tag.mli: Heap Memsim

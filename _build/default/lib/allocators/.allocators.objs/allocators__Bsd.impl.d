@@ -1,0 +1,1 @@
+lib/allocators/bsd.ml: Addr Allocator Array Hashtbl Heap Memsim Printf Region

@@ -1,0 +1,1 @@
+lib/allocators/bsd.mli: Allocator Heap

@@ -1,0 +1,1 @@
+lib/allocators/cost.ml: Memsim

@@ -1,0 +1,1 @@
+lib/allocators/custom.ml: Addr Allocator Array Hashtbl Heap List Memsim Page_pool Printf Size_map

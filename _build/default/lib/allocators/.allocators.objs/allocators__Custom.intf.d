@@ -1,0 +1,1 @@
+lib/allocators/custom.mli: Allocator Heap Memsim Page_pool Size_map

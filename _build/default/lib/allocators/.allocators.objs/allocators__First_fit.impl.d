@@ -1,0 +1,1 @@
+lib/allocators/first_fit.ml: Addr Allocator Boundary_tag Freelist Heap List Memsim Option Seq_fit

@@ -1,0 +1,1 @@
+lib/allocators/first_fit.mli: Allocator Heap Memsim

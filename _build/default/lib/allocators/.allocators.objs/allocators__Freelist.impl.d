@@ -1,0 +1,1 @@
+lib/allocators/freelist.ml: Heap List Memsim Printf

@@ -1,0 +1,1 @@
+lib/allocators/freelist.mli: Heap Memsim

@@ -1,0 +1,1 @@
+lib/allocators/gnu_gpp.ml: Allocator Array Boundary_tag Freelist Hashtbl Heap List Option Printf Seq_fit

@@ -1,0 +1,1 @@
+lib/allocators/gnu_gpp.mli: Allocator Heap Memsim

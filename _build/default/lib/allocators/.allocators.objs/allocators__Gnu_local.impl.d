@@ -1,0 +1,1 @@
+lib/allocators/gnu_local.ml: Addr Allocator Array Hashtbl Heap Memsim Option Page_pool Printf

@@ -1,0 +1,1 @@
+lib/allocators/gnu_local.mli: Allocator Heap Page_pool

@@ -1,0 +1,1 @@
+lib/allocators/heap.ml: Cost Fun Memsim Region Sim_memory Sink

@@ -1,0 +1,1 @@
+lib/allocators/heap.mli: Cost Memsim

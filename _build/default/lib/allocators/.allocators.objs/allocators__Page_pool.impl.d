@@ -1,0 +1,1 @@
+lib/allocators/page_pool.ml: Addr Hashtbl Heap List Memsim Printf Region

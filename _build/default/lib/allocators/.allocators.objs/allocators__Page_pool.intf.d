@@ -1,0 +1,1 @@
+lib/allocators/page_pool.mli: Heap Memsim

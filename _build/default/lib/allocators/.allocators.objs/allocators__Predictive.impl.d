@@ -1,0 +1,1 @@
+lib/allocators/predictive.ml: Addr Allocator Array Custom Heap Memsim Page_pool

@@ -1,0 +1,1 @@
+lib/allocators/predictive.mli: Allocator Heap

@@ -1,0 +1,1 @@
+lib/allocators/quick_fit.ml: Addr Allocator Array Gnu_gpp Hashtbl Heap Memsim Printf Region

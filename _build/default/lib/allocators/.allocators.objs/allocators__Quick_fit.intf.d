@@ -1,0 +1,1 @@
+lib/allocators/quick_fit.mli: Allocator Heap

@@ -1,0 +1,1 @@
+lib/allocators/registry.ml: Allocator Best_fit Bsd Custom First_fit Gnu_gpp Gnu_local Heap List Quick_fit

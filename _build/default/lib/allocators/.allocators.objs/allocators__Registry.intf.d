@@ -1,0 +1,1 @@
+lib/allocators/registry.mli: Allocator Heap

@@ -1,0 +1,1 @@
+lib/allocators/seq_fit.ml: Addr Boundary_tag Heap List Memsim Printf Region

@@ -1,0 +1,1 @@
+lib/allocators/seq_fit.mli: Heap Memsim

@@ -1,0 +1,1 @@
+lib/allocators/size_map.ml: Array Hashtbl Heap List Memsim Option Printf

@@ -1,0 +1,51 @@
+type t = {
+  mutable malloc_calls : int;
+  mutable free_calls : int;
+  mutable realloc_calls : int;
+  mutable realloc_moves : int;
+  mutable bytes_requested : int;
+  mutable bytes_granted : int;
+  mutable live_bytes : int;
+  mutable max_live_bytes : int;
+  mutable live_objects : int;
+  mutable max_live_objects : int;
+}
+
+let create () =
+  { malloc_calls = 0; free_calls = 0; realloc_calls = 0; realloc_moves = 0;
+    bytes_requested = 0; bytes_granted = 0; live_bytes = 0; max_live_bytes = 0;
+    live_objects = 0; max_live_objects = 0 }
+
+let note_malloc t ~requested ~granted =
+  t.malloc_calls <- t.malloc_calls + 1;
+  t.bytes_requested <- t.bytes_requested + requested;
+  t.bytes_granted <- t.bytes_granted + granted;
+  t.live_bytes <- t.live_bytes + requested;
+  if t.live_bytes > t.max_live_bytes then t.max_live_bytes <- t.live_bytes;
+  t.live_objects <- t.live_objects + 1;
+  if t.live_objects > t.max_live_objects then
+    t.max_live_objects <- t.live_objects
+
+let note_free t ~requested =
+  t.free_calls <- t.free_calls + 1;
+  t.live_bytes <- t.live_bytes - requested;
+  t.live_objects <- t.live_objects - 1
+
+let note_realloc t ~old_requested ~new_requested ~granted_delta ~moved =
+  t.realloc_calls <- t.realloc_calls + 1;
+  if moved then t.realloc_moves <- t.realloc_moves + 1;
+  t.bytes_requested <- t.bytes_requested + max 0 (new_requested - old_requested);
+  t.bytes_granted <- t.bytes_granted + max 0 granted_delta;
+  t.live_bytes <- t.live_bytes + (new_requested - old_requested);
+  if t.live_bytes > t.max_live_bytes then t.max_live_bytes <- t.live_bytes
+
+let internal_fragmentation t =
+  if t.bytes_granted = 0 then 0.
+  else 1. -. (float t.bytes_requested /. float t.bytes_granted)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "mallocs=%d frees=%d requested=%d granted=%d live=%d/%d maxlive=%d frag=%.1f%%"
+    t.malloc_calls t.free_calls t.bytes_requested t.bytes_granted
+    t.live_objects t.live_bytes t.max_live_bytes
+    (100. *. internal_fragmentation t)

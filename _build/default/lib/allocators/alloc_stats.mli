@@ -1,0 +1,37 @@
+(** Per-allocator behaviour statistics (simulation bookkeeping — these
+    counters live outside the simulated machine and cause no trace
+    events or instruction charges). *)
+
+type t = {
+  mutable malloc_calls : int;
+  mutable free_calls : int;
+  mutable realloc_calls : int;
+  mutable realloc_moves : int;
+      (** Reallocs that had to move (and copy) the object. *)
+  mutable bytes_requested : int;  (** Sum of request sizes. *)
+  mutable bytes_granted : int;
+      (** Sum of gross block sizes actually dedicated to those requests,
+          including headers and rounding — measures internal
+          fragmentation. *)
+  mutable live_bytes : int;  (** Requested bytes currently live. *)
+  mutable max_live_bytes : int;
+  mutable live_objects : int;
+  mutable max_live_objects : int;
+}
+
+val create : unit -> t
+
+val note_malloc : t -> requested:int -> granted:int -> unit
+val note_free : t -> requested:int -> unit
+
+val note_realloc :
+  t -> old_requested:int -> new_requested:int -> granted_delta:int ->
+  moved:bool -> unit
+(** Adjusts live-byte accounting by the size delta; [granted_delta] is
+    the change in gross bytes dedicated to the object (0 for in-place
+    reallocs). *)
+
+val internal_fragmentation : t -> float
+(** [1 - bytes_requested / bytes_granted]; 0 when nothing allocated. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,127 @@
+open Memsim
+
+type impl = {
+  impl_malloc : int -> Addr.t;
+  impl_free : Addr.t -> unit;
+  granted_bytes : int -> int;
+  check_invariants : unit -> unit;
+  impl_malloc_sited : (site:int -> int -> Addr.t) option;
+}
+
+type t = {
+  name : string;
+  heap : Heap.t;
+  stats : Alloc_stats.t;
+  impl : impl;
+  live : (Addr.t, int) Hashtbl.t;
+}
+
+exception Allocator_misuse of string
+
+let make ~name ~heap impl =
+  { name; heap; stats = Alloc_stats.create (); impl;
+    live = Hashtbl.create 4096 }
+
+let name t = t.name
+let heap t = t.heap
+let stats t = t.stats
+let call_overhead_instructions = 20
+
+let malloc_with t n run_impl =
+  if n < 1 then invalid_arg "Allocator.malloc: size must be >= 1";
+  Heap.with_phase t.heap Cost.Malloc (fun () ->
+      Heap.charge t.heap call_overhead_instructions;
+      let a = run_impl n in
+      if not (Addr.word_aligned a) then
+        raise
+          (Allocator_misuse
+             (Printf.sprintf "%s: malloc returned unaligned 0x%x" t.name a));
+      if not (Region.contains (Heap.heap_region t.heap) a) then
+        raise
+          (Allocator_misuse
+             (Printf.sprintf "%s: malloc returned 0x%x outside heap" t.name a));
+      if Hashtbl.mem t.live a then
+        raise
+          (Allocator_misuse
+             (Printf.sprintf "%s: malloc returned live address 0x%x" t.name a));
+      Alloc_stats.note_malloc t.stats ~requested:n
+        ~granted:(t.impl.granted_bytes n);
+      Hashtbl.replace t.live a n;
+      a)
+
+let malloc t n = malloc_with t n t.impl.impl_malloc
+
+let malloc_sited t ~site n =
+  match t.impl.impl_malloc_sited with
+  | None -> malloc t n
+  | Some sited -> malloc_with t n (fun n -> sited ~site n)
+
+let free t a =
+  match Hashtbl.find_opt t.live a with
+  | None ->
+      raise
+        (Allocator_misuse
+           (Printf.sprintf "%s: free of dead or unknown address 0x%x" t.name a))
+  | Some n ->
+      Heap.with_phase t.heap Cost.Free (fun () ->
+          Heap.charge t.heap call_overhead_instructions;
+          t.impl.impl_free a;
+          Alloc_stats.note_free t.stats ~requested:n;
+          Hashtbl.remove t.live a)
+
+let realloc t a n =
+  if n < 1 then invalid_arg "Allocator.realloc: size must be >= 1";
+  match Hashtbl.find_opt t.live a with
+  | None ->
+      raise
+        (Allocator_misuse
+           (Printf.sprintf "%s: realloc of dead or unknown address 0x%x"
+              t.name a))
+  | Some n_old ->
+      Heap.with_phase t.heap Cost.Malloc (fun () ->
+          Heap.charge t.heap call_overhead_instructions;
+          let g_old = t.impl.granted_bytes n_old in
+          let g_new = t.impl.granted_bytes n in
+          if g_old = g_new then begin
+            (* Same gross block: the object stays put. *)
+            Heap.charge t.heap 4;
+            Alloc_stats.note_realloc t.stats ~old_requested:n_old
+              ~new_requested:n ~granted_delta:0 ~moved:false;
+            Hashtbl.replace t.live a n;
+            a
+          end
+          else begin
+            let fresh = t.impl.impl_malloc n in
+            (* memcpy inside the allocator: traced, word-grain. *)
+            let copy = min n_old n in
+            let mem = Heap.mem t.heap in
+            Heap.charge t.heap (((copy + 3) / 4) * 2);
+            Memsim.Sim_memory.read_bytes mem a copy;
+            Memsim.Sim_memory.write_bytes mem fresh copy;
+            t.impl.impl_free a;
+            Alloc_stats.note_realloc t.stats ~old_requested:n_old
+              ~new_requested:n ~granted_delta:(g_new - g_old) ~moved:true;
+            Hashtbl.remove t.live a;
+            Hashtbl.replace t.live fresh n;
+            fresh
+          end)
+
+let live_objects t = Hashtbl.fold (fun a n acc -> (a, n) :: acc) t.live []
+let live_size t a = Hashtbl.find_opt t.live a
+
+let check t =
+  t.impl.check_invariants ();
+  (* Live payloads must be pairwise disjoint. *)
+  let objs =
+    live_objects t |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let rec disjoint = function
+    | (a1, n1) :: ((a2, _) :: _ as rest) ->
+        if a1 + n1 > a2 then
+          failwith
+            (Printf.sprintf "%s: live objects overlap: 0x%x+%d and 0x%x"
+               t.name a1 n1 a2)
+        else disjoint rest
+    | _ -> ()
+  in
+  disjoint objs

@@ -1,0 +1,74 @@
+(** The uniform allocator interface.
+
+    Concrete allocators ({!First_fit}, {!Bsd}, …) provide an {!impl};
+    wrapping it with {!make} adds everything the framework guarantees
+    uniformly: phase/source switching around [malloc]/[free], the fixed
+    per-call instruction overhead, behaviour statistics, and safety
+    checking (double free, unknown free, overlap) — bookkeeping that
+    lives outside the simulated machine. *)
+
+type impl = {
+  impl_malloc : int -> Memsim.Addr.t;
+      (** Returns the word-aligned payload address for a request of the
+          given size in bytes (>= 1). *)
+  impl_free : Memsim.Addr.t -> unit;
+      (** Releases a payload address previously returned. *)
+  granted_bytes : int -> int;
+      (** Gross bytes (payload + metadata + rounding) a request of the
+          given size consumes — used for fragmentation accounting. *)
+  check_invariants : unit -> unit;
+      (** Walks internal structures and raises [Failure] on corruption;
+          called by tests, never during normal runs. *)
+  impl_malloc_sited : (site:int -> int -> Memsim.Addr.t) option;
+      (** Allocation-site-aware entry point, for allocators that exploit
+          call-site information (the paper's §5.1 future work, after
+          Barrett & Zorn).  [None] for ordinary allocators. *)
+}
+
+type t
+
+exception Allocator_misuse of string
+(** Raised on double free or freeing an address never allocated. *)
+
+val make : name:string -> heap:Heap.t -> impl -> t
+
+val name : t -> string
+val heap : t -> Heap.t
+val stats : t -> Alloc_stats.t
+
+val call_overhead_instructions : int
+(** Fixed call/return and argument-handling cost charged to every
+    [malloc] and [free] (register-only work, no trace events). *)
+
+val malloc : t -> int -> Memsim.Addr.t
+(** Allocates, running the implementation in the [Malloc] phase.
+    Checks the result is word-aligned and inside the heap, and records
+    the live object. *)
+
+val malloc_sited : t -> site:int -> int -> Memsim.Addr.t
+(** Like {!malloc}, passing the allocation site to implementations that
+    use one; others ignore it. *)
+
+val free : t -> Memsim.Addr.t -> unit
+(** Frees, running the implementation in the [Free] phase.
+    @raise Allocator_misuse on double/unknown free. *)
+
+val realloc : t -> Memsim.Addr.t -> int -> Memsim.Addr.t
+(** Resizes a live object, C-[realloc] style.  When the implementation
+    would dedicate the same gross block to the new size (same size
+    class / same rounded block), the object stays in place — the fast
+    path every segregated allocator's realloc has.  Otherwise a new
+    block is allocated, [min old new] payload bytes are copied (traced
+    reads and writes, as a real [memcpy] inside the allocator), and the
+    old block is freed.  Runs in the [Malloc] phase.
+    @raise Allocator_misuse when the address is not live. *)
+
+val live_objects : t -> (Memsim.Addr.t * int) list
+(** Currently live (address, requested size) pairs, unordered. *)
+
+val live_size : t -> Memsim.Addr.t -> int option
+(** Requested size of a live object, if the address is live. *)
+
+val check : t -> unit
+(** Runs the implementation's invariant checks plus framework-level
+    checks (live objects are disjoint and word-aligned). *)

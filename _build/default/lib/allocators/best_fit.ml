@@ -1,0 +1,64 @@
+type t = {
+  heap : Heap.t;
+  fl : Freelist.t;
+  mutable core : Seq_fit.t option;
+}
+
+let node_of_block b = b + 4
+let block_of_node n = n - 4
+let core t = Option.get t.core
+
+(* Exhaustive scan: smallest block with size >= gross; exact fits stop
+   the search early (the classic optimisation). *)
+let find_fit t (_ : Seq_fit.t) ~gross =
+  let head = Freelist.head t.fl in
+  let rec go node best best_size =
+    if node = head then best
+    else begin
+      Heap.charge t.heap 2;
+      let block = block_of_node node in
+      let size, _ = Boundary_tag.read_header t.heap ~block in
+      if size = gross then Some block
+      else if size > gross && size < best_size then
+        go (Freelist.next t.fl node) (Some block) size
+      else go (Freelist.next t.fl node) best best_size
+    end
+  in
+  go (Freelist.next t.fl head) None max_int
+
+let check_policy t (_ : Seq_fit.t) ~free_blocks =
+  let in_list =
+    Freelist.to_list t.fl |> List.map block_of_node |> List.sort compare
+  in
+  let in_heap = List.map fst free_blocks |> List.sort compare in
+  if in_list <> in_heap then
+    failwith "Best_fit: freelist does not match heap free blocks"
+
+let create ?extend_chunk ?split_threshold heap =
+  let fl = Freelist.create heap in
+  let t = { heap; fl; core = None } in
+  let policy =
+    { Seq_fit.find_fit = (fun core ~gross -> find_fit t core ~gross);
+      insert_free =
+        (fun _ ~block ~size:_ -> Freelist.insert_front t.fl (node_of_block block));
+      remove_free =
+        (fun _ ~block ~size:_ -> Freelist.remove t.fl (node_of_block block));
+      resize_free = (fun _ ~block:_ ~old_size:_ ~new_size:_ -> ());
+      note_alloc_from = (fun _ ~block:_ -> ());
+      check_policy =
+        (fun core ~free_blocks -> check_policy t core ~free_blocks);
+    }
+  in
+  t.core <- Some (Seq_fit.create heap ?extend_chunk ?split_threshold policy);
+  t
+
+let allocator t =
+  Allocator.make ~name:"bestfit" ~heap:t.heap
+    { Allocator.impl_malloc = (fun n -> Seq_fit.malloc (core t) n);
+      impl_free = (fun a -> Seq_fit.free (core t) a);
+      granted_bytes = Seq_fit.gross_of_request;
+      check_invariants = (fun () -> Seq_fit.check_invariants (core t));
+      impl_malloc_sited = None;
+    }
+
+let free_list_length t = Freelist.length t.fl

@@ -1,0 +1,20 @@
+(** BESTFIT — exhaustive best fit over a single freelist.
+
+    The other classic sequential-fit algorithm the paper names
+    alongside first fit ("allocators based on sequential-fit methods,
+    such as first-fit, best-fit, etc, have poor reference locality").
+    Every allocation walks the {e entire} freelist looking for the
+    smallest sufficient block, so its search traffic upper-bounds the
+    sequential-fit family; block layout, splitting and coalescing are
+    shared with {!First_fit} via {!Seq_fit}.
+
+    Included as an extension: the paper measures five allocators, but
+    its conclusions explicitly cover best fit. *)
+
+type t
+
+val create : ?extend_chunk:int -> ?split_threshold:int -> Heap.t -> t
+val allocator : t -> Allocator.t
+
+val free_list_length : t -> int
+(** Untraced. *)

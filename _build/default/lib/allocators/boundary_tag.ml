@@ -1,0 +1,24 @@
+let overhead = 8
+let min_block = 16
+let payload b = b + 4
+let block_of_payload p = p - 4
+
+let encode ~size ~allocated =
+  assert (size land 3 = 0 && size >= min_block);
+  size lor (if allocated then 1 else 0)
+
+let decode v = (v land lnot 3, v land 1 = 1)
+
+let write_header heap ~block ~size ~allocated =
+  Heap.store heap block (encode ~size ~allocated)
+
+let write_footer heap ~block ~size ~allocated =
+  Heap.store heap (block + size - 4) (encode ~size ~allocated)
+
+let write heap ~block ~size ~allocated =
+  write_header heap ~block ~size ~allocated;
+  write_footer heap ~block ~size ~allocated
+
+let read_header heap ~block = decode (Heap.load heap block)
+let read_footer_before heap ~block = decode (Heap.load heap (block - 4))
+let peek_header heap ~block = decode (Heap.peek heap block)

@@ -1,0 +1,46 @@
+(** Boundary tags (Knuth), the block layout of the first-fit family.
+
+    A block of gross size [s] (a multiple of 4, at least {!min_block})
+    occupies [\[b, b+s)]:
+
+    {v
+    b+0      header word: s lor allocated-bit
+    b+4      payload (or freelist links while free)
+    b+s-4    footer word: s lor allocated-bit
+    v}
+
+    Header and footer each cost one word — the paper's "two extra words
+    of overhead ...one at each end of the block" — and let [free]
+    coalesce with both neighbours in constant time. *)
+
+val overhead : int
+(** Bytes of tag overhead per block (8). *)
+
+val min_block : int
+(** Smallest legal gross block: tags + room for two freelist links
+    (16 bytes).  Note the paper's 24-byte figure is the {e split}
+    threshold, not the minimum block. *)
+
+val payload : Memsim.Addr.t -> Memsim.Addr.t
+(** Payload address of a block. *)
+
+val block_of_payload : Memsim.Addr.t -> Memsim.Addr.t
+
+val write : Heap.t -> block:Memsim.Addr.t -> size:int -> allocated:bool -> unit
+(** Writes both header and footer (two traced stores). *)
+
+val write_header :
+  Heap.t -> block:Memsim.Addr.t -> size:int -> allocated:bool -> unit
+
+val write_footer :
+  Heap.t -> block:Memsim.Addr.t -> size:int -> allocated:bool -> unit
+
+val read_header : Heap.t -> block:Memsim.Addr.t -> int * bool
+(** [(size, allocated)] from the header (one traced load). *)
+
+val read_footer_before : Heap.t -> block:Memsim.Addr.t -> int * bool
+(** Reads the footer of the block that ends where [block] begins —
+    the constant-time "look left" of boundary-tag coalescing. *)
+
+val peek_header : Heap.t -> block:Memsim.Addr.t -> int * bool
+(** Untraced header read, for tests and heap walks. *)

@@ -1,0 +1,114 @@
+open Memsim
+
+(* Block layout: [header word: class k][payload 2^k - 4 bytes].
+   Free blocks store the next-link in their first payload word. *)
+
+let min_class = 3 (* 8-byte blocks: 4 payload *)
+let max_class = 26
+let page_bytes = 4096
+
+let class_of_request n =
+  assert (n >= 1);
+  let needed = n + 4 in
+  let rec find k = if 1 lsl k >= needed then k else find (k + 1) in
+  find min_class
+
+type t = {
+  heap : Heap.t;
+  (* heads.(k - min_class): static word holding the class freelist head
+     (0 = empty). *)
+  heads : Addr.t array;
+}
+
+let create heap =
+  let heads =
+    Array.init (max_class - min_class + 1) (fun _ ->
+        let a = Heap.alloc_static heap 4 in
+        Heap.poke heap a 0;
+        a)
+  in
+  { heap; heads }
+
+let head_cell t k = t.heads.(k - min_class)
+
+(* Carve fresh storage into 2^k blocks and push each onto the class
+   list, as Kingsley's morecore does. *)
+let morecore t k =
+  let bsize = 1 lsl k in
+  let chunk = max bsize page_bytes in
+  let base = Heap.sbrk t.heap chunk in
+  let cell = head_cell t k in
+  let count = chunk / bsize in
+  let head = ref (Heap.load t.heap cell) in
+  (* Linked back-to-front so blocks pop in ascending address order. *)
+  for i = count - 1 downto 0 do
+    Heap.charge t.heap 2;
+    let block = base + (i * bsize) in
+    (* next-link lives in the first payload word *)
+    Heap.store t.heap (block + 4) !head;
+    head := block
+  done;
+  Heap.store t.heap cell !head
+
+let malloc t n =
+  Heap.charge t.heap 4 (* class computation: shift loop *);
+  let k = class_of_request n in
+  let cell = head_cell t k in
+  let block = Heap.load t.heap cell in
+  let block =
+    if block <> 0 then block
+    else begin
+      morecore t k;
+      Heap.load t.heap cell
+    end
+  in
+  let next = Heap.load t.heap (block + 4) in
+  Heap.store t.heap cell next;
+  Heap.store t.heap block k (* header: remember the class *);
+  block + 4
+
+let free t p =
+  let block = p - 4 in
+  let k = Heap.load t.heap block in
+  if k < min_class || k > max_class then
+    failwith (Printf.sprintf "Bsd.free: bad class %d at 0x%x" k block);
+  let cell = head_cell t k in
+  let head = Heap.load t.heap cell in
+  Heap.store t.heap (block + 4) head;
+  Heap.store t.heap cell block
+
+let free_count t k =
+  let rec walk block acc =
+    if block = 0 then acc else walk (Heap.peek t.heap (block + 4)) (acc + 1)
+  in
+  walk (Heap.peek t.heap (head_cell t k)) 0
+
+let check_invariants t =
+  (* Freelist blocks must be inside the heap, word-aligned, and each
+     class list acyclic. *)
+  let region = Heap.heap_region t.heap in
+  for k = min_class to max_class do
+    let seen = Hashtbl.create 16 in
+    let rec walk block =
+      if block <> 0 then begin
+        if Hashtbl.mem seen block then
+          failwith (Printf.sprintf "Bsd: cycle in class %d freelist" k);
+        Hashtbl.replace seen block ();
+        if not (Region.contains region block) then
+          failwith (Printf.sprintf "Bsd: free block 0x%x outside heap" block);
+        if not (Addr.word_aligned block) then
+          failwith (Printf.sprintf "Bsd: unaligned free block 0x%x" block);
+        walk (Heap.peek t.heap (block + 4))
+      end
+    in
+    walk (Heap.peek t.heap (head_cell t k))
+  done
+
+let allocator t =
+  Allocator.make ~name:"bsd" ~heap:t.heap
+    { Allocator.impl_malloc = (fun n -> malloc t n);
+      impl_free = (fun a -> free t a);
+      granted_bytes = (fun n -> 1 lsl class_of_request n);
+      check_invariants = (fun () -> check_invariants t);
+      impl_malloc_sited = None;
+    }

@@ -1,0 +1,28 @@
+(** BSD — Chris Kingsley's power-of-two segregated storage (4.2 BSD
+    [malloc]).
+
+    Requests are rounded up to a power of two {e including} a one-word
+    header recording the size class ("powers of two minus a constant"):
+    an [n]-byte request consumes the class with [2^k >= n + 4].  Each
+    class keeps a LIFO singly-linked freelist; when one is empty, a page
+    (or one block, if larger) is carved from sbrk into blocks that are
+    pushed onto the list.  Objects are never split or coalesced.
+
+    Allocation and deallocation are just a few memory operations — the
+    paper measures BSD as the fastest allocator — but the rounding can
+    waste nearly half of every block, which inflates its page-fault rate
+    at tight memory sizes (Figure 2). *)
+
+type t
+
+val create : Heap.t -> t
+val allocator : t -> Allocator.t
+
+val min_class : int
+val max_class : int
+
+val class_of_request : int -> int
+(** Size class [k] (block size [2^k]) for a request of [n] bytes. *)
+
+val free_count : t -> int -> int
+(** Untraced length of class [k]'s freelist, for tests. *)

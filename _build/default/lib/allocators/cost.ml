@@ -1,0 +1,33 @@
+type phase = App | Malloc | Free
+
+type t = {
+  mutable app : int;
+  mutable malloc : int;
+  mutable free : int;
+  mutable phase : phase;
+}
+
+let create () = { app = 0; malloc = 0; free = 0; phase = App }
+let phase t = t.phase
+let set_phase t p = t.phase <- p
+
+let charge t n =
+  match t.phase with
+  | App -> t.app <- t.app + n
+  | Malloc -> t.malloc <- t.malloc + n
+  | Free -> t.free <- t.free + n
+
+let app t = t.app
+let malloc t = t.malloc
+let free t = t.free
+let total t = t.app + t.malloc + t.free
+let allocator_total t = t.malloc + t.free
+
+let allocator_fraction t =
+  let tot = total t in
+  if tot = 0 then 0. else float (allocator_total t) /. float tot
+
+let source_of_phase = function
+  | App -> Memsim.Event.App
+  | Malloc -> Memsim.Event.Malloc
+  | Free -> Memsim.Event.Free

@@ -1,0 +1,38 @@
+(** Instruction-count accounting.
+
+    The paper measures "time" as executed machine instructions (via QP)
+    and charges one cycle per instruction.  Every simulated load/store
+    costs one instruction; additional register-only work is charged
+    explicitly by the allocators and the workload driver.  Costs are
+    attributed to the phase (application, malloc or free) active when
+    they are incurred, which yields Figure 1 directly. *)
+
+type phase =
+  | App
+  | Malloc
+  | Free
+
+type t
+
+val create : unit -> t
+
+val phase : t -> phase
+val set_phase : t -> phase -> unit
+
+val charge : t -> int -> unit
+(** Adds instructions to the current phase. *)
+
+val app : t -> int
+val malloc : t -> int
+val free : t -> int
+
+val total : t -> int
+(** All instructions: app + malloc + free. *)
+
+val allocator_total : t -> int
+(** malloc + free — the paper's "time in malloc and free". *)
+
+val allocator_fraction : t -> float
+(** [allocator_total / total], in [0, 1]; 0 when nothing has run. *)
+
+val source_of_phase : phase -> Memsim.Event.source

@@ -1,0 +1,99 @@
+open Memsim
+
+type t = {
+  heap : Heap.t;
+  fl : Freelist.t;
+  rover_cell : Addr.t;  (* static word holding a freelist node address *)
+  mutable core : Seq_fit.t option;
+}
+
+let node_of_block b = b + 4
+let block_of_node n = n - 4
+
+let core t = Option.get t.core
+
+(* Next-fit search: start at the rover, wrap once around the circular
+   list (skipping the sentinel), reading each candidate's header. *)
+let find_fit t (_ : Seq_fit.t) ~gross =
+  let head = Freelist.head t.fl in
+  let start = Heap.load t.heap t.rover_cell in
+  let start = if start = head then Freelist.next t.fl head else start in
+  if start = head then None (* empty list *)
+  else begin
+    let rec go node =
+      Heap.charge t.heap 2 (* loop bookkeeping *);
+      let block = block_of_node node in
+      let size, _ = Boundary_tag.read_header t.heap ~block in
+      if size >= gross then Some block
+      else begin
+        let succ = Freelist.next t.fl node in
+        let succ = if succ = head then Freelist.next t.fl succ else succ in
+        if succ = start then None else go succ
+      end
+    in
+    go start
+  end
+
+let insert_free t (_ : Seq_fit.t) ~block ~size:_ =
+  Freelist.insert_front t.fl (node_of_block block)
+
+let remove_free t (_ : Seq_fit.t) ~block ~size:_ =
+  let node = node_of_block block in
+  (* The real implementation guards its rover the same way. *)
+  if Heap.load t.heap t.rover_cell = node then
+    Heap.store t.heap t.rover_cell (Freelist.next t.fl node);
+  Freelist.remove t.fl node
+
+let resize_free _t (_ : Seq_fit.t) ~block:_ ~old_size:_ ~new_size:_ =
+  (* Single list: an in-place resize keeps the node linked. *)
+  ()
+
+let note_alloc_from t (_ : Seq_fit.t) ~block =
+  (* Advance the rover past the block being allocated from, so the next
+     search continues around the ring. *)
+  Heap.store t.heap t.rover_cell (Freelist.next t.fl (node_of_block block))
+
+let check_policy t (_ : Seq_fit.t) ~free_blocks =
+  let in_list =
+    Freelist.to_list t.fl |> List.map block_of_node
+    |> List.sort compare
+  in
+  let in_heap = List.map fst free_blocks |> List.sort compare in
+  if in_list <> in_heap then
+    failwith "First_fit: freelist does not match heap free blocks";
+  let r = Heap.peek t.heap t.rover_cell in
+  if r <> Freelist.head t.fl && not (List.mem (block_of_node r) in_heap) then
+    failwith "First_fit: rover points to a dead block"
+
+let create ?extend_chunk ?split_threshold ?coalesce heap =
+  let fl = Freelist.create heap in
+  let rover_cell = Heap.alloc_static heap 4 in
+  Heap.poke heap rover_cell (Freelist.head fl);
+  let t = { heap; fl; rover_cell; core = None } in
+  let policy =
+    { Seq_fit.find_fit = (fun core ~gross -> find_fit t core ~gross);
+      insert_free = (fun core ~block ~size -> insert_free t core ~block ~size);
+      remove_free = (fun core ~block ~size -> remove_free t core ~block ~size);
+      resize_free =
+        (fun core ~block ~old_size ~new_size ->
+          resize_free t core ~block ~old_size ~new_size);
+      note_alloc_from = (fun core ~block -> note_alloc_from t core ~block);
+      check_policy =
+        (fun core ~free_blocks -> check_policy t core ~free_blocks);
+    }
+  in
+  t.core <-
+    Some (Seq_fit.create heap ?extend_chunk ?split_threshold ?coalesce policy);
+  t
+
+let allocator ?(name = "firstfit") t =
+  Allocator.make ~name ~heap:t.heap
+    { Allocator.impl_malloc = (fun n -> Seq_fit.malloc (core t) n);
+      impl_free = (fun a -> Seq_fit.free (core t) a);
+      granted_bytes = Seq_fit.gross_of_request;
+      check_invariants = (fun () -> Seq_fit.check_invariants (core t));
+      impl_malloc_sited = None;
+    }
+
+let rover t = Heap.peek t.heap t.rover_cell
+let free_list_length t = Freelist.length t.fl

@@ -1,0 +1,27 @@
+(** FIRSTFIT — Knuth-style first fit with a roving pointer.
+
+    The paper's baseline allocator (Mark Moraes' implementation):
+    a single doubly-linked freelist of all free blocks, scanned from a
+    roving pointer (next fit) so small fragments don't pile up at the
+    list head; boundary tags on every block; splitting of oversized
+    blocks unless the remainder is under 24 bytes; and constant-time
+    coalescing with both neighbours on free.
+
+    Its freelist scan touches blocks scattered across the whole address
+    space, which is what gives it the worst cache and page locality of
+    the five allocators studied. *)
+
+type t
+
+val create :
+  ?extend_chunk:int -> ?split_threshold:int -> ?coalesce:bool -> Heap.t -> t
+(** [coalesce:false] builds the no-coalescing ablation variant. *)
+
+val allocator : ?name:string -> t -> Allocator.t
+
+val rover : t -> Memsim.Addr.t
+(** Current roving pointer (a freelist node address, or the list head
+    sentinel); untraced, for tests. *)
+
+val free_list_length : t -> int
+(** Untraced. *)

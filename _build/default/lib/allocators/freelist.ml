@@ -1,0 +1,55 @@
+(* Node layout: next link at node+0, prev link at node+4. *)
+
+type t = { head : Memsim.Addr.t; heap : Heap.t }
+
+let next_of a = a
+let prev_of a = a + 4
+
+let create heap =
+  let head = Heap.alloc_static heap 8 in
+  (* Initialising static data is load-time work: untraced. *)
+  Heap.poke heap (next_of head) head;
+  Heap.poke heap (prev_of head) head;
+  { head; heap }
+
+let head t = t.head
+let is_empty t = Heap.load t.heap (next_of t.head) = t.head
+
+let first t =
+  let n = Heap.load t.heap (next_of t.head) in
+  if n = t.head then None else Some n
+
+let next t a = Heap.load t.heap (next_of a)
+
+let insert_after t ~after node =
+  let succ = Heap.load t.heap (next_of after) in
+  Heap.store t.heap (next_of node) succ;
+  Heap.store t.heap (prev_of node) after;
+  Heap.store t.heap (next_of after) node;
+  Heap.store t.heap (prev_of succ) node
+
+let insert_front t node = insert_after t ~after:t.head node
+
+let remove t node =
+  assert (node <> t.head);
+  let succ = Heap.load t.heap (next_of node) in
+  let pred = Heap.load t.heap (prev_of node) in
+  Heap.store t.heap (next_of pred) succ;
+  Heap.store t.heap (prev_of succ) pred
+
+let to_list t =
+  let limit = 10_000_000 in
+  let rec walk acc seen node =
+    if node = t.head then List.rev acc
+    else if seen > limit then failwith "Freelist.to_list: cycle damage"
+    else begin
+      let succ = Heap.peek t.heap (next_of node) in
+      if Heap.peek t.heap (prev_of succ) <> node then
+        failwith
+          (Printf.sprintf "Freelist.to_list: link mismatch at 0x%x" node);
+      walk (node :: acc) (seen + 1) succ
+    end
+  in
+  walk [] 0 (Heap.peek t.heap (next_of t.head))
+
+let length t = List.length (to_list t)

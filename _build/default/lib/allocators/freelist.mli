@@ -1,0 +1,45 @@
+(** A circular doubly-linked freelist threaded through simulated memory.
+
+    The list head is a two-word sentinel in the allocator's static data;
+    each member node stores its links in the first two payload words of
+    the free block ([next] at +0, [prev] at +4, relative to the node
+    address).  Every link operation is traced and costed, which is
+    precisely the traffic the paper blames for first-fit's poor
+    locality: inserting an item "requires that three objects be
+    modified ...and these references may be to different pages". *)
+
+type t
+
+val create : Heap.t -> t
+(** Allocates and initialises the sentinel in static data. *)
+
+val head : t -> Memsim.Addr.t
+(** Address of the sentinel (never a member node). *)
+
+val is_empty : t -> bool
+(** One traced load. *)
+
+val first : t -> Memsim.Addr.t option
+(** The node after the sentinel, if any (one traced load). *)
+
+val next : t -> Memsim.Addr.t -> Memsim.Addr.t
+(** Successor of a node (or of the sentinel); one traced load.  The list
+    is circular: iteration has returned to the start when [next] yields
+    the sentinel again. *)
+
+val insert_after : t -> after:Memsim.Addr.t -> Memsim.Addr.t -> unit
+(** Links a node in just after [after] (which may be the sentinel).
+    Four traced stores + two loads. *)
+
+val insert_front : t -> Memsim.Addr.t -> unit
+
+val remove : t -> Memsim.Addr.t -> unit
+(** Unlinks a member node (two loads, two stores). *)
+
+val to_list : t -> Memsim.Addr.t list
+(** Untraced snapshot of member nodes in list order, for tests.
+    @raise Failure if the links are corrupt (next/prev mismatch) or the
+    walk exceeds a large bound (cycle damage). *)
+
+val length : t -> int
+(** Untraced. *)

@@ -1,0 +1,35 @@
+(** GNU G++ — Doug Lea's segregated first fit.
+
+    Enhances {!First_fit} by keeping an array of doubly-linked freelists
+    segregated by the logarithm of the block size: bin [i] holds free
+    blocks with gross size in [\[2^i, 2^(i+1))].  Allocation scans the
+    request's own bin first-fit, then takes the head of the first
+    non-empty larger bin (any block there is guaranteed to fit).
+    Splitting, boundary tags and coalescing are exactly as in
+    {!First_fit}; only the search is narrowed, which is why the paper
+    finds it "more resilient" than FIRSTFIT but still penalised by
+    freelist traversal and coalescing traffic. *)
+
+type t
+
+val create : ?extend_chunk:int -> ?split_threshold:int -> Heap.t -> t
+val allocator : t -> Allocator.t
+
+val bin_of_size : int -> int
+(** Bin index of a gross block size. *)
+
+val min_bin : int
+val max_bin : int
+
+val bin_length : t -> int -> int
+(** Untraced number of blocks in a bin, for tests. *)
+
+(** {1 Raw entry points}
+
+    Used when G++ serves as the general allocator inside a hybrid
+    ({!Quick_fit}): phases and statistics are the host's business. *)
+
+val raw_malloc : t -> int -> Memsim.Addr.t
+val raw_free : t -> Memsim.Addr.t -> unit
+val raw_check : t -> unit
+val gross_of_request : int -> int

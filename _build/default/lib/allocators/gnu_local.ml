@@ -1,0 +1,214 @@
+open Memsim
+
+let min_class = 3 (* 8-byte fragments *)
+let max_class = 11 (* 2048-byte fragments *)
+let max_fragment = 1 lsl max_class
+
+let class_of_request n =
+  assert (n >= 1 && n <= max_fragment);
+  let rec find k = if 1 lsl k >= n then k else find (k + 1) in
+  find min_class
+
+type t = {
+  heap : Heap.t;
+  pool : Page_pool.t;
+  (* frag_heads.(k - min_class): static word, address of the first free
+     fragment of class k (0 = none); fragments link through their first
+     word. *)
+  frag_heads : Addr.t array;
+  emulate_tags : bool;
+  (* Shadow bookkeeping (untraced): fragment pages and their class. *)
+  frag_pages : (int, int) Hashtbl.t;
+}
+
+let create ?(emulate_tags = false) heap =
+  let pool = Page_pool.create heap in
+  let frag_heads =
+    Array.init (max_class - min_class + 1) (fun _ ->
+        let a = Heap.alloc_static heap 4 in
+        Heap.poke heap a 0;
+        a)
+  in
+  { heap; pool; frag_heads; emulate_tags; frag_pages = Hashtbl.create 64 }
+
+let head_cell t k = t.frag_heads.(k - min_class)
+let frags_per_page k = Page_pool.page_bytes / (1 lsl k)
+
+(* Acquire a page for class k and thread its fragments onto the class
+   list (ascending addresses). *)
+let add_frag_page t k =
+  let page = Page_pool.alloc_pages t.pool 1 in
+  let ordinal = Page_pool.ordinal_of_addr t.pool page in
+  Page_pool.store_status t.pool ordinal (Page_pool.frag_status k);
+  let count = frags_per_page k in
+  Page_pool.store_aux t.pool ordinal count;
+  Hashtbl.replace t.frag_pages ordinal k;
+  let fsize = 1 lsl k in
+  let cell = head_cell t k in
+  let old_head = Heap.load t.heap cell in
+  let head = ref old_head in
+  for i = count - 1 downto 0 do
+    Heap.charge t.heap 2;
+    let frag = page + (i * fsize) in
+    Heap.store t.heap frag !head;
+    head := frag
+  done;
+  Heap.store t.heap cell !head
+
+(* Withdraw every fragment belonging to [ordinal] from class k's list —
+   the walk GNU malloc performs when a page empties. *)
+let withdraw_page_fragments t k ordinal =
+  let cell = head_cell t k in
+  let in_page a = Page_pool.ordinal_of_addr t.pool a = ordinal in
+  let rec filter prev_cell a =
+    if a <> 0 then begin
+      Heap.charge t.heap 3;
+      let next = Heap.load t.heap a in
+      if in_page a then begin
+        Heap.store t.heap prev_cell next;
+        filter prev_cell next
+      end
+      else filter a next
+    end
+  in
+  filter cell (Heap.load t.heap cell)
+
+let malloc_small t n =
+  let k = class_of_request n in
+  (* class computation plus the heapinfo index arithmetic (division and
+     modulo on the MIPS) Haertel's implementation pays on every call *)
+  Heap.charge t.heap 16;
+  let cell = head_cell t k in
+  let head = Heap.load t.heap cell in
+  let head =
+    if head <> 0 then head
+    else begin
+      add_frag_page t k;
+      Heap.load t.heap cell
+    end
+  in
+  let next = Heap.load t.heap head in
+  Heap.store t.heap cell next;
+  (* Decrement the page's free count. *)
+  let ordinal = Page_pool.ordinal_of_addr t.pool head in
+  let nfree = Page_pool.load_aux t.pool ordinal in
+  Page_pool.store_aux t.pool ordinal (nfree - 1);
+  head
+
+let free_small t k a =
+  Heap.charge t.heap 14 (* address->ordinal and fragment arithmetic *);
+  let ordinal = Page_pool.ordinal_of_addr t.pool a in
+  let cell = head_cell t k in
+  let head = Heap.load t.heap cell in
+  Heap.store t.heap a head;
+  Heap.store t.heap cell a;
+  let nfree = Page_pool.load_aux t.pool ordinal + 1 in
+  Page_pool.store_aux t.pool ordinal nfree;
+  if nfree = frags_per_page k then begin
+    (* The whole page is free again: withdraw its fragments and return
+       it to the page pool. *)
+    withdraw_page_fragments t k ordinal;
+    Hashtbl.remove t.frag_pages ordinal;
+    Page_pool.store_status t.pool ordinal Page_pool.status_used_head;
+    Page_pool.store_aux t.pool ordinal 1;
+    Page_pool.free_pages t.pool (Page_pool.addr_of_ordinal t.pool ordinal)
+  end
+
+let effective_request t n = if t.emulate_tags then n + 8 else n
+
+let malloc t n =
+  let n = effective_request t n in
+  let a =
+    if n <= max_fragment then malloc_small t n
+    else Page_pool.alloc_pages t.pool (Page_pool.pages_of_bytes n)
+  in
+  if t.emulate_tags then begin
+    (* Touch the emulated boundary tag, polluting the object's first
+       cache block exactly as a real tag would. *)
+    Heap.store t.heap a 0;
+    a + 8
+  end
+  else a
+
+let free t p =
+  let a = if t.emulate_tags then p - 8 else p in
+  if t.emulate_tags then ignore (Heap.load t.heap a);
+  let ordinal = Page_pool.ordinal_of_addr t.pool a in
+  let status = Page_pool.load_status t.pool ordinal in
+  match Page_pool.class_of_frag_status status with
+  | Some k -> free_small t k a
+  | None ->
+      if status = Page_pool.status_used_head then Page_pool.free_pages t.pool a
+      else
+        failwith
+          (Printf.sprintf "Gnu_local.free: 0x%x has page status %d" a status)
+
+let granted t n =
+  let n = effective_request t n in
+  if n <= max_fragment then 1 lsl class_of_request n
+  else Page_pool.pages_of_bytes n * Page_pool.page_bytes
+
+let free_fragments t k =
+  let rec walk a acc =
+    if a = 0 then acc else walk (Heap.peek t.heap a) (acc + 1)
+  in
+  walk (Heap.peek t.heap (head_cell t k)) 0
+
+let check_invariants t =
+  Page_pool.check_invariants t.pool;
+  (* Per-class lists: members must lie in pages of that class, be
+     fragment-aligned, and per-page counts must match the aux word. *)
+  let per_page = Hashtbl.create 64 in
+  for k = min_class to max_class do
+    let seen = Hashtbl.create 64 in
+    let fsize = 1 lsl k in
+    let rec walk a =
+      if a <> 0 then begin
+        if Hashtbl.mem seen a then
+          failwith (Printf.sprintf "Gnu_local: cycle in class %d list" k);
+        Hashtbl.replace seen a ();
+        let ordinal = Page_pool.ordinal_of_addr t.pool a in
+        (match Hashtbl.find_opt t.frag_pages ordinal with
+        | Some k' when k' = k -> ()
+        | _ ->
+            failwith
+              (Printf.sprintf
+                 "Gnu_local: fragment 0x%x in class %d list but page %d is not"
+                 a k ordinal));
+        let page_base = Page_pool.addr_of_ordinal t.pool ordinal in
+        if (a - page_base) mod fsize <> 0 then
+          failwith (Printf.sprintf "Gnu_local: misaligned fragment 0x%x" a);
+        Hashtbl.replace per_page ordinal
+          (1 + Option.value ~default:0 (Hashtbl.find_opt per_page ordinal));
+        walk (Heap.peek t.heap a)
+      end
+    in
+    walk (Heap.peek t.heap (head_cell t k))
+  done;
+  Hashtbl.iter
+    (fun ordinal k ->
+      let listed =
+        Option.value ~default:0 (Hashtbl.find_opt per_page ordinal)
+      in
+      let nfree = Page_pool.peek_aux t.pool ordinal in
+      if listed <> nfree then
+        failwith
+          (Printf.sprintf
+             "Gnu_local: page %d (class %d) records %d free but %d listed"
+             ordinal k nfree listed);
+      if Page_pool.peek_status t.pool ordinal <> Page_pool.frag_status k then
+        failwith
+          (Printf.sprintf "Gnu_local: page %d lost its fragment status"
+             ordinal))
+    t.frag_pages
+
+let pool t = t.pool
+
+let allocator t =
+  Allocator.make ~name:"gnu-local" ~heap:t.heap
+    { Allocator.impl_malloc = (fun n -> malloc t n);
+      impl_free = (fun a -> free t a);
+      granted_bytes = (fun n -> granted t n);
+      check_invariants = (fun () -> check_invariants t);
+      impl_malloc_sited = None;
+    }

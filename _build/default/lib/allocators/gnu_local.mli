@@ -1,0 +1,38 @@
+(** GNU LOCAL — Mike Haertel's FSF malloc, engineered for locality.
+
+    Hybrid design: requests above one page go to a first-fit allocator
+    over page runs ({!Page_pool}); smaller requests are rounded to a
+    power of two and served as "fragments" carved from 4 KB pages that
+    each hold a single fragment size.  All bookkeeping lives in the
+    page-pool's compact heapinfo table, so
+
+    - objects carry {e no} boundary tags: [free] recovers the size class
+      from the page's table entry (the address alone identifies the
+      chunk header), and
+    - allocation never traverses the heap, only the table.
+
+    Each page tracks its free-fragment count; when every fragment of a
+    page is free again the page's fragments are withdrawn from the class
+    freelist (a list walk — part of the CPU cost the paper charges this
+    allocator for) and the page returns to the page pool.
+
+    [emulate_tags] reproduces the paper's Table 6 experiment: each
+    object is allocated eight bytes larger and a tag word is touched on
+    every [malloc]/[free], emulating boundary-tag cache pollution
+    without changing the algorithm. *)
+
+type t
+
+val create : ?emulate_tags:bool -> Heap.t -> t
+val allocator : t -> Allocator.t
+
+val max_fragment : int
+(** Largest request served as a fragment (2048 bytes). *)
+
+val class_of_request : int -> int
+(** Fragment class [k] (fragment size [2^k]) for a small request. *)
+
+val free_fragments : t -> int -> int
+(** Untraced length of class [k]'s fragment freelist, for tests. *)
+
+val pool : t -> Page_pool.t

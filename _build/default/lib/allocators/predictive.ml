@@ -1,0 +1,153 @@
+open Memsim
+
+type prediction = Short | Long
+
+module Trainer = struct
+  type t = { shorts : int array; longs : int array }
+
+  let create ~sites =
+    assert (sites > 0);
+    { shorts = Array.make sites 0; longs = Array.make sites 0 }
+
+  let observe t ~site ~long =
+    if site >= 0 && site < Array.length t.shorts then
+      if long then t.longs.(site) <- t.longs.(site) + 1
+      else t.shorts.(site) <- t.shorts.(site) + 1
+
+  let finish t =
+    Array.init (Array.length t.shorts) (fun i ->
+        if t.shorts.(i) > t.longs.(i) then Short else Long)
+end
+
+let max_arena_object = 2048
+let arena_class = 77 (* frag-status marker for arena chunks *)
+
+type t = {
+  heap : Heap.t;
+  pool : Page_pool.t;  (* arena chunks *)
+  general : Custom.t;  (* predicted-long objects *)
+  predictions : prediction array;  (* host mirror of the table *)
+  table : Addr.t;  (* static: site -> 0 (Long) / 1 (Short) *)
+  bump : Addr.t;  (* static: current chunk bump pointer *)
+  chunk_end : Addr.t;  (* static: end of current chunk *)
+  mutable current_chunk : int;  (* ordinal of the bump chunk, -1 = none *)
+  mutable chunk_count : int;
+}
+
+let create ?classes ~predictions heap =
+  let pool = Page_pool.create heap in
+  let general = Custom.create ?classes heap in
+  let table = Heap.alloc_static heap (max 4 (4 * Array.length predictions)) in
+  Array.iteri
+    (fun i p -> Heap.poke heap (table + (4 * i)) (match p with Short -> 1 | Long -> 0))
+    predictions;
+  let bump = Heap.alloc_static heap 4 in
+  let chunk_end = Heap.alloc_static heap 4 in
+  Heap.poke heap bump 0;
+  Heap.poke heap chunk_end 0;
+  { heap; pool; general; predictions; table; bump; chunk_end;
+    current_chunk = -1; chunk_count = 0 }
+
+(* Open a fresh arena chunk (one page) for bump allocation. *)
+let new_chunk t =
+  let page = Page_pool.alloc_pages t.pool 1 in
+  let ordinal = Page_pool.ordinal_of_addr t.pool page in
+  Page_pool.store_status t.pool ordinal (Page_pool.frag_status arena_class);
+  Page_pool.store_aux t.pool ordinal 0 (* live count *);
+  Heap.store t.heap t.bump page;
+  Heap.store t.heap t.chunk_end (page + Page_pool.page_bytes);
+  t.current_chunk <- ordinal;
+  t.chunk_count <- t.chunk_count + 1
+
+let arena_malloc t n =
+  let n = Addr.align_up n ~alignment:Addr.word_bytes in
+  let pos = Heap.load t.heap t.bump in
+  let lim = Heap.load t.heap t.chunk_end in
+  let pos =
+    if pos = 0 || lim - pos < n then begin
+      (* The chunk's leftover tail stays unused until the whole chunk is
+         reclaimed (its live count governs that). *)
+      new_chunk t;
+      Heap.load t.heap t.bump
+    end
+    else pos
+  in
+  Heap.store t.heap t.bump (pos + n);
+  let ordinal = Page_pool.ordinal_of_addr t.pool pos in
+  let live = Page_pool.load_aux t.pool ordinal in
+  Page_pool.store_aux t.pool ordinal (live + 1);
+  pos
+
+let arena_free t a ordinal =
+  Heap.charge t.heap 4;
+  let live = Page_pool.load_aux t.pool ordinal - 1 in
+  Page_pool.store_aux t.pool ordinal live;
+  ignore a;
+  if live = 0 then begin
+    if ordinal = t.current_chunk then begin
+      (* The bump chunk just emptied: rewind and keep using it — the
+         arena cycles through the same cache-hot page. *)
+      Heap.store t.heap t.bump (Page_pool.addr_of_ordinal t.pool ordinal)
+    end
+    else begin
+      (* A retired chunk emptied: give the page back. *)
+      Page_pool.store_status t.pool ordinal Page_pool.status_used_head;
+      Page_pool.store_aux t.pool ordinal 1;
+      Page_pool.free_pages t.pool (Page_pool.addr_of_ordinal t.pool ordinal);
+      t.chunk_count <- t.chunk_count - 1
+    end
+  end
+
+let predict t ~site =
+  (* One traced load: the table consultation a real implementation
+     pays. *)
+  if site >= 0 && site < Array.length t.predictions then
+    if Heap.load t.heap (t.table + (4 * site)) = 1 then Short else Long
+  else Long
+
+let malloc_sited t ~site n =
+  Heap.charge t.heap 3;
+  match predict t ~site with
+  | Short when n <= max_arena_object -> arena_malloc t n
+  | _ -> Custom.raw_malloc t.general n
+
+let malloc t n =
+  Heap.charge t.heap 2;
+  Custom.raw_malloc t.general n
+
+let free t a =
+  let ordinal = Page_pool.ordinal_of_addr t.pool a in
+  let status = Page_pool.load_status t.pool ordinal in
+  if status = Page_pool.frag_status arena_class then arena_free t a ordinal
+  else Custom.raw_free t.general a
+
+(* align4 under-approximates the arena's gross size and never exceeds
+   the general allocator's class size; equality of these values implies
+   an in-place realloc is safe in both layouts. *)
+let granted t n =
+  if n <= max_arena_object then Addr.align_up n ~alignment:Addr.word_bytes
+  else Custom.raw_granted t.general n
+
+let check_invariants t =
+  Page_pool.check_invariants t.pool;
+  Custom.raw_check t.general;
+  if t.current_chunk >= 0 then begin
+    let s = Page_pool.peek_status t.pool t.current_chunk in
+    if s <> Page_pool.frag_status arena_class then
+      failwith "Predictive: current chunk lost its arena status"
+  end
+
+let arena_pages t = t.chunk_count
+
+let prediction_for t site =
+  if site >= 0 && site < Array.length t.predictions then t.predictions.(site)
+  else Long
+
+let allocator t =
+  Allocator.make ~name:"predictive" ~heap:t.heap
+    { Allocator.impl_malloc = (fun n -> malloc t n);
+      impl_free = (fun a -> free t a);
+      granted_bytes = (fun n -> granted t n);
+      check_invariants = (fun () -> check_invariants t);
+      impl_malloc_sited = Some (fun ~site n -> malloc_sited t ~site n);
+    }

@@ -1,0 +1,58 @@
+(** PREDICTIVE — lifetime-prediction allocation, the paper's §5.1
+    future work ("we also hope to include other work in program behavior
+    prediction based on call site information [Barrett & Zorn] in the
+    synthesized allocators").
+
+    A per-allocation-site predictor, trained on an earlier profiling
+    run, classifies each request as short- or long-lived:
+
+    - {b predicted short}: bump-allocated into mixed-size arena chunks
+      (one page each).  Objects born together die together, so whole
+      chunks empty quickly and are recycled immediately — the arena
+      cycles through a handful of cache-hot pages;
+    - {b predicted long} (or large): delegated to a {!Custom} general
+      allocator.
+
+    Mispredicted long-lived objects pin their arena chunk, which is the
+    realistic cost of prediction errors.  The prediction table lives in
+    static simulated memory: each [malloc] pays one traced load to
+    consult it, as a real implementation would. *)
+
+type prediction =
+  | Short
+  | Long
+
+(** Builds a predictor from (site, observed-lifetime-class) samples. *)
+module Trainer : sig
+  type t
+
+  val create : sites:int -> t
+
+  val observe : t -> site:int -> long:bool -> unit
+  (** Record one allocation's eventual fate. *)
+
+  val finish : t -> prediction array
+  (** Majority vote per site; sites never observed default to [Long]
+      (the safe direction: only mispredicted-short costs pinning). *)
+end
+
+type t
+
+val create : ?classes:int list -> predictions:prediction array -> Heap.t -> t
+(** [predictions.(site)] classifies allocation site [site]; sites
+    outside the array are treated as [Long].  [classes] configures the
+    embedded {!Custom} long-lived allocator. *)
+
+val allocator : t -> Allocator.t
+(** Site-aware: drive it with {!Allocator.malloc_sited}.  Plain
+    {!Allocator.malloc} treats the request as [Long]. *)
+
+val max_arena_object : int
+(** Largest predicted-short request served by the arena (2048 bytes);
+    bigger objects go to the general allocator regardless. *)
+
+val arena_pages : t -> int
+(** Current number of arena chunks (untraced). *)
+
+val prediction_for : t -> int -> prediction
+(** The table entry a site resolves to (untraced). *)

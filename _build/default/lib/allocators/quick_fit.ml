@@ -1,0 +1,137 @@
+open Memsim
+
+let max_small = 32
+let list_index n = (n + 3) / 4 (* 1..8 for 1..32 bytes *)
+let num_lists = 8
+
+(* Small block layout: [tag word][payload (rounded size)]; the free link
+   lives in the first payload word.  Tag encoding: rounded payload size
+   shifted left 2, low bit 1 = small, low bits 10 = large (G++-owned). *)
+let small_tag size = (size lsl 2) lor 1
+let large_tag = 2
+let tag_is_small v = v land 1 = 1
+let tag_size v = v lsr 2
+
+type t = {
+  heap : Heap.t;
+  heads : Addr.t array;  (* static words; index 1..8 used *)
+  tail_ptr : Addr.t;  (* static: next carve position *)
+  tail_end : Addr.t;  (* static: end of current carve chunk *)
+  general : Gnu_gpp.t;
+}
+
+let carve_chunk = 4096
+
+let create heap =
+  let heads =
+    Array.init (num_lists + 1) (fun _ ->
+        let a = Heap.alloc_static heap 4 in
+        Heap.poke heap a 0;
+        a)
+  in
+  let tail_ptr = Heap.alloc_static heap 4 in
+  let tail_end = Heap.alloc_static heap 4 in
+  Heap.poke heap tail_ptr 0;
+  Heap.poke heap tail_end 0;
+  { heap; heads; tail_ptr; tail_end; general = Gnu_gpp.create heap }
+
+(* Carve a fresh small block of gross size [g] from working storage. *)
+let carve t g =
+  let pos = Heap.load t.heap t.tail_ptr in
+  let lim = Heap.load t.heap t.tail_end in
+  let pos, lim =
+    if pos = 0 || lim - pos < g then begin
+      (* Working storage exhausted: leftover, if any, is abandoned
+         (a few words at most). *)
+      let base = Heap.sbrk t.heap carve_chunk in
+      Heap.store t.heap t.tail_end (base + carve_chunk);
+      (base, base + carve_chunk)
+    end
+    else (pos, lim)
+  in
+  ignore lim;
+  Heap.store t.heap t.tail_ptr (pos + g);
+  pos
+
+let malloc t n =
+  Heap.charge t.heap 3 (* size test + rounding *);
+  if n <= max_small then begin
+    let i = list_index n in
+    let rounded = i * 4 in
+    let cell = t.heads.(i) in
+    let head = Heap.load t.heap cell in
+    if head <> 0 then begin
+      (* Pop: the tag is still in place from the block's last life. *)
+      let next = Heap.load t.heap (head + 4) in
+      Heap.store t.heap cell next;
+      head + 4
+    end
+    else begin
+      let block = carve t (rounded + 4) in
+      Heap.store t.heap block (small_tag rounded);
+      block + 4
+    end
+  end
+  else begin
+    (* Delegate, reserving one word for our ownership tag. *)
+    let p = Gnu_gpp.raw_malloc t.general (n + 4) in
+    Heap.store t.heap p large_tag;
+    p + 4
+  end
+
+let free t a =
+  let tag = Heap.load t.heap (a - 4) in
+  if tag_is_small tag then begin
+    let i = list_index (tag_size tag) in
+    if i < 1 || i > num_lists then
+      failwith (Printf.sprintf "Quick_fit.free: bad small tag at 0x%x" a);
+    let cell = t.heads.(i) in
+    let head = Heap.load t.heap cell in
+    Heap.store t.heap a head;
+    Heap.store t.heap cell (a - 4)
+  end
+  else if tag = large_tag then Gnu_gpp.raw_free t.general (a - 4)
+  else failwith (Printf.sprintf "Quick_fit.free: corrupt tag at 0x%x" a)
+
+let granted n =
+  if n <= max_small then (list_index n * 4) + 4
+  else Gnu_gpp.gross_of_request (n + 4)
+
+let free_count t i =
+  let rec walk block acc =
+    if block = 0 then acc else walk (Heap.peek t.heap (block + 4)) (acc + 1)
+  in
+  walk (Heap.peek t.heap t.heads.(i)) 0
+
+let check_invariants t =
+  Gnu_gpp.raw_check t.general;
+  let region = Heap.heap_region t.heap in
+  for i = 1 to num_lists do
+    let seen = Hashtbl.create 64 in
+    let rec walk block =
+      if block <> 0 then begin
+        if Hashtbl.mem seen block then
+          failwith (Printf.sprintf "Quick_fit: cycle in list %d" i);
+        Hashtbl.replace seen block ();
+        if not (Region.contains region block) then
+          failwith
+            (Printf.sprintf "Quick_fit: free block 0x%x outside heap" block);
+        let tag = Heap.peek t.heap block in
+        if not (tag_is_small tag) || list_index (tag_size tag) <> i then
+          failwith
+            (Printf.sprintf "Quick_fit: block 0x%x has wrong tag for list %d"
+               block i);
+        walk (Heap.peek t.heap (block + 4))
+      end
+    in
+    walk (Heap.peek t.heap t.heads.(i))
+  done
+
+let allocator t =
+  Allocator.make ~name:"quickfit" ~heap:t.heap
+    { Allocator.impl_malloc = (fun n -> malloc t n);
+      impl_free = (fun a -> free t a);
+      granted_bytes = granted;
+      check_invariants = (fun () -> check_invariants t);
+      impl_malloc_sited = None;
+    }

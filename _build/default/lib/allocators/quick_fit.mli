@@ -1,0 +1,28 @@
+(** QUICKFIT — Weinstock & Wulf's fast segregated storage.
+
+    Requests of 4–32 bytes (rounded to the word size) are served from an
+    array of exact-size freelists indexed directly by the request size —
+    "a small number of instructions" per allocation.  Small freelists
+    are LIFO and never split or coalesce; fresh small blocks are carved
+    sequentially from the "working storage" tail.  Larger requests are
+    delegated to a general allocator (GNU G++, as in the paper's
+    configuration).
+
+    Every object carries a one-word boundary tag recording its size and
+    owner, because [free] must route the object back to the right
+    allocator — the tag the paper's §4.3 discusses as cache
+    pollution. *)
+
+type t
+
+val create : Heap.t -> t
+val allocator : t -> Allocator.t
+
+val max_small : int
+(** Largest request handled by the fast array (32 bytes). *)
+
+val list_index : int -> int
+(** Index into the freelist array for a small request. *)
+
+val free_count : t -> int -> int
+(** Untraced length of the freelist at the given index, for tests. *)

@@ -1,0 +1,84 @@
+type spec = {
+  key : string;
+  label : string;
+  description : string;
+  build : Heap.t -> Allocator.t;
+}
+
+let paper_five =
+  [
+    { key = "firstfit";
+      label = "FirstFit";
+      description =
+        "Knuth first fit: single roving freelist, boundary tags, coalescing";
+      build = (fun heap -> First_fit.allocator (First_fit.create heap));
+    };
+    { key = "gnu-g++";
+      label = "GNU G++";
+      description =
+        "Lea: first fit over freelists segregated by size logarithm";
+      build = (fun heap -> Gnu_gpp.allocator (Gnu_gpp.create heap));
+    };
+    { key = "bsd";
+      label = "BSD";
+      description =
+        "Kingsley 4.2BSD: power-of-two classes, no splitting or coalescing";
+      build = (fun heap -> Bsd.allocator (Bsd.create heap));
+    };
+    { key = "gnu-local";
+      label = "GNU local";
+      description =
+        "Haertel: page-chunked fragments, chunk-header table, no object tags";
+      build = (fun heap -> Gnu_local.allocator (Gnu_local.create heap));
+    };
+    { key = "quickfit";
+      label = "QuickFit";
+      description =
+        "Weinstock-Wulf: exact-size array for 4-32 bytes, G++ fallback";
+      build = (fun heap -> Quick_fit.allocator (Quick_fit.create heap));
+    };
+  ]
+
+let extras =
+  [
+    { key = "custom";
+      label = "Custom";
+      description =
+        "Synthesized (paper 4.4): measured size classes, size-mapping array, \
+         no tags, page-chunked";
+      build = (fun heap -> Custom.allocator (Custom.create heap));
+    };
+    { key = "bestfit";
+      label = "BestFit";
+      description =
+        "exhaustive best fit over one freelist (sequential-fit family)";
+      build = (fun heap -> Best_fit.allocator (Best_fit.create heap));
+    };
+    { key = "firstfit-nc";
+      label = "FirstFit/nc";
+      description =
+        "FirstFit with coalescing disabled (4.1 coalescing ablation)";
+      build =
+        (fun heap ->
+          First_fit.allocator ~name:"firstfit-nc"
+            (First_fit.create ~coalesce:false heap));
+    };
+    { key = "gnu-local-tags";
+      label = "GNU local+tags";
+      description =
+        "GNU local with emulated 8-byte boundary tags (Table 6 experiment)";
+      build =
+        (fun heap ->
+          Gnu_local.allocator (Gnu_local.create ~emulate_tags:true heap));
+    };
+  ]
+
+let all = paper_five @ extras
+
+let find key =
+  match List.find_opt (fun s -> s.key = key) all with
+  | Some s -> s
+  | None -> raise Not_found
+
+let keys () = List.map (fun s -> s.key) all
+let build key heap = (find key).build heap

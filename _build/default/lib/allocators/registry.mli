@@ -1,0 +1,25 @@
+(** Name-indexed construction of the allocators under study. *)
+
+type spec = {
+  key : string;  (** Stable identifier, e.g. ["firstfit"]. *)
+  label : string;  (** Display name as in the paper, e.g. ["FirstFit"]. *)
+  description : string;
+  build : Heap.t -> Allocator.t;
+}
+
+val paper_five : spec list
+(** The five allocators of the paper, in its presentation order:
+    firstfit, gnu-g++, bsd, gnu-local, quickfit. *)
+
+val all : spec list
+(** {!paper_five} plus the synthesized [custom] allocator and the
+    [gnu-local-tags] Table 6 variant. *)
+
+val find : string -> spec
+(** @raise Not_found for unknown keys. *)
+
+val keys : unit -> string list
+
+val build : string -> Heap.t -> Allocator.t
+(** [build key heap] constructs the named allocator on [heap].
+    @raise Not_found for unknown keys. *)

@@ -1,0 +1,233 @@
+open Memsim
+
+type t = {
+  heap : Heap.t;
+  extend_chunk : int;
+  split_threshold : int;
+  coalesce : bool;
+  policy : policy;
+  mutable initialised : bool;
+  (* Our own extents within the (possibly shared) heap region, in
+     address order, each laid out [sentinel][blocks...][sentinel].
+     Another allocator may sbrk between our extensions (e.g. QuickFit's
+     working storage), so extents need not be contiguous.  Untraced
+     bookkeeping; the traced structures are the tags and lists. *)
+  mutable extents : (Addr.t * Addr.t) list;
+  mutable top : Addr.t;  (* break right after our last extension *)
+}
+
+and policy = {
+  find_fit : t -> gross:int -> Addr.t option;
+  insert_free : t -> block:Addr.t -> size:int -> unit;
+  remove_free : t -> block:Addr.t -> size:int -> unit;
+  resize_free : t -> block:Addr.t -> old_size:int -> new_size:int -> unit;
+  note_alloc_from : t -> block:Addr.t -> unit;
+  check_policy : t -> free_blocks:(Addr.t * int) list -> unit;
+}
+
+(* Sentinel words read as (size 0, allocated), stopping coalescing at the
+   heap edges without being real blocks. *)
+let sentinel_word = 1
+
+let create heap ?(extend_chunk = 16384) ?(split_threshold = 24)
+    ?(coalesce = true) policy =
+  assert (extend_chunk >= 64);
+  assert (split_threshold >= Boundary_tag.min_block);
+  { heap; extend_chunk; split_threshold; coalesce; policy;
+    initialised = false; extents = []; top = -1 }
+
+let heap t = t.heap
+let split_threshold t = t.split_threshold
+let policy t = t.policy
+
+let gross_of_request n =
+  max Boundary_tag.min_block
+    (Addr.align_up n ~alignment:Addr.word_bytes + Boundary_tag.overhead)
+
+(* Start a fresh extent: [sentinel][free block][sentinel]. *)
+let fresh_extent t ~min_block_size =
+  let n = max (min_block_size + 8) t.extend_chunk in
+  let base = Heap.sbrk t.heap n in
+  Heap.store t.heap base sentinel_word;
+  let block = base + 4 in
+  let size = n - 8 in
+  Boundary_tag.write t.heap ~block ~size ~allocated:false;
+  Heap.store t.heap (base + n - 4) sentinel_word;
+  (policy t).insert_free t ~block ~size;
+  t.extents <- t.extents @ [ (base, base + n) ];
+  t.top <- base + n;
+  block
+
+let ensure_init t =
+  if not t.initialised then begin
+    t.initialised <- true;
+    ignore (fresh_extent t ~min_block_size:Boundary_tag.min_block)
+  end
+
+(* Grow the heap.  If the break still sits at our last extension, the
+   old end sentinel becomes the header of the new free block (coalescing
+   with a free block at the old top); otherwise another allocator has
+   moved the break and we start a disjoint extent. *)
+let extend t ~gross =
+  let old_break = Region.break (Heap.heap_region t.heap) in
+  if old_break <> t.top then fresh_extent t ~min_block_size:gross
+  else begin
+    let ext = max (max gross Boundary_tag.min_block) t.extend_chunk in
+    let base = Heap.sbrk t.heap ext in
+    assert (base = old_break);
+    let block = old_break - 4 in
+    let new_break = old_break + ext in
+    Heap.store t.heap (new_break - 4) sentinel_word;
+    t.top <- new_break;
+    (match t.extents with
+    | [] -> assert false
+    | extents ->
+        let rec bump = function
+          | [ (b, e) ] ->
+              assert (e = old_break);
+              [ (b, new_break) ]
+          | x :: rest -> x :: bump rest
+          | [] -> assert false
+        in
+        t.extents <- bump extents);
+    let lsize, lalloc =
+      if t.coalesce then Boundary_tag.read_footer_before t.heap ~block
+      else (0, true)
+    in
+    if (not lalloc) && lsize > 0 then begin
+      (* Absorb the new space into the free block at the old top; its
+         freelist node and links survive, only its size changes. *)
+      let lblock = block - lsize in
+      let merged = lsize + ext in
+      Boundary_tag.write t.heap ~block:lblock ~size:merged ~allocated:false;
+      (policy t).resize_free t ~block:lblock ~old_size:lsize ~new_size:merged;
+      lblock
+    end
+    else begin
+      Boundary_tag.write t.heap ~block ~size:ext ~allocated:false;
+      (policy t).insert_free t ~block ~size:ext;
+      block
+    end
+  end
+
+let allocate_from t ~block ~size ~gross =
+  let p = policy t in
+  p.note_alloc_from t ~block;
+  if size - gross >= t.split_threshold then begin
+    (* Keep the remainder free at the front (links intact), allocate the
+       tail. *)
+    let fsize = size - gross in
+    Boundary_tag.write t.heap ~block ~size:fsize ~allocated:false;
+    p.resize_free t ~block ~old_size:size ~new_size:fsize;
+    let ablock = block + fsize in
+    Boundary_tag.write t.heap ~block:ablock ~size:gross ~allocated:true;
+    Boundary_tag.payload ablock
+  end
+  else begin
+    p.remove_free t ~block ~size;
+    Boundary_tag.write t.heap ~block ~size ~allocated:true;
+    Boundary_tag.payload block
+  end
+
+let malloc t n =
+  ensure_init t;
+  let gross = gross_of_request n in
+  Heap.charge t.heap 4 (* size rounding *);
+  match (policy t).find_fit t ~gross with
+  | Some block ->
+      let size, allocated = Boundary_tag.read_header t.heap ~block in
+      assert (not allocated);
+      assert (size >= gross);
+      allocate_from t ~block ~size ~gross
+  | None ->
+      let block = extend t ~gross in
+      let size, _ = Boundary_tag.read_header t.heap ~block in
+      allocate_from t ~block ~size ~gross
+
+let free t payload =
+  let p = policy t in
+  let block = Boundary_tag.block_of_payload payload in
+  let size, allocated = Boundary_tag.read_header t.heap ~block in
+  if not allocated then
+    failwith (Printf.sprintf "Seq_fit.free: block 0x%x is not allocated" block);
+  (* Look right: absorb a free successor. *)
+  let block, size =
+    if not t.coalesce then (block, size)
+    else begin
+      let rblock = block + size in
+      let rsize, ralloc = Boundary_tag.read_header t.heap ~block:rblock in
+      if (not ralloc) && rsize > 0 then begin
+        p.remove_free t ~block:rblock ~size:rsize;
+        (block, size + rsize)
+      end
+      else (block, size)
+    end
+  in
+  (* Look left: merge into a free predecessor (which keeps its links). *)
+  let lsize, lalloc =
+    if t.coalesce then Boundary_tag.read_footer_before t.heap ~block
+    else (0, true)
+  in
+  if (not lalloc) && lsize > 0 then begin
+    let lblock = block - lsize in
+    let merged = lsize + size in
+    Boundary_tag.write t.heap ~block:lblock ~size:merged ~allocated:false;
+    p.resize_free t ~block:lblock ~old_size:lsize ~new_size:merged
+  end
+  else begin
+    Boundary_tag.write t.heap ~block ~size ~allocated:false;
+    p.insert_free t ~block ~size
+  end
+
+let free_blocks t =
+  let walk_extent (base, limit) =
+    let rec walk pos acc =
+      if pos >= limit - 4 then List.rev acc
+      else begin
+        let size, allocated = Boundary_tag.peek_header t.heap ~block:pos in
+        if size < Boundary_tag.min_block then
+          failwith
+            (Printf.sprintf "Seq_fit: bad block size %d at 0x%x" size pos);
+        let acc = if allocated then acc else (pos, size) :: acc in
+        walk (pos + size) acc
+      end
+    in
+    walk (base + 4) []
+  in
+  List.concat_map walk_extent t.extents
+
+let check_invariants t =
+  (* Per extent: tags consistent, blocks tile it exactly, no two adjacent
+     free blocks (coalescing invariant), sentinels intact. *)
+  let walk_extent (base, limit) =
+    let rec walk pos prev_free frees =
+      if pos >= limit - 4 then begin
+        if pos <> limit - 4 then
+          failwith "Seq_fit: blocks do not tile the extent";
+        List.rev frees
+      end
+      else begin
+        let hsize, halloc = Boundary_tag.peek_header t.heap ~block:pos in
+        if hsize < Boundary_tag.min_block || hsize land 3 <> 0 then
+          failwith
+            (Printf.sprintf "Seq_fit: bad header %d at 0x%x" hsize pos);
+        let footer_raw = Heap.peek t.heap (pos + hsize - 4) in
+        let header_raw = Heap.peek t.heap pos in
+        if footer_raw <> header_raw then
+          failwith
+            (Printf.sprintf "Seq_fit: header/footer mismatch at 0x%x" pos);
+        if t.coalesce && prev_free && not halloc then
+          failwith
+            (Printf.sprintf "Seq_fit: adjacent free blocks at 0x%x" pos);
+        let frees = if halloc then frees else (pos, hsize) :: frees in
+        walk (pos + hsize) (not halloc) frees
+      end
+    in
+    if Heap.peek t.heap base <> sentinel_word then
+      failwith "Seq_fit: start sentinel damaged";
+    if Heap.peek t.heap (limit - 4) <> sentinel_word then
+      failwith "Seq_fit: end sentinel damaged";
+    walk (base + 4) false []
+  in
+  let frees = List.concat_map walk_extent t.extents in
+  (policy t).check_policy t ~free_blocks:frees

@@ -1,0 +1,60 @@
+(** Core of the sequential-fit allocators.
+
+    {!First_fit} and {!Gnu_gpp} share everything except the freelist
+    organisation: a boundary-tagged heap laid out as
+
+    {v [start sentinel][block][block]...[block][end sentinel] v}
+
+    with constant-time coalescing against both neighbours on [free],
+    front-split of oversized blocks on [malloc], and sbrk extension in
+    16 KB chunks.  The differing freelist organisation (single roving
+    list vs. size-segregated bins) is injected as a {!policy}. *)
+
+type t
+
+(** How free blocks are organised and found.  All callbacks receive
+    gross block addresses/sizes; the freelist node of block [b] is its
+    payload address [b + 4]. *)
+type policy = {
+  find_fit : t -> gross:int -> Memsim.Addr.t option;
+      (** Search for a free block with size >= [gross]; returns its
+          block address.  Must not modify the lists. *)
+  insert_free : t -> block:Memsim.Addr.t -> size:int -> unit;
+      (** Link a (correctly tagged) free block. *)
+  remove_free : t -> block:Memsim.Addr.t -> size:int -> unit;
+      (** Unlink a free block. *)
+  resize_free : t -> block:Memsim.Addr.t -> old_size:int -> new_size:int -> unit;
+      (** The block shrank/grew in place (same address, links intact);
+          relink if the new size belongs elsewhere. *)
+  note_alloc_from : t -> block:Memsim.Addr.t -> unit;
+      (** Called just before block [block] satisfies an allocation
+          (for rover bookkeeping). *)
+  check_policy : t -> free_blocks:(Memsim.Addr.t * int) list -> unit;
+      (** Invariant check: the policy's lists must contain exactly
+          [free_blocks]. *)
+}
+
+val create : Heap.t -> ?extend_chunk:int -> ?split_threshold:int ->
+  ?coalesce:bool -> policy -> t
+(** [extend_chunk] defaults to 16384 bytes; [split_threshold] to 24
+    bytes (the paper's "if the extra piece is ...less than 24 bytes, the
+    block is not split").  [coalesce:false] disables merging of adjacent
+    free blocks entirely — the ablation of §4.1's claim that coalescing
+    costs locality and time. *)
+
+val heap : t -> Heap.t
+val split_threshold : t -> int
+
+val gross_of_request : int -> int
+(** Request size -> gross block size (aligned, tagged, >= min_block). *)
+
+val malloc : t -> int -> Memsim.Addr.t
+val free : t -> Memsim.Addr.t -> unit
+
+val free_blocks : t -> (Memsim.Addr.t * int) list
+(** Untraced walk: all free blocks (address, gross size) in address
+    order.  Used by tests. *)
+
+val check_invariants : t -> unit
+(** Walks the heap verifying tags, footer/header agreement, absence of
+    adjacent free blocks, and policy-list consistency. *)

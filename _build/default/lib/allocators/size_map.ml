@@ -1,0 +1,116 @@
+let ladder ~max_small =
+  (* Geometric spacing bounds internal fragmentation at ~1/3. *)
+  let rec build acc s =
+    if s >= max_small then List.rev (max_small :: acc)
+    else build (s :: acc) (max 4 (((s * 3 / 2) + 3) / 4 * 4))
+  in
+  build [] 8
+
+let default_max_small = 2040
+let default_classes = ladder ~max_small:default_max_small
+
+let bounded ?(max_small = default_max_small) ~max_frag () =
+  if max_frag <= 0. || max_frag >= 1. then
+    invalid_arg "Size_map.bounded: max_frag must be in (0, 1)";
+  (* Word alignment is universal overhead, so the bound is on the
+     word-rounded request: a request rounding to r in (c, next] wastes
+     (next - r) / next, worst at r = c + 4.  Choosing next <= c/(1-f)
+     (rounded DOWN to a word multiple) keeps that within f. *)
+  let rec build acc c =
+    if c >= max_small then List.rev (max_small :: acc)
+    else begin
+      let next =
+        int_of_float (float_of_int c /. (1. -. max_frag)) / 4 * 4
+      in
+      let next = min max_small (max next (c + 4)) in
+      build (c :: acc) next
+    end
+  in
+  build [] 4
+
+let design ?(max_small = default_max_small) ?(max_classes = 32)
+    ?(hot_sizes = 12) histogram =
+  let round4 n = (n + 3) / 4 * 4 in
+  (* Word-round and merge the histogram, keeping small sizes only. *)
+  let merged = Hashtbl.create 64 in
+  List.iter
+    (fun (size, count) ->
+      if size >= 1 && size <= max_small && count > 0 then begin
+        let s = round4 size in
+        Hashtbl.replace merged s
+          (count + Option.value ~default:0 (Hashtbl.find_opt merged s))
+      end)
+    histogram;
+  let hot =
+    Hashtbl.fold (fun s c acc -> (c, s) :: acc) merged []
+    |> List.sort (fun a b -> compare b a)
+    |> List.filteri (fun i _ -> i < hot_sizes)
+    |> List.map snd
+  in
+  let base = List.sort_uniq compare (hot @ ladder ~max_small) in
+  (* Trim to max_classes by dropping the ladder rung closest to its
+     successor (hot sizes are never dropped). *)
+  let is_hot s = List.mem s hot in
+  let rec trim classes =
+    if List.length classes <= max_classes then classes
+    else begin
+      let arr = Array.of_list classes in
+      let best = ref (-1) and best_gap = ref max_int in
+      for i = 0 to Array.length arr - 2 do
+        let s = arr.(i) in
+        if (not (is_hot s)) && s <> max_small then begin
+          let gap = arr.(i + 1) - s in
+          if gap < !best_gap then begin
+            best_gap := gap;
+            best := i
+          end
+        end
+      done;
+      if !best < 0 then classes
+      else trim (List.filteri (fun i _ -> i <> !best) classes)
+    end
+  in
+  trim base
+
+type t = {
+  heap : Heap.t;
+  array_base : Memsim.Addr.t;  (* static: word-count -> class index *)
+  class_sizes : int array;
+  max_small : int;
+}
+
+let create heap ~classes =
+  if classes = [] then invalid_arg "Size_map.create: no classes";
+  let class_sizes = Array.of_list classes in
+  Array.iteri
+    (fun i s ->
+      if s <= 0 || s land 3 <> 0 then
+        invalid_arg "Size_map.create: classes must be positive word multiples";
+      if i > 0 && s <= class_sizes.(i - 1) then
+        invalid_arg "Size_map.create: classes must be ascending")
+    class_sizes;
+  let max_small = class_sizes.(Array.length class_sizes - 1) in
+  let words = max_small / 4 in
+  (* Entry w (1-based word count) holds the class index; entry 0 unused. *)
+  let array_base = Heap.alloc_static heap ((words + 1) * 4) in
+  let cls = ref 0 in
+  for w = 1 to words do
+    while class_sizes.(!cls) < w * 4 do
+      incr cls
+    done;
+    Heap.poke heap (array_base + (w * 4)) !cls
+  done;
+  { heap; array_base; class_sizes; max_small }
+
+let max_small t = t.max_small
+let classes t = Array.copy t.class_sizes
+let num_classes t = Array.length t.class_sizes
+
+let lookup t n =
+  if n < 1 || n > t.max_small then
+    invalid_arg (Printf.sprintf "Size_map.lookup: %d out of range" n);
+  let w = (n + 3) / 4 in
+  Heap.load t.heap (t.array_base + (w * 4))
+
+let class_size t i = t.class_sizes.(i)
+let rounded t n = class_size t (lookup t n)

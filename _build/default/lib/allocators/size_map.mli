@@ -1,0 +1,56 @@
+(** The size-mapping array of the paper's Figure 9.
+
+    "Arbitrary mappings can be implemented efficiently using a
+    size-mapping array ...size requests can be rounded-up to arbitrary
+    sizes."  The array lives in the allocator's static data and maps a
+    request's word count to a size-class index with a single load — as
+    cheap as BSD's power-of-two shift, but with freely chosen class
+    sizes.
+
+    {!design} chooses classes from a measured request-size histogram,
+    the paper's recommended policy ("basing the choice of size classes
+    on empirical measurement of a particular program's behavior"),
+    combining the most frequent exact sizes with a geometric ladder that
+    bounds worst-case internal fragmentation. *)
+
+type t
+
+val design :
+  ?max_small:int ->
+  ?max_classes:int ->
+  ?hot_sizes:int ->
+  (int * int) list ->
+  int list
+(** [design histogram] returns ascending class payload sizes covering
+    [4 .. max_small] (default 2040).  The [hot_sizes] (default 12) most
+    requested word-rounded sizes become exact classes; a geometric
+    ladder (ratio 1.5) fills the rest, truncated to [max_classes]
+    (default 32) by dropping the least useful ladder rungs. *)
+
+val default_classes : int list
+(** The design for an unknown program: pure ladder. *)
+
+val bounded : ?max_small:int -> max_frag:float -> unit -> int list
+(** DeTreville's policy, the second option the paper's §4.4 lists:
+    classes chosen so worst-case internal fragmentation never exceeds
+    [max_frag] (e.g. [0.25] rounds 12–16-byte objects to 16).  Requires
+    [0 < max_frag < 1]; smaller bounds yield more classes. *)
+
+val create : Heap.t -> classes:int list -> t
+(** Builds the static lookup array.  Classes must be ascending, word
+    multiples; the largest class bounds {!max_small}. *)
+
+val max_small : t -> int
+val classes : t -> int array
+val num_classes : t -> int
+
+val lookup : t -> int -> int
+(** [lookup t n] is the class index for a request of [n] bytes
+    ([1 <= n <= max_small]); exactly one traced load. *)
+
+val class_size : t -> int -> int
+(** Payload size of a class (untraced; class sizes are also mirrored
+    outside simulated memory). *)
+
+val rounded : t -> int -> int
+(** [class_size t (lookup t n)] — traced lookup, untraced size. *)

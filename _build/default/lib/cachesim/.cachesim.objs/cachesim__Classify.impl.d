@@ -1,0 +1,1 @@
+lib/cachesim/classify.ml: Cache Config Hashtbl Memsim

@@ -1,0 +1,1 @@
+lib/cachesim/classify.mli: Config Memsim Stats

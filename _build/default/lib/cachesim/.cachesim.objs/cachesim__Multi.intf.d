@@ -1,0 +1,1 @@
+lib/cachesim/multi.mli: Cache Config Memsim Stats

@@ -1,0 +1,108 @@
+type t = {
+  config : Config.t;
+  (* tags.((set * assoc) + way) holds the block index resident in that
+     way, most-recently-used first within the set; -1 = invalid. *)
+  tags : int array;
+  (* dirty.(i) mirrors tags.(i): the resident block has been written
+     since it was fetched (write-back accounting). *)
+  dirty : bool array;
+  num_sets : int;
+  assoc : int;
+  seen : (int, unit) Hashtbl.t;  (* blocks ever referenced, for cold misses *)
+  mutable stats : Stats.t;
+}
+
+let create config =
+  let num_sets = Config.num_sets config in
+  let assoc = config.Config.associativity in
+  { config;
+    tags = Array.make (num_sets * assoc) (-1);
+    dirty = Array.make (num_sets * assoc) false;
+    num_sets;
+    assoc;
+    seen = Hashtbl.create 4096;
+    stats = Stats.create () }
+
+let config t = t.config
+let stats t = t.stats
+
+(* Touch [block] in its set: return whether it missed, and update LRU
+   order so the block ends up most-recently-used.  A write marks the
+   block dirty; evicting a dirty block counts a writeback. *)
+let touch t block ~write =
+  let set = block land (t.num_sets - 1) in
+  let base = set * t.assoc in
+  if t.assoc = 1 then
+    if t.tags.(base) = block then begin
+      if write then t.dirty.(base) <- true;
+      false
+    end
+    else begin
+      if t.tags.(base) >= 0 && t.dirty.(base) then
+        Stats.record_writeback t.stats;
+      t.tags.(base) <- block;
+      t.dirty.(base) <- write;
+      true
+    end
+  else begin
+    (* Find the block among the ways; ways are kept in MRU-first order. *)
+    let rec find i = if i >= t.assoc then -1
+      else if t.tags.(base + i) = block then i
+      else find (i + 1)
+    in
+    let pos = find 0 in
+    let miss = pos < 0 in
+    let was_dirty = if miss then false else t.dirty.(base + pos) in
+    (* Shift everything before the insertion point down one way, then
+       install the block as MRU.  On a miss the LRU way (last) falls out. *)
+    let from = if miss then t.assoc - 1 else pos in
+    if
+      miss
+      && t.tags.(base + from) >= 0
+      && t.dirty.(base + from)
+    then Stats.record_writeback t.stats;
+    for i = from downto 1 do
+      t.tags.(base + i) <- t.tags.(base + i - 1);
+      t.dirty.(base + i) <- t.dirty.(base + i - 1)
+    done;
+    t.tags.(base) <- block;
+    t.dirty.(base) <- (if miss then write else was_dirty || write);
+    miss
+  end
+
+let access_block t ~kind ~source ~block =
+  let miss = touch t block ~write:(kind = Memsim.Event.Write) in
+  let cold =
+    miss
+    && not (Hashtbl.mem t.seen block)
+  in
+  if miss && cold then Hashtbl.replace t.seen block ();
+  Stats.record t.stats ~kind ~source ~miss ~cold;
+  miss
+
+let access t (e : Memsim.Event.t) =
+  let bb = t.config.Config.block_bytes in
+  let first = e.addr / bb in
+  let last = (e.addr + e.size - 1) / bb in
+  for block = first to last do
+    ignore (access_block t ~kind:e.kind ~source:e.source ~block)
+  done
+
+let sink t = Memsim.Sink.of_fn (access t)
+
+let contains_block t ~block =
+  let set = block land (t.num_sets - 1) in
+  let base = set * t.assoc in
+  let rec find i =
+    i < t.assoc && (t.tags.(base + i) = block || find (i + 1))
+  in
+  find 0
+
+let flush t =
+  (* Flushing writes dirty blocks back. *)
+  Array.iteri
+    (fun i d -> if d && t.tags.(i) >= 0 then Stats.record_writeback t.stats)
+    t.dirty;
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false
+let reset_stats t = t.stats <- Stats.create ()

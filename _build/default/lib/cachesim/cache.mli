@@ -1,0 +1,34 @@
+(** A single simulated data cache.
+
+    Write-allocate: both read and write misses bring the block into the
+    cache.  Set-associative caches use true LRU replacement within each
+    set.  Only hit/miss behaviour is modelled (no write-back dirtiness),
+    because the paper's execution-time model charges every miss the same
+    penalty. *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+val access_block : t -> kind:Memsim.Event.kind ->
+  source:Memsim.Event.source -> block:int -> bool
+(** [access_block t ~kind ~source ~block] touches one block (global block
+    index, i.e. [addr / block_bytes]) and returns [true] on a miss. *)
+
+val access : t -> Memsim.Event.t -> unit
+(** Feeds one reference event, touching every block the byte range
+    spans. *)
+
+val sink : t -> Memsim.Sink.t
+(** The cache as a trace consumer. *)
+
+val contains_block : t -> block:int -> bool
+(** Whether the block is currently resident (no side effects). *)
+
+val flush : t -> unit
+(** Invalidates all blocks; statistics and cold-start tracking are kept.
+    Used to model context-switch cache flushes. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,24 @@
+(** Miss classification: cold / capacity / conflict.
+
+    Runs the target cache alongside a fully-associative LRU cache of the
+    same capacity.  A miss that would also miss in the fully-associative
+    cache is a capacity miss (or cold on first touch); a miss that the
+    fully-associative cache would hit is a conflict miss — the classic
+    three-C decomposition, relevant to the paper's remark that
+    associativity changes which allocator artefacts hurt. *)
+
+type t
+
+type counts = {
+  cold : int;
+  capacity : int;
+  conflict : int;
+  hits : int;
+}
+
+val create : Config.t -> t
+val sink : t -> Memsim.Sink.t
+val counts : t -> counts
+val total_misses : t -> int
+val stats : t -> Stats.t
+(** Statistics of the underlying set-associative cache. *)

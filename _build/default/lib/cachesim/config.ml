@@ -1,0 +1,48 @@
+type t = {
+  name : string;
+  size_bytes : int;
+  block_bytes : int;
+  associativity : int;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let default_name ~size_bytes ~associativity =
+  let size =
+    if size_bytes >= 1 lsl 20 && size_bytes mod (1 lsl 20) = 0 then
+      Printf.sprintf "%dM" (size_bytes lsr 20)
+    else if size_bytes mod 1024 = 0 then Printf.sprintf "%dK" (size_bytes lsr 10)
+    else Printf.sprintf "%dB" size_bytes
+  in
+  if associativity = 1 then size ^ "-dm"
+  else Printf.sprintf "%s-%dway" size associativity
+
+let make ?name ?(block_bytes = 32) ?(associativity = 1) size_bytes =
+  if not (is_power_of_two size_bytes) then
+    invalid_arg "Cachesim.Config.make: size must be a power of two";
+  if not (is_power_of_two block_bytes) then
+    invalid_arg "Cachesim.Config.make: block size must be a power of two";
+  if size_bytes mod block_bytes <> 0 then
+    invalid_arg "Cachesim.Config.make: block must divide capacity";
+  let blocks = size_bytes / block_bytes in
+  if
+    associativity < 1
+    || (not (is_power_of_two associativity))
+    || blocks mod associativity <> 0
+  then invalid_arg "Cachesim.Config.make: bad associativity";
+  let name =
+    match name with
+    | Some n -> n
+    | None -> default_name ~size_bytes ~associativity
+  in
+  { name; size_bytes; block_bytes; associativity }
+
+let num_sets t = t.size_bytes / (t.block_bytes * t.associativity)
+let num_blocks t = t.size_bytes / t.block_bytes
+
+let paper_direct_mapped =
+  List.map (fun k -> make (k * 1024)) [ 16; 32; 64; 128; 256 ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d bytes, %d-byte blocks, %d-way)" t.name
+    t.size_bytes t.block_bytes t.associativity

@@ -1,0 +1,29 @@
+type t = { l1 : Cache.t; l2 : Cache.t }
+
+let create ~l1 ~l2 = { l1 = Cache.create l1; l2 = Cache.create l2 }
+
+let sink t =
+  Memsim.Sink.of_fn (fun (e : Memsim.Event.t) ->
+      let bb1 = (Cache.config t.l1).Config.block_bytes in
+      let first = e.addr / bb1 in
+      let last = (e.addr + e.size - 1) / bb1 in
+      for block = first to last do
+        let miss =
+          Cache.access_block t.l1 ~kind:e.kind ~source:e.source ~block
+        in
+        if miss then begin
+          (* Translate the L1 block to the (possibly larger) L2 block. *)
+          let addr = block * bb1 in
+          let bb2 = (Cache.config t.l2).Config.block_bytes in
+          ignore
+            (Cache.access_block t.l2 ~kind:e.kind ~source:e.source
+               ~block:(addr / bb2))
+        end
+      done)
+
+let l1_stats t = Cache.stats t.l1
+let l2_stats t = Cache.stats t.l2
+
+let stall_cycles t ~l1_penalty ~l2_penalty =
+  let s1 = Cache.stats t.l1 and s2 = Cache.stats t.l2 in
+  (s1.Stats.misses * l1_penalty) + (s2.Stats.misses * l2_penalty)

@@ -1,0 +1,17 @@
+(** A two-level cache hierarchy.
+
+    Models the "hypothetical two-level cache" of Mogul & Borg cited in
+    the paper: every reference probes L1; L1 misses probe L2.  Used by
+    the extension benchmarks to study how allocator locality interacts
+    with large second-level caches and high miss penalties. *)
+
+type t
+
+val create : l1:Config.t -> l2:Config.t -> t
+val sink : t -> Memsim.Sink.t
+val l1_stats : t -> Stats.t
+val l2_stats : t -> Stats.t
+
+val stall_cycles : t -> l1_penalty:int -> l2_penalty:int -> int
+(** Total memory stall cycles: L1 misses pay [l1_penalty] (the L2 access
+    time) and L2 misses additionally pay [l2_penalty]. *)

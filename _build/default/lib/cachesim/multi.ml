@@ -1,0 +1,28 @@
+type t = { caches : Cache.t array }
+
+let create configs =
+  if configs = [] then invalid_arg "Cachesim.Multi.create: no configurations";
+  { caches = Array.of_list (List.map Cache.create configs) }
+
+let caches t = Array.to_list t.caches
+
+let sink t =
+  Memsim.Sink.of_fn (fun e ->
+      for i = 0 to Array.length t.caches - 1 do
+        Cache.access t.caches.(i) e
+      done)
+
+let results t =
+  Array.to_list t.caches
+  |> List.map (fun c -> (Cache.config c, Cache.stats c))
+
+let find t ~name =
+  match
+    Array.find_opt (fun c -> (Cache.config c).Config.name = name) t.caches
+  with
+  | Some c -> c
+  | None -> raise Not_found
+
+let miss_rate_series t =
+  results t
+  |> List.map (fun (cfg, st) -> (cfg.Config.name, Stats.miss_rate_pct st))

@@ -1,0 +1,22 @@
+(** Simulate a family of cache configurations over one trace pass.
+
+    The paper sweeps cache sizes (Figures 6–8); feeding every
+    configuration from the same execution-driven trace is how TYCHO was
+    used.  All caches see the identical reference stream. *)
+
+type t
+
+val create : Config.t list -> t
+val caches : t -> Cache.t list
+
+val sink : t -> Memsim.Sink.t
+(** Forwards every event to every cache. *)
+
+val results : t -> (Config.t * Stats.t) list
+(** Configuration and statistics per cache, in creation order. *)
+
+val find : t -> name:string -> Cache.t
+(** @raise Not_found if no cache has that configuration name. *)
+
+val miss_rate_series : t -> (string * float) list
+(** [(name, miss-rate %)] per configuration — one figure series. *)

@@ -1,0 +1,1 @@
+lib/core/ablations.ml: Allocators Cachesim Context Cost_model Exec_time List Memsim Metrics Printf Runs Series Table Workload

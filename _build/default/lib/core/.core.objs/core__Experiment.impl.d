@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Ablations Context Figures List Tables

@@ -1,0 +1,1 @@
+lib/core/figures.ml: Allocators Buffer Context Exec_time List Metrics Printf Runs Series String Table Vmsim Workload

@@ -1,0 +1,1 @@
+lib/core/runs.mli: Cachesim Metrics Vmsim Workload

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Allocators Context Exec_time List Metrics Printf Runs Table Workload

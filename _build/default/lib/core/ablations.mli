@@ -1,0 +1,49 @@
+(** Ablation and extension experiments for the design decisions the
+    paper calls out in §4.3/§4.4. *)
+
+val coalescing : Context.t -> string
+(** FirstFit with vs. without coalescing (GS-Large and PTC): space,
+    speed and locality cost of "efforts to reduce total memory
+    utilization". *)
+
+val size_classes : Context.t -> string
+(** Size-class policy ablation on GS-Large: BSD's powers of two vs.
+    QuickFit's exact small sizes vs. GNU local vs. the synthesized
+    measured classes — fragmentation, footprint, miss rate, total
+    time. *)
+
+val associativity : Context.t -> string
+(** 16 K cache at 1/2/4/8 ways per allocator (GS-Large): how much of
+    each allocator's miss rate is conflict misses. *)
+
+val two_level : Context.t -> string
+(** 16 K L1 + 256 K L2 with a 100-cycle L2 penalty (the Jouppi /
+    Mogul-Borg future-machine scenario of §1.1): does GNU local's
+    locality engineering pay off at high penalties? *)
+
+val block_size : Context.t -> string
+(** Cache block-size sweep at 64 K on GS-Large: multi-word lines are the
+    "hardware prefetching" the paper considers (§4.2, citing Smith);
+    larger blocks amplify both useful prefetch and boundary-tag/metadata
+    pollution. *)
+
+val seq_family : Context.t -> string
+(** FirstFit vs BestFit vs GNU G++ on GS-Large: search length, search
+    traffic and locality across the sequential-fit family the paper's
+    conclusion covers ("first-fit, best-fit, etc"). *)
+
+val flush : Context.t -> string
+(** Miss rates under periodic cache flushes (the context-switch effect
+    of Mogul & Borg the paper deliberately excludes from its own
+    numbers, here as an extension). *)
+
+val lifetime_prediction : Context.t -> string
+(** The paper's §5.1 future work, realised: train a per-site lifetime
+    predictor on a profiling run (Barrett & Zorn), then compare the
+    {!Allocators.Predictive} allocator against QuickFit/Custom/GNU local
+    on churn-heavy programs. *)
+
+val penalty_sweep : Context.t -> string
+(** Total-time crossover between QuickFit and GNU local as the miss
+    penalty grows (§4.4: "if cache miss penalties increase dramatically,
+    the added CPU overhead ...may then be warranted"). *)

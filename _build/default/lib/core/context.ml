@@ -1,0 +1,14 @@
+type t = { runs : Runs.t; model : Metrics.Cost_model.t }
+
+let create ?scale ?(model = Metrics.Cost_model.paper) () =
+  { runs = Runs.create ?scale (); model }
+
+let five_programs =
+  [ ("espresso", "Espresso"); ("gs-large", "GS"); ("ptc", "PTC");
+    ("gawk", "Gawk"); ("make", "Make") ]
+
+let paper_allocators =
+  [ ("firstfit", "FirstFit"); ("gnu-g++", "GNU G++"); ("bsd", "BSD");
+    ("gnu-local", "GNU local"); ("quickfit", "QuickFit") ]
+
+let with_custom = paper_allocators @ [ ("custom", "Custom") ]

@@ -1,0 +1,18 @@
+(** Shared state for experiment regeneration. *)
+
+type t = {
+  runs : Runs.t;
+  model : Metrics.Cost_model.t;
+}
+
+val create : ?scale:float -> ?model:Metrics.Cost_model.t -> unit -> t
+
+val five_programs : (string * string) list
+(** (profile key, paper label) for the five-program suite, in the
+    paper's order: Espresso, GS, PTC, Gawk, Make. *)
+
+val paper_allocators : (string * string) list
+(** (registry key, paper label) for the five studied allocators. *)
+
+val with_custom : (string * string) list
+(** {!paper_allocators} plus the synthesized allocator. *)

@@ -1,0 +1,111 @@
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  render : Context.t -> string;
+}
+
+let all =
+  [
+    { id = "fig1";
+      title = "Percent of time in malloc and free";
+      paper_ref = "Figure 1, section 3.1";
+      render = Figures.fig1 };
+    { id = "fig2";
+      title = "Page fault rate for GhostScript";
+      paper_ref = "Figure 2, section 4.1";
+      render = Figures.fig2 };
+    { id = "fig3";
+      title = "Page fault rate for Pascal-to-C";
+      paper_ref = "Figure 3, section 4.1";
+      render = Figures.fig3 };
+    { id = "fig4";
+      title = "Normalized execution time, 16K cache";
+      paper_ref = "Figure 4, section 4.2";
+      render = Figures.fig4 };
+    { id = "fig5";
+      title = "Normalized execution time, 64K cache";
+      paper_ref = "Figure 5, section 4.2";
+      render = Figures.fig5 };
+    { id = "fig6";
+      title = "Cache miss rate, GS-Small";
+      paper_ref = "Figure 6, section 4.2";
+      render = Figures.fig6 };
+    { id = "fig7";
+      title = "Cache miss rate, GS-Medium";
+      paper_ref = "Figure 7, section 4.2";
+      render = Figures.fig7 };
+    { id = "fig8";
+      title = "Cache miss rate, GS-Large";
+      paper_ref = "Figure 8, section 4.2";
+      render = Figures.fig8 };
+    { id = "fig9";
+      title = "Size-mapping array";
+      paper_ref = "Figure 9, section 4.4";
+      render = Figures.fig9 };
+    { id = "tab2";
+      title = "Test program performance information";
+      paper_ref = "Table 2, section 3.1";
+      render = Tables.tab2 };
+    { id = "tab3";
+      title = "GhostScript input sets";
+      paper_ref = "Table 3, section 4.2";
+      render = Tables.tab3 };
+    { id = "tab4";
+      title = "Execution and miss time, 16K cache";
+      paper_ref = "Table 4, section 4.2";
+      render = Tables.tab4 };
+    { id = "tab5";
+      title = "Execution and miss time, 64K cache";
+      paper_ref = "Table 5, section 4.2";
+      render = Tables.tab5 };
+    { id = "tab6";
+      title = "Effect of boundary tags on GNU local";
+      paper_ref = "Table 6, section 4.3";
+      render = Tables.tab6 };
+    { id = "abl-coalesce";
+      title = "Coalescing ablation (FirstFit)";
+      paper_ref = "section 4.1 discussion";
+      render = Ablations.coalescing };
+    { id = "abl-sizeclass";
+      title = "Size-class policy ablation";
+      paper_ref = "section 4.4 discussion";
+      render = Ablations.size_classes };
+    { id = "abl-assoc";
+      title = "Cache associativity ablation";
+      paper_ref = "section 2.2 discussion";
+      render = Ablations.associativity };
+    { id = "abl-l2";
+      title = "Two-level hierarchy extension";
+      paper_ref = "section 1.1 discussion";
+      render = Ablations.two_level };
+    { id = "abl-blocksize";
+      title = "Cache block-size / prefetch extension";
+      paper_ref = "section 4.2 discussion";
+      render = Ablations.block_size };
+    { id = "abl-seqfam";
+      title = "Sequential-fit family extension";
+      paper_ref = "section 5 conclusion";
+      render = Ablations.seq_family };
+    { id = "abl-flush";
+      title = "Context-switch flush extension";
+      paper_ref = "section 3.2 discussion";
+      render = Ablations.flush };
+    { id = "abl-lifetime";
+      title = "Lifetime-prediction future work";
+      paper_ref = "section 5.1 future work";
+      render = Ablations.lifetime_prediction };
+    { id = "abl-penalty";
+      title = "Miss-penalty sweep extension";
+      paper_ref = "section 4.4 discussion";
+      render = Ablations.penalty_sweep };
+  ]
+
+let find id =
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> e
+  | None -> raise Not_found
+
+let ids () = List.map (fun e -> e.id) all
+let run ctx id = (find id).render ctx
+let run_all ctx = List.map (fun e -> (e.id, e.render ctx)) all

@@ -1,0 +1,25 @@
+(** The experiment registry: every table and figure of the paper's
+    evaluation, plus the ablations, addressable by id. *)
+
+type t = {
+  id : string;  (** e.g. ["fig4"], ["tab6"], ["abl-coalesce"]. *)
+  title : string;
+  paper_ref : string;  (** Where it appears in the paper. *)
+  render : Context.t -> string;
+}
+
+val all : t list
+(** Paper order: fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+    tab2..tab6, then ablations. *)
+
+val find : string -> t
+(** @raise Not_found for unknown ids. *)
+
+val ids : unit -> string list
+
+val run : Context.t -> string -> string
+(** [run ctx id] renders one experiment.
+    @raise Not_found for unknown ids. *)
+
+val run_all : Context.t -> (string * string) list
+(** Renders every experiment, sharing the context's memoized runs. *)

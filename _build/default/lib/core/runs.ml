@@ -1,0 +1,93 @@
+type data = {
+  result : Workload.Driver.result;
+  caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
+  l1 : Cachesim.Stats.t;
+  l2 : Cachesim.Stats.t;
+  pages : Vmsim.Page_sim.t;
+}
+
+type t = { scale : float; memo : (string * string, data) Hashtbl.t }
+
+let standard_configs =
+  Cachesim.Config.paper_direct_mapped
+  @ List.map
+      (fun a -> Cachesim.Config.make ~associativity:a (16 * 1024))
+      [ 2; 4; 8 ]
+  (* Block-size sweep at 64K for the hardware-prefetch discussion
+     (Smith's line-size trade-off); 32-byte blocks are "64K-dm". *)
+  @ List.map
+      (fun b ->
+        Cachesim.Config.make
+          ~name:(Printf.sprintf "64K-b%d" b)
+          ~block_bytes:b (64 * 1024))
+      [ 16; 64; 128 ]
+
+let create ?(scale = 0.2) () =
+  assert (scale > 0.);
+  { scale; memo = Hashtbl.create 64 }
+
+let scale t = t.scale
+
+(* "custom" is the synthesized allocator: train its size classes on the
+   profile's own request mix, like CustoMalloc generating an allocator
+   for a measured program. *)
+let build_allocator ~profile_key ~allocator heap =
+  if allocator = "custom" then begin
+    let profile = Workload.Programs.find profile_key in
+    let histogram =
+      Workload.Dist.to_histogram profile.Workload.Profile.size_dist
+        ~scale:100_000
+    in
+    Allocators.Custom.allocator (Allocators.Custom.create_for ~histogram heap)
+  end
+  else Allocators.Registry.build allocator heap
+
+let run t ~profile ~allocator =
+  let prof = Workload.Programs.find profile in
+  let multi = Cachesim.Multi.create standard_configs in
+  let hier =
+    Cachesim.Hierarchy.create
+      ~l1:(Cachesim.Config.make (16 * 1024))
+      ~l2:(Cachesim.Config.make (256 * 1024))
+  in
+  let pages = Vmsim.Page_sim.create () in
+  let sink =
+    Memsim.Sink.fanout
+      [ Cachesim.Multi.sink multi;
+        Cachesim.Hierarchy.sink hier;
+        Vmsim.Page_sim.sink pages ]
+  in
+  let heap = Allocators.Heap.create () in
+  let alloc = build_allocator ~profile_key:profile ~allocator heap in
+  let result =
+    Workload.Driver.run_with ~sink ~scale:t.scale ~profile:prof ~heap ~alloc ()
+  in
+  { result;
+    caches = Cachesim.Multi.results multi;
+    l1 = Cachesim.Hierarchy.l1_stats hier;
+    l2 = Cachesim.Hierarchy.l2_stats hier;
+    pages }
+
+let get t ~profile ~allocator =
+  let key = (profile, allocator) in
+  match Hashtbl.find_opt t.memo key with
+  | Some d -> d
+  | None ->
+      let d = run t ~profile ~allocator in
+      Hashtbl.replace t.memo key d;
+      d
+
+let cache_stats d ~name =
+  match
+    List.find_opt (fun (c, _) -> c.Cachesim.Config.name = name) d.caches
+  with
+  | Some (_, s) -> s
+  | None -> raise Not_found
+
+let miss_rate d ~cache = Cachesim.Stats.miss_rate (cache_stats d ~name:cache)
+
+let exec_time d ~model ~cache =
+  let s = cache_stats d ~name:cache in
+  Metrics.Exec_time.make ~model
+    ~instructions:d.result.Workload.Driver.instructions
+    ~data_refs:d.result.Workload.Driver.data_refs ~misses:s.Cachesim.Stats.misses

@@ -1,0 +1,47 @@
+(** The run grid: one fully instrumented simulation per
+    (program, allocator) pair, shared by every experiment.
+
+    Each run drives the profile against the allocator once, feeding the
+    fused trace to: the paper's direct-mapped cache sweep (16K–256K), an
+    associativity set at 16 K (2/4/8-way), a two-level hierarchy
+    (16 K L1 / 256 K L2), and the page-fault simulator.  Results are
+    memoized, so regenerating all tables and figures costs one pass per
+    pair. *)
+
+type data = {
+  result : Workload.Driver.result;
+  caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
+      (** All simulated configurations, by name. *)
+  l1 : Cachesim.Stats.t;  (** Hierarchy L1 (16K-dm). *)
+  l2 : Cachesim.Stats.t;  (** Hierarchy L2 (256K-dm behind L1). *)
+  pages : Vmsim.Page_sim.t;
+}
+
+type t
+
+val create : ?scale:float -> unit -> t
+(** [scale] (default 0.2) is forwarded to every
+    {!Workload.Driver.run}. *)
+
+val scale : t -> float
+
+val get : t -> profile:string -> allocator:string -> data
+(** Memoized.  [allocator] is a {!Allocators.Registry} key; ["custom"]
+    is trained on the profile's own size histogram (the CustoMalloc
+    workflow).
+    @raise Not_found for unknown keys. *)
+
+val cache_stats : data -> name:string -> Cachesim.Stats.t
+(** Statistics of a named configuration, e.g. ["64K-dm"].
+    @raise Not_found if the configuration was not simulated. *)
+
+val miss_rate : data -> cache:string -> float
+(** Miss rate (fraction) of a named configuration. *)
+
+val exec_time :
+  data -> model:Metrics.Cost_model.t -> cache:string -> Metrics.Exec_time.t
+(** The paper's [I + (M x P) D] for this run under a named cache. *)
+
+val standard_configs : Cachesim.Config.t list
+(** Everything simulated per run (the paper sweep plus the
+    associativity set). *)

@@ -1,0 +1,17 @@
+(** Regeneration of the paper's Tables 2–6. *)
+
+val tab2 : Context.t -> string
+(** Test-program performance information (FirstFit baseline). *)
+
+val tab3 : Context.t -> string
+(** Characteristics of the three GhostScript input sets. *)
+
+val tab4 : Context.t -> string
+(** Total estimated execution time and miss time, 16 K cache. *)
+
+val tab5 : Context.t -> string
+(** Same with a 64 K cache. *)
+
+val tab6 : Context.t -> string
+(** Effect of boundary tags on GNU local (emulated 8-byte tags),
+    64 K cache. *)

@@ -1,0 +1,1 @@
+lib/memsim/region.ml: Addr List Printf

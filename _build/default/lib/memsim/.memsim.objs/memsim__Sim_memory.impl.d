@@ -1,0 +1,1 @@
+lib/memsim/sim_memory.ml: Addr Event Fun Hashtbl Printf Sink

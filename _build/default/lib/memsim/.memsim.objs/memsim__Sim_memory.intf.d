@@ -1,0 +1,1 @@
+lib/memsim/sim_memory.mli: Addr Event Sink

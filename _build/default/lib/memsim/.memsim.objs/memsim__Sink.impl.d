@@ -1,0 +1,1 @@
+lib/memsim/sink.ml: Array Event List

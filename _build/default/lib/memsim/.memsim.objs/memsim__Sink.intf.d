@@ -1,0 +1,1 @@
+lib/memsim/sink.mli: Event

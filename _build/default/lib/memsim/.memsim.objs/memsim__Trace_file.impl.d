@@ -1,0 +1,1 @@
+lib/memsim/trace_file.ml: Event Fun Printf Sink String

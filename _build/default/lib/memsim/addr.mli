@@ -1,0 +1,48 @@
+(** Byte addresses in the simulated address space.
+
+    The simulator models a 32-bit-style flat address space: addresses are
+    plain non-negative [int]s measured in bytes, and the machine word is
+    four bytes wide (matching the MIPS DECstation used in the paper).  All
+    allocator metadata lives at word granularity. *)
+
+type t = int
+(** A byte address. *)
+
+val word_bytes : int
+(** Size of a machine word in bytes (4). *)
+
+val null : t
+(** The distinguished null address (0).  No valid object or metadata cell
+    is ever placed at [null]. *)
+
+val is_null : t -> bool
+(** [is_null a] is [a = null]. *)
+
+val is_aligned : t -> alignment:int -> bool
+(** [is_aligned a ~alignment] holds when [a] is a multiple of
+    [alignment].  [alignment] must be positive. *)
+
+val align_up : t -> alignment:int -> t
+(** [align_up a ~alignment] rounds [a] up to the next multiple of
+    [alignment].  [alignment] must be a positive power of two. *)
+
+val align_down : t -> alignment:int -> t
+(** [align_down a ~alignment] rounds [a] down to a multiple of
+    [alignment].  [alignment] must be a positive power of two. *)
+
+val word_aligned : t -> bool
+(** [word_aligned a] holds when [a] is word-aligned. *)
+
+val word_index : t -> int
+(** [word_index a] is the index of the word containing byte [a]. *)
+
+val block_index : t -> block_bytes:int -> int
+(** [block_index a ~block_bytes] is the index of the cache block (of
+    [block_bytes] bytes, a power of two) containing byte [a]. *)
+
+val page_index : t -> page_bytes:int -> int
+(** [page_index a ~page_bytes] is the index of the virtual-memory page
+    containing byte [a]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints an address in hexadecimal, e.g. [0x0001a3f0]. *)

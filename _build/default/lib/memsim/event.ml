@@ -1,0 +1,22 @@
+type kind = Read | Write
+type source = App | Malloc | Free
+type t = { kind : kind; source : source; addr : Addr.t; size : int }
+
+let read ?(source = App) addr size =
+  assert (size >= 1);
+  { kind = Read; source; addr; size }
+
+let write ?(source = App) addr size =
+  assert (size >= 1);
+  { kind = Write; source; addr; size }
+
+let kind_to_string = function Read -> "R" | Write -> "W"
+
+let source_to_string = function
+  | App -> "app"
+  | Malloc -> "malloc"
+  | Free -> "free"
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s %a+%d" (kind_to_string t.kind)
+    (source_to_string t.source) Addr.pp t.addr t.size

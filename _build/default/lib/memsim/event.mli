@@ -1,0 +1,36 @@
+(** Memory-reference events.
+
+    A trace is a sequence of events, each describing one data reference:
+    a read or write of [size] bytes starting at byte address [addr].  The
+    [source] records who issued the reference — the application proper, or
+    the allocator while servicing [malloc]/[free] — so downstream
+    consumers can attribute cache misses the way the paper does (direct
+    allocator misses vs. indirect placement effects). *)
+
+type kind =
+  | Read
+  | Write
+
+type source =
+  | App  (** Reference issued by application code. *)
+  | Malloc  (** Reference issued inside the allocator's [malloc]. *)
+  | Free  (** Reference issued inside the allocator's [free]. *)
+
+type t = {
+  kind : kind;
+  source : source;
+  addr : Addr.t;
+  size : int;  (** Number of bytes referenced; at least 1. *)
+}
+
+val read : ?source:source -> Addr.t -> int -> t
+(** [read addr size] is a read event.  [source] defaults to [App]. *)
+
+val write : ?source:source -> Addr.t -> int -> t
+(** [write addr size] is a write event.  [source] defaults to [App]. *)
+
+val kind_to_string : kind -> string
+val source_to_string : source -> string
+
+val pp : Format.formatter -> t -> unit
+(** Prints an event as e.g. [R app 0x00001000+4]. *)

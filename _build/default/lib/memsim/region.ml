@@ -1,0 +1,54 @@
+type t = { base : Addr.t; limit : Addr.t; mutable break : Addr.t }
+
+let create ~base ~limit =
+  assert (base > 0);
+  assert (Addr.word_aligned base);
+  assert (limit > base);
+  { base; limit; break = base }
+
+let base t = t.base
+let limit t = t.limit
+let break t = t.break
+let used_bytes t = t.break - t.base
+
+let extend t n =
+  assert (n >= 0);
+  let n = Addr.align_up n ~alignment:Addr.word_bytes in
+  if t.break + n > t.limit then
+    failwith
+      (Printf.sprintf "Region.extend: out of space (break=0x%x, need %d, limit=0x%x)"
+         t.break n t.limit)
+  else begin
+    let old = t.break in
+    t.break <- t.break + n;
+    old
+  end
+
+let contains t a = a >= t.base && a < t.break
+
+module Layout = struct
+  let region_create = create
+  let page = 4096
+
+  type layout = {
+    mutable next : Addr.t;
+    mutable regions_rev : (string * t) list;
+  }
+
+  let create ?(base = 0x0001_0000) () =
+    assert (base > 0);
+    { next = Addr.align_up base ~alignment:page; regions_rev = [] }
+
+  let add l ~name ~size =
+    assert (size > 0);
+    let size = Addr.align_up size ~alignment:page in
+    let base = l.next in
+    let region = region_create ~base ~limit:(base + size) in
+    (* Guard page keeps regions from abutting, so out-of-bounds metadata
+       accesses in a buggy allocator are detectable in tests. *)
+    l.next <- base + size + page;
+    l.regions_rev <- (name, region) :: l.regions_rev;
+    region
+
+  let regions l = List.rev l.regions_rev
+end

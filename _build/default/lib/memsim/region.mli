@@ -1,0 +1,49 @@
+(** An sbrk-style linear region of the simulated address space.
+
+    Each region hands out addresses monotonically from its base, like the
+    Unix program break the paper's allocators extend.  Regions never
+    overlap when created through {!Layout}. *)
+
+type t
+
+val create : base:Addr.t -> limit:Addr.t -> t
+(** [create ~base ~limit] is an empty region spanning
+    [\[base, limit)].  [base] must be word-aligned and positive (address 0
+    is reserved as null). *)
+
+val base : t -> Addr.t
+val limit : t -> Addr.t
+
+val break : t -> Addr.t
+(** Current program break: one past the highest byte handed out. *)
+
+val used_bytes : t -> int
+(** [break t - base t]. *)
+
+val extend : t -> int -> Addr.t
+(** [extend t n] advances the break by [n] bytes (word-aligned up) and
+    returns the old break, i.e. the base of the fresh storage.
+
+    @raise Failure if the region would exceed its limit. *)
+
+val contains : t -> Addr.t -> bool
+(** [contains t a] holds when [base t <= a < break t]. *)
+
+(** Carves a large address space into non-overlapping regions, so that
+    simulated static data, allocator metadata and heap occupy distinct,
+    realistic address ranges (their cache blocks can still conflict, which
+    is the point). *)
+module Layout : sig
+  type layout
+
+  val create : ?base:Addr.t -> unit -> layout
+  (** A fresh layout starting at [base] (default 0x0001_0000). *)
+
+  val add : layout -> name:string -> size:int -> t
+  (** [add l ~name ~size] reserves [size] bytes (page-aligned) for a new
+      region and returns it.  Regions are laid out consecutively with a
+      guard page between them. *)
+
+  val regions : layout -> (string * t) list
+  (** All regions added so far, in order of creation. *)
+end

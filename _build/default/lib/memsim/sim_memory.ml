@@ -1,0 +1,68 @@
+type t = {
+  words : (int, int) Hashtbl.t;
+  mutable sink : Sink.t;
+  mutable source : Event.source;
+}
+
+let create ?(sink = Sink.null) () =
+  { words = Hashtbl.create 4096; sink; source = Event.App }
+
+let set_sink t sink = t.sink <- sink
+let source t = t.source
+let set_source t src = t.source <- src
+
+let with_source t src f =
+  let saved = t.source in
+  t.source <- src;
+  Fun.protect ~finally:(fun () -> t.source <- saved) f
+
+let check_word_addr a =
+  if not (Addr.word_aligned a) then
+    invalid_arg (Printf.sprintf "Sim_memory: unaligned word access at 0x%x" a);
+  if a <= 0 then
+    invalid_arg (Printf.sprintf "Sim_memory: access to null/negative 0x%x" a)
+
+let load t a =
+  check_word_addr a;
+  t.sink.emit { kind = Read; source = t.source; addr = a; size = Addr.word_bytes };
+  match Hashtbl.find_opt t.words (Addr.word_index a) with
+  | Some v -> v
+  | None -> 0
+
+let store t a v =
+  check_word_addr a;
+  t.sink.emit { kind = Write; source = t.source; addr = a; size = Addr.word_bytes };
+  Hashtbl.replace t.words (Addr.word_index a) v
+
+let ranged t kind a n =
+  assert (n >= 0);
+  if n > 0 then begin
+    (* Word-grain events, as PIXIE traces are: first piece may be a
+       partial word, then whole words. *)
+    let w = Addr.word_bytes in
+    let first = min n (w - (a land (w - 1))) in
+    t.sink.emit { Event.kind; source = t.source; addr = a; size = first };
+    let pos = ref (a + first) in
+    let remaining = ref (n - first) in
+    while !remaining > 0 do
+      let piece = min w !remaining in
+      t.sink.emit { Event.kind; source = t.source; addr = !pos; size = piece };
+      pos := !pos + piece;
+      remaining := !remaining - piece
+    done
+  end
+
+let read_bytes t a n = ranged t Event.Read a n
+let write_bytes t a n = ranged t Event.Write a n
+
+let peek t a =
+  check_word_addr a;
+  match Hashtbl.find_opt t.words (Addr.word_index a) with
+  | Some v -> v
+  | None -> 0
+
+let poke t a v =
+  check_word_addr a;
+  Hashtbl.replace t.words (Addr.word_index a) v
+
+let words_written t = Hashtbl.length t.words

@@ -1,0 +1,96 @@
+type t = { emit : Event.t -> unit }
+
+let null = { emit = ignore }
+let of_fn f = { emit = f }
+
+let fanout sinks =
+  match sinks with
+  | [] -> null
+  | [ s ] -> s
+  | [ a; b ] ->
+      { emit =
+          (fun e ->
+            a.emit e;
+            b.emit e);
+      }
+  | sinks ->
+      let arr = Array.of_list sinks in
+      { emit =
+          (fun e ->
+            for i = 0 to Array.length arr - 1 do
+              arr.(i).emit e
+            done);
+      }
+
+let filter pred sink = { emit = (fun e -> if pred e then sink.emit e) }
+
+module Counter = struct
+  type counter = {
+    mutable total : int;
+    mutable reads : int;
+    mutable writes : int;
+    mutable bytes : int;
+    mutable app : int;
+    mutable malloc : int;
+    mutable free : int;
+  }
+
+  let create () =
+    { total = 0; reads = 0; writes = 0; bytes = 0; app = 0; malloc = 0;
+      free = 0 }
+
+  let sink c =
+    { emit =
+        (fun (e : Event.t) ->
+          c.total <- c.total + 1;
+          c.bytes <- c.bytes + e.size;
+          (match e.kind with
+          | Read -> c.reads <- c.reads + 1
+          | Write -> c.writes <- c.writes + 1);
+          match e.source with
+          | App -> c.app <- c.app + 1
+          | Malloc -> c.malloc <- c.malloc + 1
+          | Free -> c.free <- c.free + 1);
+    }
+
+  let total c = c.total
+  let reads c = c.reads
+  let writes c = c.writes
+  let bytes c = c.bytes
+
+  let by_source c = function
+    | Event.App -> c.app
+    | Event.Malloc -> c.malloc
+    | Event.Free -> c.free
+
+  let reset c =
+    c.total <- 0;
+    c.reads <- 0;
+    c.writes <- 0;
+    c.bytes <- 0;
+    c.app <- 0;
+    c.malloc <- 0;
+    c.free <- 0
+end
+
+module Recorder = struct
+  type recorder = {
+    capacity : int;
+    mutable events_rev : Event.t list;
+    mutable count : int;
+  }
+
+  let create ?(capacity = 65536) () =
+    assert (capacity >= 0);
+    { capacity; events_rev = []; count = 0 }
+
+  let sink r =
+    { emit =
+        (fun e ->
+          if r.count < r.capacity then r.events_rev <- e :: r.events_rev;
+          r.count <- r.count + 1);
+    }
+
+  let events r = List.rev r.events_rev
+  let dropped r = max 0 (r.count - r.capacity)
+end

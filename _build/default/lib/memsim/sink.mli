@@ -1,0 +1,61 @@
+(** Trace consumers.
+
+    A sink receives every reference event of a simulation run.  Sinks are
+    composable: [fanout] broadcasts one trace to several consumers (e.g. a
+    family of cache simulators plus the page-fault simulator plus raw
+    counters), exactly as the paper drives TYCHO and VMSIM from one
+    execution-driven trace. *)
+
+type t = { emit : Event.t -> unit }
+
+val null : t
+(** Discards every event. *)
+
+val of_fn : (Event.t -> unit) -> t
+(** Wraps a plain function. *)
+
+val fanout : t list -> t
+(** [fanout sinks] forwards each event to every sink, in order. *)
+
+val filter : (Event.t -> bool) -> t -> t
+(** [filter pred sink] forwards only events satisfying [pred]. *)
+
+(** Running totals of a trace: how many references, reads, writes, bytes,
+    broken down by source.  This supplies the [D] term of the paper's
+    execution-time model. *)
+module Counter : sig
+  type counter
+
+  val create : unit -> counter
+  val sink : counter -> t
+
+  val total : counter -> int
+  (** Number of reference events observed. *)
+
+  val reads : counter -> int
+  val writes : counter -> int
+  val bytes : counter -> int
+
+  val by_source : counter -> Event.source -> int
+  (** Events attributed to the given source. *)
+
+  val reset : counter -> unit
+end
+
+(** Bounded in-memory recording of a trace, useful in tests and for
+    inspecting short runs. *)
+module Recorder : sig
+  type recorder
+
+  val create : ?capacity:int -> unit -> recorder
+  (** [capacity] bounds how many events are retained (default 65536);
+      later events are dropped but still counted. *)
+
+  val sink : recorder -> t
+
+  val events : recorder -> Event.t list
+  (** Recorded events in emission order. *)
+
+  val dropped : recorder -> int
+  (** Number of events that arrived after capacity was reached. *)
+end

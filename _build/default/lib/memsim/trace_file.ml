@@ -1,0 +1,96 @@
+let magic = "LOCLAB1\n"
+
+(* Flags byte layout:
+   bit 0        kind (0 = read, 1 = write)
+   bits 1-2     source (0 app, 1 malloc, 2 free)
+   bits 3-7     size field: 1..30 inline, 31 = escaped varint follows *)
+
+let encode_source = function
+  | Event.App -> 0
+  | Event.Malloc -> 1
+  | Event.Free -> 2
+
+let decode_source = function
+  | 0 -> Event.App
+  | 1 -> Event.Malloc
+  | 2 -> Event.Free
+  | s -> failwith (Printf.sprintf "Trace_file: bad source %d" s)
+
+let write_varint oc v =
+  assert (v >= 0);
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      output_byte oc byte;
+      continue := false
+    end
+    else output_byte oc (byte lor 0x80)
+  done
+
+let read_varint ic =
+  let rec go shift acc =
+    let byte = input_byte ic in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
+let unzigzag v = if v land 1 = 0 then v lsr 1 else -((v + 1) lsr 1)
+
+let write_event oc prev_addr (e : Event.t) =
+  let kind_bit = match e.kind with Event.Read -> 0 | Event.Write -> 1 in
+  let size_field = if e.size >= 1 && e.size <= 30 then e.size else 31 in
+  let flags = kind_bit lor (encode_source e.source lsl 1) lor (size_field lsl 3) in
+  output_byte oc flags;
+  if size_field = 31 then write_varint oc e.size;
+  write_varint oc (zigzag (e.addr - prev_addr))
+
+(* [None] on clean end-of-trace; a truncated event is corruption. *)
+let read_event ic prev_addr =
+  match input_byte ic with
+  | exception End_of_file -> None
+  | flags -> (
+      try
+        let kind = if flags land 1 = 0 then Event.Read else Event.Write in
+        let source = decode_source ((flags lsr 1) land 3) in
+        let size_field = flags lsr 3 in
+        let size = if size_field = 31 then read_varint ic else size_field in
+        if size < 1 then failwith "Trace_file: corrupt size";
+        let addr = prev_addr + unzigzag (read_varint ic) in
+        Some { Event.kind; source; addr; size }
+      with End_of_file -> failwith "Trace_file: truncated event")
+
+let record_to_file path f =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  let prev = ref 0 in
+  let sink =
+    Sink.of_fn (fun e ->
+        write_event oc !prev e;
+        prev := e.Event.addr)
+  in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f sink)
+
+let replay ic sink =
+  let header = really_input_string ic (String.length magic) in
+  if header <> magic then failwith "Trace_file: not a loclab trace";
+  let prev = ref 0 in
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match read_event ic !prev with
+    | None -> continue := false
+    | Some e ->
+        prev := e.Event.addr;
+        incr count;
+        sink.Sink.emit e
+  done;
+  !count
+
+let replay_file path sink =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> replay ic sink)

@@ -1,0 +1,27 @@
+(** Compact binary trace files.
+
+    The paper's simulators consumed traces directly from the
+    instrumented program "without storing large trace files"; this
+    module provides the complementary mode — persist a reference trace
+    once, replay it into any set of sinks later — so expensive workload
+    runs can be re-simulated repeatedly under new cache/memory
+    configurations.
+
+    Encoding: a magic header, then one flags byte per event (kind,
+    source, small sizes inline) followed by the zigzag-LEB128 delta of
+    the address from the previous event.  Address locality makes
+    typical traces ~2–3 bytes per reference. *)
+
+val magic : string
+(** File header ("LOCLAB1\n"). *)
+
+val record_to_file : string -> (Sink.t -> 'a) -> 'a
+(** [record_to_file path f] runs [f] with a sink that appends every
+    event it receives to [path], closing the file afterwards (also on
+    exceptions). *)
+
+val replay : in_channel -> Sink.t -> int
+(** Streams a recorded trace into a sink; returns the number of events.
+    @raise Failure on a corrupt or foreign file. *)
+
+val replay_file : string -> Sink.t -> int

@@ -1,0 +1,1 @@
+lib/metrics/cost_model.ml:

@@ -1,0 +1,1 @@
+lib/metrics/exec_time.mli: Cost_model

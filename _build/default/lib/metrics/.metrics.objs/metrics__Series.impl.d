@@ -1,0 +1,1 @@
+lib/metrics/series.ml: Array Buffer List Printf String

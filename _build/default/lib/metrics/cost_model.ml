@@ -1,0 +1,8 @@
+type t = { miss_penalty_cycles : int; clock_mhz : float }
+
+let paper = { miss_penalty_cycles = 25; clock_mhz = 20. }
+let with_penalty t p = { t with miss_penalty_cycles = p }
+let future = { paper with miss_penalty_cycles = 100 }
+
+let seconds_of_cycles t cycles =
+  float_of_int cycles /. (t.clock_mhz *. 1_000_000.)

@@ -1,0 +1,24 @@
+(** Machine cost parameters of the paper's execution-time model.
+
+    "If an application executed I instructions with D data references, a
+    data cache miss rate of M and a miss penalty of P, we estimated the
+    total execution time to be I + (M x P)D.  We assume all
+    instructions, including loads and stores, complete in a single
+    machine cycle." *)
+
+type t = {
+  miss_penalty_cycles : int;  (** P; the paper uses 25. *)
+  clock_mhz : float;
+      (** Cycles -> seconds, to echo the paper's tables (DECstation
+          5000/120-class machine: 20 MHz). *)
+}
+
+val paper : t
+(** 25-cycle penalty, 20 MHz clock. *)
+
+val with_penalty : t -> int -> t
+
+val future : t
+(** The high-penalty scenario discussed in §1.1/§4.4 (100 cycles). *)
+
+val seconds_of_cycles : t -> int -> float

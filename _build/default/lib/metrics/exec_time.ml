@@ -1,0 +1,30 @@
+type t = {
+  instructions : int;
+  data_refs : int;
+  misses : int;
+  model : Cost_model.t;
+}
+
+let make ~model ~instructions ~data_refs ~misses =
+  assert (instructions >= 0 && data_refs >= 0 && misses >= 0);
+  { instructions; data_refs; misses; model }
+
+let of_miss_rate ~model ~instructions ~data_refs ~miss_rate =
+  assert (miss_rate >= 0. && miss_rate <= 1.);
+  make ~model ~instructions ~data_refs
+    ~misses:(int_of_float (miss_rate *. float_of_int data_refs))
+
+let miss_cycles t = t.misses * t.model.Cost_model.miss_penalty_cycles
+let total_cycles t = t.instructions + miss_cycles t
+let total_seconds t = Cost_model.seconds_of_cycles t.model (total_cycles t)
+let miss_seconds t = Cost_model.seconds_of_cycles t.model (miss_cycles t)
+
+let miss_fraction t =
+  let total = total_cycles t in
+  if total = 0 then 0. else float_of_int (miss_cycles t) /. float_of_int total
+
+let normalized_to t ~baseline =
+  float_of_int (total_cycles t) /. float_of_int (total_cycles baseline)
+
+let cpu_normalized_to t ~baseline =
+  float_of_int t.instructions /. float_of_int baseline.instructions

@@ -1,0 +1,38 @@
+(** The paper's estimated-execution-time model: [I + (M x P) x D]. *)
+
+type t = {
+  instructions : int;  (** I *)
+  data_refs : int;  (** D *)
+  misses : int;  (** M x D, the absolute miss count. *)
+  model : Cost_model.t;
+}
+
+val make :
+  model:Cost_model.t -> instructions:int -> data_refs:int -> misses:int -> t
+
+val of_miss_rate :
+  model:Cost_model.t ->
+  instructions:int ->
+  data_refs:int ->
+  miss_rate:float ->
+  t
+(** [miss_rate] in [0, 1]. *)
+
+val miss_cycles : t -> int
+(** (M x P) x D. *)
+
+val total_cycles : t -> int
+(** I + miss cycles. *)
+
+val total_seconds : t -> float
+val miss_seconds : t -> float
+
+val miss_fraction : t -> float
+(** Share of total execution time spent waiting on misses. *)
+
+val normalized_to : t -> baseline:t -> float
+(** Total cycles relative to a baseline run (Figures 4 and 5). *)
+
+val cpu_normalized_to : t -> baseline:t -> float
+(** Instruction count relative to a baseline (the shaded bars of
+    Figures 4 and 5, which ignore the memory hierarchy). *)

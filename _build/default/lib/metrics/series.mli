@@ -1,0 +1,20 @@
+(** Figure data series: named (x, y) sequences rendered as aligned
+    columns plus a coarse ASCII plot, so every reproduced figure is
+    readable directly in a terminal or a log file. *)
+
+type t
+
+val create : title:string -> x_label:string -> y_label:string -> t
+
+val add : t -> name:string -> (float * float) list -> unit
+(** Adds one named series (e.g. one allocator's curve). *)
+
+val render : ?plot:bool -> t -> string
+(** Column listing of every series; with [plot] (default true) an ASCII
+    chart is appended (log-ish scaling chosen automatically when the
+    value range is wide). *)
+
+val to_csv : t -> string
+(** Long-format CSV: series,x,y. *)
+
+val print : ?plot:bool -> t -> unit

@@ -1,0 +1,36 @@
+(** Aligned text tables, used to print every reproduced paper table in a
+    stable, diff-friendly layout. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the cell count mismatches. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Boxed text rendering, title first. *)
+
+val to_csv : t -> string
+(** Title-less CSV (header + rows; separators skipped). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+(** {1 Cell formatting helpers} *)
+
+val fmt_int : int -> string
+(** Thousands-separated, e.g. [1_234_567] -> ["1,234,567"]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_pct : ?decimals:int -> float -> string
+(** [fmt_pct 0.123] is ["12.3%"] with default decimals 1. *)
+
+val fmt_kb : int -> string
+(** Bytes -> KB with no decimals, e.g. ["396 KB"]. *)

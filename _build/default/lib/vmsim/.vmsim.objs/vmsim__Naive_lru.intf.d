@@ -1,0 +1,1 @@
+lib/vmsim/naive_lru.mli:

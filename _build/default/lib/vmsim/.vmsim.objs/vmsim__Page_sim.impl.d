@@ -1,0 +1,1 @@
+lib/vmsim/page_sim.ml: List Lru_stack Memsim

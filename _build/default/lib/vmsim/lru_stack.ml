@@ -1,0 +1,88 @@
+type t = {
+  mutable fenwick : Fenwick.t;
+  (* Position of each key's most recent access in the time index; the
+     Fenwick tree has a 1 at exactly those positions. *)
+  last : (int, int) Hashtbl.t;
+  mutable now : int;
+  mutable accesses : int;
+  mutable cold : int;
+  (* hist.(d) = accesses with stack distance d (1-based). *)
+  mutable hist : int array;
+  mutable max_dist : int;
+}
+
+let create ?(initial_capacity = 1 lsl 16) () =
+  assert (initial_capacity > 1);
+  { fenwick = Fenwick.create initial_capacity;
+    last = Hashtbl.create 4096;
+    now = 0;
+    accesses = 0;
+    cold = 0;
+    hist = Array.make 64 0;
+    max_dist = 0 }
+
+(* Renumber all keys' last-access times to 0 .. distinct-1 (preserving
+   order) when the time index fills up, keeping the Fenwick tree small
+   regardless of trace length. *)
+let compact t =
+  let entries =
+    Hashtbl.fold (fun key time acc -> (time, key) :: acc) t.last []
+    |> List.sort compare
+  in
+  let needed = List.length entries in
+  let cap = max (Fenwick.capacity t.fenwick) (4 * (needed + 1)) in
+  t.fenwick <- Fenwick.create cap;
+  Hashtbl.reset t.last;
+  List.iteri
+    (fun i (_, key) ->
+      Hashtbl.replace t.last key i;
+      Fenwick.add t.fenwick i 1)
+    entries;
+  t.now <- needed
+
+let bump_hist t d =
+  if d >= Array.length t.hist then begin
+    let bigger = Array.make (max (d + 1) (2 * Array.length t.hist)) 0 in
+    Array.blit t.hist 0 bigger 0 (Array.length t.hist);
+    t.hist <- bigger
+  end;
+  t.hist.(d) <- t.hist.(d) + 1;
+  if d > t.max_dist then t.max_dist <- d
+
+let access t key =
+  if t.now >= Fenwick.capacity t.fenwick then compact t;
+  t.accesses <- t.accesses + 1;
+  let result =
+    match Hashtbl.find_opt t.last key with
+    | None ->
+        t.cold <- t.cold + 1;
+        None
+    | Some t0 ->
+        (* Distinct keys referenced strictly between t0 and now: each has
+           its most-recent access inside the window. *)
+        let between = Fenwick.range_sum t.fenwick ~lo:(t0 + 1) ~hi:(t.now - 1) in
+        let distance = between + 1 in
+        Fenwick.add t.fenwick t0 (-1);
+        bump_hist t distance;
+        Some distance
+  in
+  Hashtbl.replace t.last key t.now;
+  Fenwick.add t.fenwick t.now 1;
+  t.now <- t.now + 1;
+  result
+
+let accesses t = t.accesses
+let cold t = t.cold
+let distinct t = Hashtbl.length t.last
+let histogram t = Array.sub t.hist 0 (t.max_dist + 1)
+
+let misses_at t ~capacity =
+  if capacity <= 0 then invalid_arg "Lru_stack.misses_at: capacity must be > 0";
+  let beyond = ref 0 in
+  for d = capacity + 1 to t.max_dist do
+    beyond := !beyond + t.hist.(d)
+  done;
+  t.cold + !beyond
+
+let miss_curve t ~capacities =
+  List.map (fun c -> (c, misses_at t ~capacity:c)) capacities

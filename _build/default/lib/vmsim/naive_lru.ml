@@ -1,0 +1,29 @@
+type t = {
+  mutable stack : int list;  (* MRU first *)
+  mutable distances : int option list;  (* most recent first *)
+}
+
+let create () = { stack = []; distances = [] }
+
+let access t key =
+  let rec position i = function
+    | [] -> None
+    | k :: _ when k = key -> Some i
+    | _ :: rest -> position (i + 1) rest
+  in
+  let d =
+    match position 1 t.stack with
+    | None -> None
+    | Some pos -> Some pos
+  in
+  t.stack <- key :: List.filter (fun k -> k <> key) t.stack;
+  t.distances <- d :: t.distances;
+  d
+
+let misses_at t ~capacity =
+  List.fold_left
+    (fun acc d ->
+      match d with
+      | None -> acc + 1
+      | Some dist -> if dist > capacity then acc + 1 else acc)
+    0 t.distances

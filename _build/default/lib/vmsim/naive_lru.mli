@@ -1,0 +1,12 @@
+(** Obviously-correct (quadratic) LRU stack, used as the oracle in
+    property tests of {!Lru_stack}. *)
+
+type t
+
+val create : unit -> t
+
+val access : t -> int -> int option
+(** Stack distance (1-based LRU position) or [None] when cold. *)
+
+val misses_at : t -> capacity:int -> int
+(** Replays the recorded distances like {!Lru_stack.misses_at}. *)

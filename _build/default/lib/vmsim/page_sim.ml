@@ -1,0 +1,53 @@
+type t = {
+  page_bytes : int;
+  stack : Lru_stack.t;
+  mutable references : int;
+  (* Collapse consecutive same-page accesses: they are distance-1 hits at
+     every memory size >= 1 page, so only the reference count matters.
+     [same_page_hits] records how many were collapsed. *)
+  mutable last_page : int;
+  mutable same_page_hits : int;
+}
+
+let create ?(page_bytes = 4096) () =
+  if page_bytes <= 0 || page_bytes land (page_bytes - 1) <> 0 then
+    invalid_arg "Page_sim.create: page size must be a positive power of two";
+  { page_bytes;
+    stack = Lru_stack.create ();
+    references = 0;
+    last_page = -1;
+    same_page_hits = 0 }
+
+let page_bytes t = t.page_bytes
+
+let touch_page t page =
+  if page = t.last_page then t.same_page_hits <- t.same_page_hits + 1
+  else begin
+    ignore (Lru_stack.access t.stack page);
+    t.last_page <- page
+  end
+
+let sink t =
+  Memsim.Sink.of_fn (fun (e : Memsim.Event.t) ->
+      t.references <- t.references + 1;
+      let first = e.addr / t.page_bytes in
+      let last = (e.addr + e.size - 1) / t.page_bytes in
+      for page = first to last do
+        touch_page t page
+      done)
+
+let references t = t.references
+let distinct_pages t = Lru_stack.distinct t.stack
+
+let faults t ~memory_bytes =
+  let pages = max 1 (memory_bytes / t.page_bytes) in
+  Lru_stack.misses_at t.stack ~capacity:pages
+
+let fault_rate t ~memory_bytes =
+  if t.references = 0 then 0.
+  else float (faults t ~memory_bytes) /. float t.references
+
+let fault_rate_curve t ~memory_sizes =
+  List.map (fun m -> (m, fault_rate t ~memory_bytes:m)) memory_sizes
+
+let footprint_bytes t = distinct_pages t * t.page_bytes

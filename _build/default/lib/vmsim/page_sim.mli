@@ -1,0 +1,37 @@
+(** Page-fault simulation over a reference trace.
+
+    Maps every referenced byte to its 4 KB page (configurable) and feeds
+    the page stream to {!Lru_stack}, yielding the page-fault count of
+    every physical-memory size in one pass — the methodology behind the
+    paper's Figures 2 and 3. *)
+
+type t
+
+val create : ?page_bytes:int -> unit -> t
+(** [page_bytes] defaults to 4096, as in the paper. *)
+
+val page_bytes : t -> int
+
+val sink : t -> Memsim.Sink.t
+(** Feeds reference events into the simulation. *)
+
+val references : t -> int
+(** Number of reference events observed (the denominator of the paper's
+    faults-per-memory-reference rate). *)
+
+val distinct_pages : t -> int
+
+val faults : t -> memory_bytes:int -> int
+(** Page faults of an LRU-managed physical memory of the given size
+    (rounded down to whole pages; at least one page). *)
+
+val fault_rate : t -> memory_bytes:int -> float
+(** Faults per memory reference at the given memory size. *)
+
+val fault_rate_curve : t -> memory_sizes:int list -> (int * float) list
+(** [(memory_bytes, faults-per-reference)] for each requested size —
+    one allocator's series in Figure 2/3. *)
+
+val footprint_bytes : t -> int
+(** Total memory touched: [distinct_pages * page_bytes].  This is the
+    "total amount of memory requested" marker on the figures' x-axis. *)

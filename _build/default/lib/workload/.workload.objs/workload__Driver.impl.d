@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Alloc_stats Allocator Allocators Array Cost Dist Heap Memsim Predictive Profile Registry Rng

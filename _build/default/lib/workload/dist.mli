@@ -1,0 +1,22 @@
+(** Discrete distributions over integer values, sampled by cumulative
+    binary search. *)
+
+type t
+
+val create : (int * float) list -> t
+(** [(value, weight)] pairs; weights must be positive and the list
+    non-empty.  Values need not be distinct (weights add). *)
+
+val sample : t -> Rng.t -> int
+
+val mean : t -> float
+
+val support : t -> int list
+(** Distinct values, ascending. *)
+
+val weight_of : t -> int -> float
+(** Normalised probability of a value (0 if absent). *)
+
+val to_histogram : t -> scale:int -> (int * int) list
+(** Integer histogram with total count ~[scale], for feeding
+    {!Allocators.Size_map.design}. *)

@@ -1,0 +1,52 @@
+type t = {
+  key : string;
+  label : string;
+  description : string;
+  seed : int;
+  steps : int;
+  size_dist : Dist.t;
+  retained_size_dist : Dist.t;
+  alloc_every : float;
+  realloc_prob : float;
+  realloc_cap : int;
+  retained_bytes : int;
+  mortal_lifetime_mean : float;
+  mortal_lifetime_long_frac : float;
+  refs_per_step : int;
+  recent_bias : float;
+  write_fraction : float;
+  init_touch_bytes : int;
+  touch_bytes : int;
+  compute_per_step : int;
+  global_bytes : int;
+  global_refs_per_step : int;
+  global_hot_fraction : float;
+  site_count : int;
+  site_noise : float;
+}
+
+let scaled_steps t ~scale =
+  max 100 (int_of_float (float_of_int t.steps *. scale))
+
+let validate t =
+  let fail msg = invalid_arg (Printf.sprintf "Profile %s: %s" t.key msg) in
+  if t.steps < 100 then fail "too few steps";
+  if t.alloc_every < 1. then fail "alloc_every must be >= 1";
+  if t.realloc_prob < 0. || t.realloc_prob > 1. then fail "realloc_prob range";
+  if t.realloc_cap < 8 then fail "realloc_cap too small";
+  if t.retained_bytes < 0 then fail "negative retained_bytes";
+  if t.mortal_lifetime_mean <= 0. then fail "non-positive lifetime";
+  if t.mortal_lifetime_long_frac < 0. || t.mortal_lifetime_long_frac > 1. then
+    fail "long_frac out of range";
+  if t.refs_per_step < 0 then fail "negative refs_per_step";
+  if t.recent_bias < 0. || t.recent_bias > 1. then fail "recent_bias range";
+  if t.write_fraction < 0. || t.write_fraction > 1. then
+    fail "write_fraction range";
+  if t.init_touch_bytes < 0 || t.touch_bytes < 0 then fail "negative touch";
+  if t.compute_per_step < 0 then fail "negative compute";
+  if t.global_bytes < 4096 then fail "global segment too small";
+  if t.global_refs_per_step < 0 then fail "negative global refs";
+  if t.global_hot_fraction < 0. || t.global_hot_fraction > 1. then
+    fail "hot fraction range";
+  if t.site_count < 2 then fail "need at least two sites";
+  if t.site_noise < 0. || t.site_noise > 1. then fail "site_noise range"

@@ -1,0 +1,69 @@
+(** Synthetic application profiles.
+
+    We cannot run the paper's five C programs (espresso, GhostScript,
+    ptc, gawk, make), so each is modelled by a profile replaying its
+    published allocation behaviour: request-size mix (small-object
+    heavy, 24 bytes modal), object lifetimes split into a {e retained}
+    stream that grows the heap toward the program's reported maximum and
+    a {e mortal} stream of temporaries, plus the reference behaviour
+    around the heap (initialisation writes, revisits with temporal
+    locality, global-segment traffic and pure compute).
+
+    Scale note: step counts are ~1:50–1:100 of the paper's run lengths,
+    but retained-heap targets are kept at the paper's absolute sizes so
+    the paging and cache curves live in the same regime. *)
+
+type t = {
+  key : string;  (** e.g. ["gs-large"]. *)
+  label : string;  (** Paper name, e.g. ["GS-Large"]. *)
+  description : string;
+  seed : int;  (** Workload PRNG seed (deterministic runs). *)
+  steps : int;  (** Workload steps at scale 1.0. *)
+  size_dist : Dist.t;  (** Mortal (temporary) allocation request sizes. *)
+  retained_size_dist : Dist.t;
+      (** Sizes of retained allocations (persistent program data —
+          typically larger than temporaries, so retained objects are a
+          small minority of allocations, as in the paper's programs
+          which free 50–100% of objects). *)
+  alloc_every : float;  (** Mean steps between allocations (>= 1). *)
+  realloc_prob : float;
+      (** Per-step probability of growing one live object with
+          [realloc] (buffer doubling, as gawk and GhostScript do). *)
+  realloc_cap : int;
+      (** Buffers stop doubling at this size (keeps e.g. gawk's heap
+          tiny, as measured). *)
+  retained_bytes : int;
+      (** Live-heap target reached linearly over the run; an allocation
+          is drawn from [retained_size_dist] and kept forever while the
+          current target is unmet, otherwise it is a temporary. *)
+  mortal_lifetime_mean : float;  (** Mean lifetime (steps) of temporaries. *)
+  mortal_lifetime_long_frac : float;
+      (** Fraction of temporaries drawing a 10x longer lifetime. *)
+  refs_per_step : int;  (** Heap object references per step. *)
+  recent_bias : float;
+      (** Probability a reference picks a recently allocated object
+          rather than a uniformly random live one. *)
+  write_fraction : float;  (** Fraction of object references that write. *)
+  init_touch_bytes : int;  (** Bytes written when an object is born. *)
+  touch_bytes : int;  (** Bytes touched per object visit. *)
+  compute_per_step : int;  (** Register-only instructions per step. *)
+  global_bytes : int;  (** Size of the program's global segment. *)
+  global_refs_per_step : int;
+  global_hot_fraction : float;
+      (** Fraction of global refs hitting the first 1/16 of the
+          segment. *)
+  site_count : int;
+      (** Number of distinct allocation sites the program allocates
+          from (>= 2).  Sites carry lifetime signal, as Barrett & Zorn
+          measured: some sites allocate temporaries, others persistent
+          data. *)
+  site_noise : float;
+      (** Probability an allocation's site contradicts its lifetime
+          class — the irreducible misprediction rate. *)
+}
+
+val scaled_steps : t -> scale:float -> int
+(** [steps * scale], at least 100. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument when a field is out of range. *)

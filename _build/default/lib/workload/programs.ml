@@ -1,0 +1,186 @@
+(* Size mixes follow the paper's observations: "programs tend to
+   allocate many small objects; ...24 bytes was a very common allocation
+   request size", with per-program character (GS's device buffers, PTC's
+   uniform AST nodes, GAWK's cells). *)
+
+let espresso =
+  { Profile.key = "espresso";
+    label = "Espresso";
+    description = "PLA logic optimizer: hot small cube/cover records";
+    seed = 0xE59;
+    steps = 60_000;
+    size_dist =
+      Dist.create
+        [ (12, 20.); (16, 18.); (24, 30.); (32, 12.); (40, 6.); (48, 5.);
+          (64, 4.); (96, 2.); (128, 1.5); (256, 1.); (512, 0.4); (1024, 0.1) ];
+    retained_size_dist =
+      Dist.create [ (64, 5.); (256, 5.); (1024, 3.); (4096, 1.) ];
+    alloc_every = 1.6;
+    realloc_prob = 0.02;
+    realloc_cap = 4096;
+    retained_bytes = 360_000;
+    mortal_lifetime_mean = 160.;
+    mortal_lifetime_long_frac = 0.05;
+    refs_per_step = 40;
+    recent_bias = 0.75;
+    write_fraction = 0.35;
+    init_touch_bytes = 32;
+    touch_bytes = 16;
+    compute_per_step = 110;
+    global_bytes = 96 * 1024;
+    global_refs_per_step = 24;
+    global_hot_fraction = 0.8;
+    site_count = 40;
+    site_noise = 0.08 }
+
+let gs ~key ~label ~steps ~retained ~seed =
+  { Profile.key;
+    label;
+    description = "PostScript interpreter: records plus device buffers";
+    seed;
+    steps;
+    size_dist =
+      Dist.create
+        [ (16, 22.); (24, 38.); (32, 18.); (48, 8.); (64, 7.); (96, 4.);
+          (128, 4.); (256, 3.); (512, 2.); (1024, 1.2); (4096, 0.8);
+          (16384, 0.25); (65536, 0.04) ];
+    retained_size_dist =
+      Dist.create
+        [ (512, 3.); (2048, 4.); (8192, 4.); (32768, 2.); (131072, 0.4) ];
+    alloc_every = 1.6;
+    realloc_prob = 0.03;
+    realloc_cap = 65536;
+    retained_bytes = retained;
+    mortal_lifetime_mean = 300.;
+    mortal_lifetime_long_frac = 0.08;
+    refs_per_step = 45;
+    recent_bias = 0.8;
+    write_fraction = 0.4;
+    init_touch_bytes = 64;
+    touch_bytes = 24;
+    compute_per_step = 150;
+    global_bytes = 128 * 1024;
+    global_refs_per_step = 30;
+    global_hot_fraction = 0.75;
+    site_count = 64;
+    site_noise = 0.10 }
+
+let gs_small =
+  gs ~key:"gs-small" ~label:"GS-Small" ~steps:12_000 ~retained:1_000_000
+    ~seed:0x65A
+
+let gs_medium =
+  gs ~key:"gs-medium" ~label:"GS-Medium" ~steps:32_000 ~retained:2_600_000
+    ~seed:0x65B
+
+let gs_large =
+  gs ~key:"gs-large" ~label:"GS-Large" ~steps:80_000 ~retained:4_000_000
+    ~seed:0x65C
+
+let ptc =
+  { Profile.key = "ptc";
+    label = "PTC";
+    description = "Pascal-to-C translator: permanent AST, frees nothing";
+    seed = 0x97C;
+    steps = 40_000;
+    size_dist =
+      Dist.create
+        [ (16, 14.); (24, 26.); (32, 20.); (48, 12.); (64, 10.); (96, 8.);
+          (128, 5.); (256, 3.); (512, 1.5); (1024, 0.5) ];
+    retained_size_dist =
+      Dist.create
+        [ (16, 14.); (24, 26.); (32, 20.); (48, 12.); (64, 10.); (96, 8.);
+          (128, 5.); (256, 3.); (512, 1.5); (1024, 0.5) ];
+    alloc_every = 1.2;
+    realloc_prob = 0.;
+    realloc_cap = 4096;
+    (* Everything is retained: the target exceeds what the run can
+       allocate, so no object is ever mortal. *)
+    retained_bytes = 64 * 1024 * 1024;
+    mortal_lifetime_mean = 50.;
+    mortal_lifetime_long_frac = 0.;
+    refs_per_step = 35;
+    recent_bias = 0.85;
+    write_fraction = 0.45;
+    init_touch_bytes = 48;
+    touch_bytes = 16;
+    compute_per_step = 100;
+    global_bytes = 64 * 1024;
+    global_refs_per_step = 20;
+    global_hot_fraction = 0.8;
+    site_count = 24;
+    site_noise = 0.05 }
+
+let gawk =
+  { Profile.key = "gawk";
+    label = "Gawk";
+    description = "awk interpreter: tiny heap, furious cell turnover";
+    seed = 0x6A3;
+    steps = 70_000;
+    size_dist =
+      Dist.create
+        [ (8, 10.); (16, 25.); (24, 40.); (32, 15.); (48, 5.); (64, 3.);
+          (128, 1.5); (512, 0.5) ];
+    retained_size_dist =
+      (* gawk's heap is tiny but packed with tiny cells: ~2500 live
+         objects in 60 KB at full scale *)
+      Dist.create [ (16, 5.); (24, 6.); (32, 3.); (128, 0.6) ];
+    alloc_every = 1.4;
+    realloc_prob = 0.04;
+    realloc_cap = 1024;
+    retained_bytes = 56_000;
+    mortal_lifetime_mean = 60.;
+    mortal_lifetime_long_frac = 0.02;
+    refs_per_step = 30;
+    recent_bias = 0.9;
+    write_fraction = 0.4;
+    init_touch_bytes = 24;
+    touch_bytes = 16;
+    compute_per_step = 90;
+    global_bytes = 48 * 1024;
+    global_refs_per_step = 20;
+    global_hot_fraction = 0.85;
+    site_count = 32;
+    site_noise = 0.06 }
+
+let make_prog =
+  { Profile.key = "make";
+    label = "Make";
+    description = "dependency analysis: few allocations, long-lived graph";
+    seed = 0x4A4E;
+    steps = 14_000;
+    size_dist =
+      Dist.create
+        [ (16, 15.); (24, 25.); (32, 20.); (64, 10.); (128, 8.); (256, 5.);
+          (1024, 1.5); (4096, 0.5) ];
+    retained_size_dist =
+      Dist.create [ (256, 4.); (1024, 4.); (4096, 2.); (16384, 0.3) ];
+    alloc_every = 18.0;
+    realloc_prob = 0.003;
+    realloc_cap = 8192;
+    retained_bytes = 300_000;
+    mortal_lifetime_mean = 400.;
+    mortal_lifetime_long_frac = 0.1;
+    refs_per_step = 30;
+    recent_bias = 0.6;
+    write_fraction = 0.35;
+    init_touch_bytes = 48;
+    touch_bytes = 20;
+    compute_per_step = 95;
+    global_bytes = 64 * 1024;
+    global_refs_per_step = 25;
+    global_hot_fraction = 0.8;
+    site_count = 24;
+    site_noise = 0.12 }
+
+let five = [ espresso; gs_large; ptc; gawk; make_prog ]
+let gs_inputs = [ gs_small; gs_medium; gs_large ]
+let all = [ espresso; gs_small; gs_medium; gs_large; ptc; gawk; make_prog ]
+
+let find key =
+  match List.find_opt (fun p -> p.Profile.key = key) all with
+  | Some p -> p
+  | None -> raise Not_found
+
+let keys () = List.map (fun p -> p.Profile.key) all
+let () = List.iter Profile.validate all

@@ -1,0 +1,33 @@
+(** The test programs of the paper's Tables 1–3, as synthetic profiles.
+
+    Targets taken from Table 2 (at a churn scale of roughly 1:50, with
+    retained-heap sizes kept absolute):
+
+    {v
+    Program   objects (paper)  max heap   freed      character
+    ESPRESSO  1673K            396 KB     ~100%      logic optimizer, hot small cubes
+    GS-*      109/567/924K     1-4 MB     ~97%       PostScript interpreter, buffers
+    PTC       103K             3146 KB    0%         Pascal-to-C, permanent AST
+    GAWK      1704K            60 KB      ~100%      tiny heap, furious turnover
+    MAKE      24K              380 KB     54%        few allocations
+    v} *)
+
+val espresso : Profile.t
+val gs_small : Profile.t
+val gs_medium : Profile.t
+val gs_large : Profile.t
+val ptc : Profile.t
+val gawk : Profile.t
+val make_prog : Profile.t
+
+val five : Profile.t list
+(** The five-figure suite: espresso, gs-large, ptc, gawk, make. *)
+
+val gs_inputs : Profile.t list
+(** GS with its three input sets (Table 3 / Figures 6–8). *)
+
+val all : Profile.t list
+val find : string -> Profile.t
+(** @raise Not_found for unknown keys. *)
+
+val keys : unit -> string list

@@ -1,0 +1,45 @@
+(* SplitMix64: tiny, fast, and plenty good for workload synthesis. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  assert (bound >= 1);
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992. (* 2^53 *)
+
+let bool t p = float t < p
+
+let geometric t p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 0
+  else begin
+    let u = float t in
+    (* Inverse transform; cap to keep pathological draws finite. *)
+    let v = log1p (-.u) /. log1p (-.p) in
+    min 1_000_000 (int_of_float v)
+  end
+
+let exponential t ~mean =
+  assert (mean > 0.);
+  let u = float t in
+  -.mean *. log1p (-.u)
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))

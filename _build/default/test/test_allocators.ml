@@ -1,0 +1,1322 @@
+(* Tests for the allocator framework and all allocator implementations:
+   hand-worked scenarios per allocator, plus a randomized malloc/free
+   harness with full invariant checking run against every allocator in
+   the registry. *)
+
+open Allocators
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fresh_heap () = Heap.create ()
+
+let counted_heap () =
+  let c = Memsim.Sink.Counter.create () in
+  let heap = Heap.create ~sink:(Memsim.Sink.Counter.sink c) () in
+  (heap, c)
+
+(* ------------------------------------------------------------------ *)
+(* Cost                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cost_phases () =
+  let c = Cost.create () in
+  Cost.charge c 10;
+  Cost.set_phase c Cost.Malloc;
+  Cost.charge c 5;
+  Cost.set_phase c Cost.Free;
+  Cost.charge c 3;
+  check_int "app" 10 (Cost.app c);
+  check_int "malloc" 5 (Cost.malloc c);
+  check_int "free" 3 (Cost.free c);
+  check_int "total" 18 (Cost.total c);
+  check_int "allocator total" 8 (Cost.allocator_total c);
+  Alcotest.(check (float 1e-9))
+    "fraction" (8. /. 18.)
+    (Cost.allocator_fraction c)
+
+let test_cost_empty_fraction () =
+  Alcotest.(check (float 0.)) "empty" 0.
+    (Cost.allocator_fraction (Cost.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_load_store_costs () =
+  let heap = fresh_heap () in
+  let a = Heap.sbrk heap 64 in
+  Heap.store heap a 42;
+  check_int "reads back" 42 (Heap.load heap a);
+  (* sbrk overhead + 1 store + 1 load *)
+  check_int "instructions"
+    (Heap.sbrk_instructions + 2)
+    (Cost.total (Heap.cost heap))
+
+let test_heap_phase_attribution () =
+  let heap, c = counted_heap () in
+  let a = Heap.sbrk heap 64 in
+  Heap.with_phase heap Cost.Malloc (fun () -> Heap.store heap a 1);
+  Heap.with_phase heap Cost.Free (fun () -> ignore (Heap.load heap a));
+  check_int "malloc events" 1
+    (Memsim.Sink.Counter.by_source c Memsim.Event.Malloc);
+  check_int "free events" 1
+    (Memsim.Sink.Counter.by_source c Memsim.Event.Free);
+  check_int "malloc instrs" 1 (Cost.malloc (Heap.cost heap));
+  check_int "free instrs" 1 (Cost.free (Heap.cost heap))
+
+let test_heap_regions_disjoint () =
+  let heap = fresh_heap () in
+  let s = Heap.alloc_static heap 128 in
+  let h = Heap.sbrk heap 128 in
+  check_bool "static below heap" true (s < h);
+  check_bool "static in static region" true
+    (Memsim.Region.contains (Heap.static_region heap) s);
+  check_bool "heap addr in heap region" true
+    (Memsim.Region.contains (Heap.heap_region heap) h)
+
+let test_heap_page_aligned_base () =
+  let heap = fresh_heap () in
+  let h = Heap.sbrk heap 8 in
+  check_int "heap base page-aligned" 0 (h mod 4096)
+
+(* ------------------------------------------------------------------ *)
+(* Allocator framework                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_framework_misuse () =
+  let heap = fresh_heap () in
+  let alloc = Registry.build "bsd" heap in
+  let a = Allocator.malloc alloc 16 in
+  Allocator.free alloc a;
+  check_bool "double free rejected" true
+    (match Allocator.free alloc a with
+    | exception Allocator.Allocator_misuse _ -> true
+    | () -> false);
+  check_bool "unknown free rejected" true
+    (match Allocator.free alloc 0x4 with
+    | exception Allocator.Allocator_misuse _ -> true
+    | () -> false)
+
+let test_framework_stats () =
+  let heap = fresh_heap () in
+  let alloc = Registry.build "bsd" heap in
+  let a = Allocator.malloc alloc 10 in
+  let b = Allocator.malloc alloc 20 in
+  Allocator.free alloc a;
+  let st = Allocator.stats alloc in
+  check_int "mallocs" 2 st.Alloc_stats.malloc_calls;
+  check_int "frees" 1 st.Alloc_stats.free_calls;
+  check_int "requested" 30 st.Alloc_stats.bytes_requested;
+  check_int "live bytes" 20 st.Alloc_stats.live_bytes;
+  check_int "max live" 30 st.Alloc_stats.max_live_bytes;
+  check_int "live objects" 1 st.Alloc_stats.live_objects;
+  ignore b;
+  check_bool "granted >= requested" true
+    (st.Alloc_stats.bytes_granted >= st.Alloc_stats.bytes_requested)
+
+let test_framework_rejects_zero () =
+  let heap = fresh_heap () in
+  let alloc = Registry.build "quickfit" heap in
+  check_bool "zero size rejected" true
+    (match Allocator.malloc alloc 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Realloc                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_realloc_in_place_same_class () =
+  (* BSD: 20 and 24 bytes share the 32-byte class -> no move. *)
+  let heap = fresh_heap () in
+  let alloc = Registry.build "bsd" heap in
+  let a = Allocator.malloc alloc 20 in
+  let b = Allocator.realloc alloc a 24 in
+  check_int "same address" a b;
+  let st = Allocator.stats alloc in
+  check_int "one realloc" 1 st.Alloc_stats.realloc_calls;
+  check_int "no moves" 0 st.Alloc_stats.realloc_moves;
+  check_bool "size updated" true (Allocator.live_size alloc a = Some 24);
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_realloc_moves_across_classes () =
+  let heap = fresh_heap () in
+  let alloc = Registry.build "bsd" heap in
+  let a = Allocator.malloc alloc 24 in
+  let b = Allocator.realloc alloc a 100 in
+  check_bool "moved" true (a <> b);
+  let st = Allocator.stats alloc in
+  check_int "one move" 1 st.Alloc_stats.realloc_moves;
+  check_bool "old address is dead" true (Allocator.live_size alloc a = None);
+  check_bool "new address live" true (Allocator.live_size alloc b = Some 100);
+  (* The old block went back to its freelist: a same-class malloc
+     reuses it. *)
+  let c = Allocator.malloc alloc 24 in
+  check_int "old block recycled" a c;
+  Allocator.free alloc b;
+  Allocator.free alloc c;
+  Allocator.check alloc
+
+let test_realloc_copy_traffic () =
+  let heap, counter = counted_heap () in
+  let alloc = Registry.build "quickfit" heap in
+  let a = Allocator.malloc alloc 32 in
+  Memsim.Sink.Counter.reset counter;
+  let b = Allocator.realloc alloc a 4096 in
+  check_bool "moved" true (a <> b);
+  (* The copy reads 32 bytes and writes 32 bytes: at least 16 events
+     beyond the malloc/free bookkeeping. *)
+  check_bool "copy traffic present" true
+    (Memsim.Sink.Counter.total counter >= 16);
+  check_int "all traffic attributed to malloc phase" 0
+    (Memsim.Sink.Counter.by_source counter Memsim.Event.App);
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_realloc_misuse () =
+  let heap = fresh_heap () in
+  let alloc = Registry.build "bsd" heap in
+  check_bool "unknown address rejected" true
+    (match Allocator.realloc alloc 0x1000 8 with
+    | exception Allocator.Allocator_misuse _ -> true
+    | _ -> false);
+  let a = Allocator.malloc alloc 8 in
+  check_bool "zero size rejected" true
+    (match Allocator.realloc alloc a 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Allocator.free alloc a
+
+let test_realloc_shrink () =
+  let heap = fresh_heap () in
+  let alloc = Registry.build "gnu-local" heap in
+  let a = Allocator.malloc alloc 1000 in
+  (* 1024-byte fragment *)
+  let b = Allocator.realloc alloc a 100 in
+  (* 128-byte fragment: must move *)
+  check_bool "shrink moves across classes" true (a <> b);
+  check_bool "live size shrunk" true (Allocator.live_size alloc b = Some 100);
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_realloc_every_allocator () =
+  List.iter
+    (fun key ->
+      let heap = fresh_heap () in
+      let alloc = Registry.build key heap in
+      let a = Allocator.malloc alloc 24 in
+      let b = Allocator.realloc alloc a 48 in
+      let c = Allocator.realloc alloc b 2000 in
+      let d = Allocator.realloc alloc c 24 in
+      check_bool (key ^ ": final live") true
+        (Allocator.live_size alloc d = Some 24);
+      Allocator.free alloc d;
+      Allocator.check alloc)
+    (Registry.keys ())
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_registry_contents () =
+  Alcotest.(check (list string))
+    "paper five keys"
+    [ "firstfit"; "gnu-g++"; "bsd"; "gnu-local"; "quickfit" ]
+    (List.map (fun s -> s.Registry.key) Registry.paper_five);
+  check_int "nine total" 9 (List.length Registry.all);
+  check_bool "find works" true ((Registry.find "custom").Registry.key = "custom");
+  check_bool "unknown raises" true
+    (match Registry.find "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Boundary tags and freelists                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_boundary_tag_roundtrip () =
+  let heap = fresh_heap () in
+  let block = Heap.sbrk heap 64 in
+  Boundary_tag.write heap ~block ~size:64 ~allocated:true;
+  let size, allocated = Boundary_tag.read_header heap ~block in
+  check_int "size" 64 size;
+  check_bool "allocated" true allocated;
+  Boundary_tag.write heap ~block ~size:64 ~allocated:false;
+  let size, allocated = Boundary_tag.peek_header heap ~block in
+  check_int "size after free" 64 size;
+  check_bool "free" false allocated
+
+let test_boundary_tag_footer_lookup () =
+  let heap = fresh_heap () in
+  let b1 = Heap.sbrk heap 32 in
+  let b2 = Heap.sbrk heap 32 in
+  Boundary_tag.write heap ~block:b1 ~size:32 ~allocated:false;
+  Boundary_tag.write heap ~block:b2 ~size:32 ~allocated:true;
+  (* Looking left from b2 reads b1's footer. *)
+  let size, allocated = Boundary_tag.read_footer_before heap ~block:b2 in
+  check_int "left size" 32 size;
+  check_bool "left free" false allocated
+
+let test_boundary_tag_payload () =
+  check_int "payload offset" 0x104 (Boundary_tag.payload 0x100);
+  check_int "block of payload" 0x100 (Boundary_tag.block_of_payload 0x104);
+  check_int "overhead" 8 Boundary_tag.overhead
+
+let test_freelist_ops () =
+  let heap = fresh_heap () in
+  let fl = Freelist.create heap in
+  check_bool "starts empty" true (Freelist.is_empty fl);
+  check_bool "no first" true (Freelist.first fl = None);
+  let n1 = Heap.sbrk heap 16 and n2 = Heap.sbrk heap 16 in
+  Freelist.insert_front fl n1;
+  Freelist.insert_front fl n2;
+  check_bool "not empty" false (Freelist.is_empty fl);
+  check_bool "front is last inserted" true (Freelist.first fl = Some n2);
+  Alcotest.(check (list int)) "order" [ n2; n1 ] (Freelist.to_list fl);
+  Freelist.remove fl n2;
+  Alcotest.(check (list int)) "after remove" [ n1 ] (Freelist.to_list fl);
+  check_int "length" 1 (Freelist.length fl);
+  Freelist.remove fl n1;
+  check_bool "empty again" true (Freelist.is_empty fl)
+
+let test_freelist_insert_after () =
+  let heap = fresh_heap () in
+  let fl = Freelist.create heap in
+  let a = Heap.sbrk heap 16 and b = Heap.sbrk heap 16
+  and c = Heap.sbrk heap 16 in
+  Freelist.insert_front fl a;
+  Freelist.insert_after fl ~after:a b;
+  Freelist.insert_after fl ~after:a c;
+  Alcotest.(check (list int)) "order" [ a; c; b ] (Freelist.to_list fl)
+
+let test_freelist_traffic_counted () =
+  (* The locality-relevant property: inserting a node writes the node
+     and both neighbours. *)
+  let heap, counter = counted_heap () in
+  let fl = Freelist.create heap in
+  let n = Heap.sbrk heap 16 in
+  Memsim.Sink.Counter.reset counter;
+  Freelist.insert_front fl n;
+  check_bool "several references per insert" true
+    (Memsim.Sink.Counter.total counter >= 4)
+
+let prop_freelist_random_matches_model =
+  QCheck.Test.make ~name:"freelist matches list model" ~count:200
+    QCheck.(small_list (pair bool (int_bound 15)))
+    (fun script ->
+      let heap = fresh_heap () in
+      let fl = Freelist.create heap in
+      let nodes = Array.init 16 (fun _ -> Heap.sbrk heap 16) in
+      let model = ref [] in
+      List.iter
+        (fun (insert, i) ->
+          let n = nodes.(i) in
+          if insert then begin
+            if not (List.mem n !model) then begin
+              Freelist.insert_front fl n;
+              model := n :: !model
+            end
+          end
+          else if List.mem n !model then begin
+            Freelist.remove fl n;
+            model := List.filter (fun x -> x <> n) !model
+          end)
+        script;
+      Freelist.to_list fl = !model)
+
+let prop_page_pool_random_ops =
+  QCheck.Test.make ~name:"page pool random ops keep invariants" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 5 60) (pair (int_range 1 12) (int_bound 99)))
+    (fun script ->
+      let heap = fresh_heap () in
+      let p = Page_pool.create heap in
+      let live = ref [] in
+      List.iter
+        (fun (pages, action) ->
+          if action < 45 && !live <> [] then begin
+            let idx = action mod List.length !live in
+            Page_pool.free_pages p (List.nth !live idx);
+            live := List.filteri (fun j _ -> j <> idx) !live
+          end
+          else live := Page_pool.alloc_pages p pages :: !live;
+          Page_pool.check_invariants p)
+        script;
+      List.iter (Page_pool.free_pages p) !live;
+      Page_pool.check_invariants p;
+      Page_pool.used_page_count p = 0)
+
+(* ------------------------------------------------------------------ *)
+(* First fit                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_firstfit_basic_reuse () =
+  let heap = fresh_heap () in
+  let ff = First_fit.create heap in
+  let alloc = First_fit.allocator ff in
+  let a = Allocator.malloc alloc 100 in
+  let b = Allocator.malloc alloc 200 in
+  check_bool "distinct" true (a <> b);
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_firstfit_coalesce_to_one_block () =
+  let heap = fresh_heap () in
+  let ff = First_fit.create heap in
+  let alloc = First_fit.allocator ff in
+  let objs = List.init 10 (fun i -> Allocator.malloc alloc (16 + (8 * i))) in
+  List.iter (Allocator.free alloc) objs;
+  Allocator.check alloc;
+  check_int "fully coalesced" 1 (First_fit.free_list_length ff)
+
+let test_firstfit_interleaved_coalesce () =
+  let heap = fresh_heap () in
+  let ff = First_fit.create heap in
+  let alloc = First_fit.allocator ff in
+  let objs = Array.init 20 (fun _ -> Allocator.malloc alloc 48) in
+  (* Free evens then odds: the odd frees must bridge the even holes. *)
+  Array.iteri (fun i a -> if i mod 2 = 0 then Allocator.free alloc a) objs;
+  Allocator.check alloc;
+  Array.iteri (fun i a -> if i mod 2 = 1 then Allocator.free alloc a) objs;
+  Allocator.check alloc;
+  check_int "fully coalesced" 1 (First_fit.free_list_length ff)
+
+let test_firstfit_split_threshold () =
+  let heap = fresh_heap () in
+  let ff = First_fit.create heap in
+  let alloc = First_fit.allocator ff in
+  (* A request whose gross size is within 24 bytes of a free block's
+     size must take the whole block (no split). *)
+  let a = Allocator.malloc alloc 100 in
+  Allocator.free alloc a;
+  (* free block of gross 112 merged with wilderness; carve an exact-ish
+     request from a fresh small heap is hard to isolate — instead check
+     the allocator never creates blocks below the minimum. *)
+  let b = Allocator.malloc alloc 104 in
+  let c = Allocator.malloc alloc 4 in
+  Allocator.check alloc;
+  Allocator.free alloc b;
+  Allocator.free alloc c;
+  Allocator.check alloc
+
+let test_firstfit_large_allocation () =
+  let heap = fresh_heap () in
+  let ff = First_fit.create heap in
+  let alloc = First_fit.allocator ff in
+  let a = Allocator.malloc alloc 100_000 in
+  (* bigger than the 16K extend chunk *)
+  let b = Allocator.malloc alloc 24 in
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_firstfit_rover_advances () =
+  let heap = fresh_heap () in
+  let ff = First_fit.create heap in
+  let alloc = First_fit.allocator ff in
+  let a = Allocator.malloc alloc 64 in
+  ignore (Allocator.malloc alloc 64);
+  Allocator.free alloc a;
+  (* rover must be a valid node or the head; check verifies *)
+  Allocator.check alloc;
+  ignore (First_fit.rover ff)
+
+(* ------------------------------------------------------------------ *)
+(* Best fit                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bestfit_picks_smallest () =
+  let heap = fresh_heap () in
+  let bf = Best_fit.create heap in
+  let alloc = Best_fit.allocator bf in
+  (* Create two free holes, 1000B and 104B gross, pinned by live
+     neighbours; a 96-byte request must take the smaller hole even
+     though the big one comes first in the list. *)
+  let g1 = Allocator.malloc alloc 16 in
+  let small_hole = Allocator.malloc alloc 96 in
+  let g2 = Allocator.malloc alloc 16 in
+  let big_hole = Allocator.malloc alloc 992 in
+  let g3 = Allocator.malloc alloc 16 in
+  Allocator.free alloc small_hole;
+  Allocator.free alloc big_hole;
+  let taken = Allocator.malloc alloc 96 in
+  check_int "re-uses the small hole exactly" small_hole taken;
+  List.iter (Allocator.free alloc) [ taken; g1; g2; g3 ];
+  Allocator.check alloc
+
+let test_bestfit_exact_fit_stops_search () =
+  let heap = fresh_heap () in
+  let bf = Best_fit.create heap in
+  let alloc = Best_fit.allocator bf in
+  let a = Allocator.malloc alloc 200 in
+  let g = Allocator.malloc alloc 16 in
+  Allocator.free alloc a;
+  let b = Allocator.malloc alloc 200 in
+  check_int "exact-size block re-used" a b;
+  Allocator.free alloc b;
+  Allocator.free alloc g;
+  Allocator.check alloc;
+  check_int "coalesced" 1 (Best_fit.free_list_length bf)
+
+(* ------------------------------------------------------------------ *)
+(* GNU G++                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_gpp_bins () =
+  check_int "gross 112 -> bin 6" 6 (Gnu_gpp.bin_of_size 112);
+  check_int "gross 16 -> bin 4" 4 (Gnu_gpp.bin_of_size 16);
+  check_int "gross 64 -> bin 6" 6 (Gnu_gpp.bin_of_size 64);
+  check_int "gross 63 -> bin 5" 5 (Gnu_gpp.bin_of_size 63)
+
+let test_gpp_freed_block_lands_in_bin () =
+  let heap = fresh_heap () in
+  let g = Gnu_gpp.create heap in
+  let alloc = Gnu_gpp.allocator g in
+  let a = Allocator.malloc alloc 100 in
+  (* Surround with live objects so the freed block cannot coalesce. *)
+  let b = Allocator.malloc alloc 100 in
+  let c = Allocator.malloc alloc 100 in
+  Allocator.free alloc b;
+  Allocator.check alloc;
+  (* gross(100) = 112 -> bin 6 *)
+  check_bool "bin 6 non-empty" true (Gnu_gpp.bin_length g 6 >= 1);
+  Allocator.free alloc a;
+  Allocator.free alloc c;
+  Allocator.check alloc
+
+let test_gpp_takes_from_bigger_bin () =
+  let heap = fresh_heap () in
+  let g = Gnu_gpp.create heap in
+  let alloc = Gnu_gpp.allocator g in
+  (* Pin a large free block between live blocks, then request slightly
+     less: the search must find it via the larger bin. *)
+  let guard1 = Allocator.malloc alloc 16 in
+  let big = Allocator.malloc alloc 1000 in
+  let guard2 = Allocator.malloc alloc 16 in
+  Allocator.free alloc big;
+  let taken = Allocator.malloc alloc 900 in
+  check_bool "reused the freed block region" true (taken >= big && taken < big + 1008);
+  Allocator.free alloc taken;
+  Allocator.free alloc guard1;
+  Allocator.free alloc guard2;
+  Allocator.check alloc
+
+let test_gpp_mixed_churn () =
+  let heap = fresh_heap () in
+  let g = Gnu_gpp.create heap in
+  let alloc = Gnu_gpp.allocator g in
+  let live = ref [] in
+  for i = 1 to 200 do
+    live := Allocator.malloc alloc (8 + (i mod 37) * 12) :: !live;
+    if i mod 3 = 0 then begin
+      match !live with
+      | x :: rest ->
+          Allocator.free alloc x;
+          live := rest
+      | [] -> ()
+    end
+  done;
+  Allocator.check alloc;
+  List.iter (Allocator.free alloc) !live;
+  Allocator.check alloc
+
+(* ------------------------------------------------------------------ *)
+(* BSD                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bsd_classes () =
+  check_int "1 byte -> 8" 3 (Bsd.class_of_request 1);
+  check_int "4 bytes -> 8" 3 (Bsd.class_of_request 4);
+  check_int "5 bytes -> 16" 4 (Bsd.class_of_request 5);
+  check_int "12 bytes -> 16" 4 (Bsd.class_of_request 12);
+  check_int "13 bytes -> 32" 5 (Bsd.class_of_request 13);
+  check_int "28 bytes -> 32" 5 (Bsd.class_of_request 28);
+  check_int "29 bytes -> 64" 6 (Bsd.class_of_request 29)
+
+let test_bsd_lifo_reuse () =
+  let heap = fresh_heap () in
+  let b = Bsd.create heap in
+  let alloc = Bsd.allocator b in
+  let a = Allocator.malloc alloc 24 in
+  Allocator.free alloc a;
+  let a' = Allocator.malloc alloc 24 in
+  check_int "LIFO: immediate reuse of the same block" a a';
+  Allocator.free alloc a';
+  Allocator.check alloc
+
+let test_bsd_page_carving () =
+  let heap = fresh_heap () in
+  let b = Bsd.create heap in
+  let alloc = Bsd.allocator b in
+  let a = Allocator.malloc alloc 24 in
+  (* 32-byte blocks: one page yields 128, one taken. *)
+  check_int "127 left on the list" 127 (Bsd.free_count b 5);
+  let more = List.init 127 (fun _ -> Allocator.malloc alloc 24) in
+  check_int "page exhausted" 0 (Bsd.free_count b 5);
+  check_int "heap grew by one page" 4096 (Heap.heap_used heap);
+  ignore (Allocator.malloc alloc 24);
+  check_int "second page carved" 8192 (Heap.heap_used heap);
+  Allocator.free alloc a;
+  List.iter (Allocator.free alloc) more;
+  Allocator.check alloc
+
+let test_bsd_no_coalescing_wastes_space () =
+  let heap = fresh_heap () in
+  let b = Bsd.create heap in
+  let alloc = Bsd.allocator b in
+  (* Allocate and free 64-byte objects, then allocate 128-byte objects:
+     the freed 64-byte blocks cannot serve them. *)
+  let xs = List.init 64 (fun _ -> Allocator.malloc alloc 60) in
+  List.iter (Allocator.free alloc) xs;
+  let used_before = Heap.heap_used heap in
+  ignore (Allocator.malloc alloc 120);
+  check_bool "had to grow the heap" true (Heap.heap_used heap > used_before);
+  check_int "64-byte list untouched" 64 (Bsd.free_count b 6)
+
+let test_bsd_large_object () =
+  let heap = fresh_heap () in
+  let b = Bsd.create heap in
+  let alloc = Bsd.allocator b in
+  let a = Allocator.malloc alloc 100_000 in
+  (* class 17: 131072 *)
+  let st = Allocator.stats alloc in
+  check_int "granted is the power of two" 131072 st.Alloc_stats.bytes_granted;
+  Allocator.free alloc a;
+  let a' = Allocator.malloc alloc 100_000 in
+  check_int "large blocks also recycle" a a';
+  Allocator.free alloc a';
+  Allocator.check alloc
+
+(* ------------------------------------------------------------------ *)
+(* Page pool                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_alloc_free_roundtrip () =
+  let heap = fresh_heap () in
+  let p = Page_pool.create heap in
+  let a = Page_pool.alloc_pages p 3 in
+  check_int "page aligned" 0 (a mod 4096);
+  check_int "3 used" 3 (Page_pool.used_page_count p);
+  Page_pool.free_pages p a;
+  check_int "0 used" 0 (Page_pool.used_page_count p);
+  Page_pool.check_invariants p
+
+let test_pool_coalescing () =
+  let heap = fresh_heap () in
+  let p = Page_pool.create heap in
+  let a = Page_pool.alloc_pages p 2 in
+  let b = Page_pool.alloc_pages p 2 in
+  let c = Page_pool.alloc_pages p 2 in
+  Page_pool.free_pages p a;
+  Page_pool.check_invariants p;
+  Page_pool.free_pages p c;
+  Page_pool.check_invariants p;
+  (* Freeing b must bridge a and c into one run with the trailing
+     grow-slack. *)
+  Page_pool.free_pages p b;
+  Page_pool.check_invariants p;
+  check_int "everything free" 0 (Page_pool.used_page_count p);
+  (* A big run must now fit without growing the heap. *)
+  let used = Heap.heap_used heap in
+  let big = Page_pool.alloc_pages p 10 in
+  check_int "no growth needed" used (Heap.heap_used heap);
+  Page_pool.free_pages p big;
+  Page_pool.check_invariants p
+
+let test_pool_first_fit_reuse () =
+  let heap = fresh_heap () in
+  let p = Page_pool.create heap in
+  let a = Page_pool.alloc_pages p 4 in
+  let _b = Page_pool.alloc_pages p 4 in
+  Page_pool.free_pages p a;
+  let c = Page_pool.alloc_pages p 2 in
+  check_int "reuses the freed hole" a c;
+  Page_pool.check_invariants p
+
+let test_pool_grow_coalesces_with_top () =
+  let heap = fresh_heap () in
+  let p = Page_pool.create heap in
+  (* Exhaust the initial 16-page chunk, then one more: growth coalesces
+     free tail space. *)
+  let a = Page_pool.alloc_pages p 16 in
+  let b = Page_pool.alloc_pages p 20 in
+  Page_pool.free_pages p a;
+  Page_pool.free_pages p b;
+  Page_pool.check_invariants p;
+  check_int "all pages free" 0 (Page_pool.used_page_count p)
+
+let test_pool_rejects_bad_free () =
+  let heap = fresh_heap () in
+  let p = Page_pool.create heap in
+  let a = Page_pool.alloc_pages p 2 in
+  check_bool "freeing a non-head fails" true
+    (match Page_pool.free_pages p (a + 4096) with
+    | exception Failure _ -> true
+    | () -> false);
+  Page_pool.free_pages p a
+
+(* ------------------------------------------------------------------ *)
+(* GNU local                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_local_classes () =
+  check_int "1 -> 8" 3 (Gnu_local.class_of_request 1);
+  check_int "8 -> 8" 3 (Gnu_local.class_of_request 8);
+  check_int "9 -> 16" 4 (Gnu_local.class_of_request 9);
+  check_int "2048 -> 2048" 11 (Gnu_local.class_of_request 2048)
+
+let test_local_fragment_reuse () =
+  let heap = fresh_heap () in
+  let g = Gnu_local.create heap in
+  let alloc = Gnu_local.allocator g in
+  let a = Allocator.malloc alloc 24 in
+  Allocator.free alloc a;
+  let a' = Allocator.malloc alloc 24 in
+  check_int "LIFO fragment reuse" a a';
+  Allocator.free alloc a';
+  Allocator.check alloc
+
+let test_local_page_reclamation () =
+  let heap = fresh_heap () in
+  let g = Gnu_local.create heap in
+  let alloc = Gnu_local.allocator g in
+  (* Fill exactly one 32-byte-fragment page (128 fragments). *)
+  let objs = List.init 128 (fun _ -> Allocator.malloc alloc 32) in
+  check_int "one page in use" 1 (Page_pool.used_page_count (Gnu_local.pool g));
+  check_int "no free fragments" 0 (Gnu_local.free_fragments g 5);
+  (* Free all: the page must return to the pool and the class list must
+     be withdrawn. *)
+  List.iter (Allocator.free alloc) objs;
+  check_int "page reclaimed" 0 (Page_pool.used_page_count (Gnu_local.pool g));
+  check_int "fragments withdrawn" 0 (Gnu_local.free_fragments g 5);
+  Allocator.check alloc
+
+let test_local_no_object_tags () =
+  let heap = fresh_heap () in
+  let g = Gnu_local.create heap in
+  let alloc = Gnu_local.allocator g in
+  let a = Allocator.malloc alloc 32 in
+  let b = Allocator.malloc alloc 32 in
+  (* Adjacent fragments are exactly 32 bytes apart: no per-object
+     header. *)
+  check_int "no header between fragments" 32 (abs (b - a));
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_local_large_objects () =
+  let heap = fresh_heap () in
+  let g = Gnu_local.create heap in
+  let alloc = Gnu_local.allocator g in
+  let a = Allocator.malloc alloc 10_000 in
+  (* 3 pages *)
+  check_int "page aligned" 0 (a mod 4096);
+  check_int "three pages" 3 (Page_pool.used_page_count (Gnu_local.pool g));
+  Allocator.free alloc a;
+  check_int "released" 0 (Page_pool.used_page_count (Gnu_local.pool g));
+  Allocator.check alloc
+
+let test_local_mixed_classes_per_page () =
+  let heap = fresh_heap () in
+  let g = Gnu_local.create heap in
+  let alloc = Gnu_local.allocator g in
+  let a = Allocator.malloc alloc 16 in
+  let b = Allocator.malloc alloc 64 in
+  (* Different classes come from different pages. *)
+  check_bool "different pages" true (a / 4096 <> b / 4096);
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_local_tag_emulation_traffic () =
+  (* With emulated tags, each malloc+free touches two extra words and
+     consumes a larger class. *)
+  let heap_plain = fresh_heap () in
+  let plain = Gnu_local.create heap_plain in
+  let heap_tags = fresh_heap () in
+  let tags = Gnu_local.create ~emulate_tags:true heap_tags in
+  let ap = Gnu_local.allocator plain and at = Gnu_local.allocator tags in
+  let x = Allocator.malloc ap 24 and y = Allocator.malloc at 24 in
+  Allocator.free ap x;
+  Allocator.free at y;
+  let gp = (Allocator.stats ap).Alloc_stats.bytes_granted in
+  let gt = (Allocator.stats at).Alloc_stats.bytes_granted in
+  check_int "plain grants 32" 32 gp;
+  check_int "tags grant 32 for 24+8" 32 gt;
+  let z = Allocator.malloc at 30 in
+  Allocator.free at z;
+  check_int "tags push 30 to 64" (32 + 64)
+    (Allocator.stats at).Alloc_stats.bytes_granted;
+  Allocator.check ap;
+  Allocator.check at
+
+(* ------------------------------------------------------------------ *)
+(* QuickFit                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_quickfit_small_fast_path () =
+  let heap = fresh_heap () in
+  let q = Quick_fit.create heap in
+  let alloc = Quick_fit.allocator q in
+  let a = Allocator.malloc alloc 24 in
+  Allocator.free alloc a;
+  check_int "on the exact list" 1 (Quick_fit.free_count q (Quick_fit.list_index 24));
+  let a' = Allocator.malloc alloc 24 in
+  check_int "LIFO reuse" a a';
+  Allocator.free alloc a';
+  Allocator.check alloc
+
+let test_quickfit_rounding () =
+  check_int "1 -> list 1" 1 (Quick_fit.list_index 1);
+  check_int "4 -> list 1" 1 (Quick_fit.list_index 4);
+  check_int "5 -> list 2" 2 (Quick_fit.list_index 5);
+  check_int "32 -> list 8" 8 (Quick_fit.list_index 32)
+
+let test_quickfit_delegates_large () =
+  let heap = fresh_heap () in
+  let q = Quick_fit.create heap in
+  let alloc = Quick_fit.allocator q in
+  let a = Allocator.malloc alloc 100 in
+  let b = Allocator.malloc alloc 5000 in
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc;
+  (* Large objects do not land on the small lists. *)
+  for i = 1 to 8 do
+    check_int "small lists untouched" 0 (Quick_fit.free_count q i)
+  done
+
+let test_quickfit_distinct_size_lists () =
+  let heap = fresh_heap () in
+  let q = Quick_fit.create heap in
+  let alloc = Quick_fit.allocator q in
+  let a8 = Allocator.malloc alloc 8 in
+  let a16 = Allocator.malloc alloc 16 in
+  let a32 = Allocator.malloc alloc 32 in
+  Allocator.free alloc a8;
+  Allocator.free alloc a16;
+  Allocator.free alloc a32;
+  check_int "8 list" 1 (Quick_fit.free_count q 2);
+  check_int "16 list" 1 (Quick_fit.free_count q 4);
+  check_int "32 list" 1 (Quick_fit.free_count q 8);
+  Allocator.check alloc
+
+let test_quickfit_carving_is_sequential () =
+  let heap = fresh_heap () in
+  let q = Quick_fit.create heap in
+  let alloc = Quick_fit.allocator q in
+  let a = Allocator.malloc alloc 16 in
+  let b = Allocator.malloc alloc 16 in
+  (* Fresh carves are adjacent: gross = 16 + 4 tag. *)
+  check_int "sequential carving" 20 (b - a);
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_quickfit_interleaved_sbrk_extents () =
+  (* Small carves and G++ extensions interleave their sbrk calls; the
+     embedded G++ must handle its discontiguous extents (fresh
+     sentinels, no cross-extent coalescing). *)
+  let heap = fresh_heap () in
+  let q = Quick_fit.create heap in
+  let alloc = Quick_fit.allocator q in
+  let live = ref [] in
+  for i = 1 to 400 do
+    (* Alternate small (carve path) and large (G++ path) requests with
+       frees, forcing many interleaved extensions. *)
+    let size = if i mod 2 = 0 then 8 + (i mod 4 * 8) else 2000 + (i mod 7 * 512) in
+    live := Allocator.malloc alloc size :: !live;
+    if i mod 3 = 0 then begin
+      match !live with
+      | a :: rest ->
+          Allocator.free alloc a;
+          live := rest
+      | [] -> ()
+    end;
+    if i mod 50 = 0 then Allocator.check alloc
+  done;
+  List.iter (Allocator.free alloc) !live;
+  Allocator.check alloc
+
+(* ------------------------------------------------------------------ *)
+(* Size map and Custom                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_size_map_defaults () =
+  let heap = fresh_heap () in
+  let m = Size_map.create heap ~classes:Size_map.default_classes in
+  check_bool "ladder has several classes" true (Size_map.num_classes m > 8);
+  check_int "max small" 2040 (Size_map.max_small m);
+  (* Every size maps to the smallest class >= it. *)
+  let sizes = Size_map.classes m in
+  for n = 1 to Size_map.max_small m do
+    let c = Size_map.lookup m n in
+    let s = Size_map.class_size m c in
+    if s < n then Alcotest.failf "class %d too small for %d" s n;
+    if c > 0 && sizes.(c - 1) >= n then
+      Alcotest.failf "class %d not minimal for %d" c n
+  done
+
+let test_size_map_design_hot_sizes () =
+  let histogram = [ (24, 100_000); (40, 50_000); (132, 10_000); (7, 5) ] in
+  let classes = Size_map.design histogram in
+  check_bool "24 exact" true (List.mem 24 classes);
+  check_bool "40 exact" true (List.mem 40 classes);
+  check_bool "132 exact" true (List.mem 132 classes);
+  check_bool "ascending" true (List.sort compare classes = classes)
+
+let test_size_map_design_bounds_classes () =
+  let histogram = List.init 100 (fun i -> ((i + 1) * 4, 50)) in
+  let classes = Size_map.design ~max_classes:20 ~hot_sizes:4 histogram in
+  check_bool "bounded" true (List.length classes <= 20)
+
+let test_size_map_bounded_policy () =
+  (* DeTreville: with a 25% bound, sizes 12-16 round to 16 (the paper's
+     own example), and no request wastes more than the bound. *)
+  let classes = Size_map.bounded ~max_frag:0.25 () in
+  let heap = fresh_heap () in
+  let m = Size_map.create heap ~classes in
+  check_int "13 rounds to 16" 16 (Size_map.rounded m 13);
+  check_int "16 stays 16" 16 (Size_map.rounded m 16);
+  (* Word alignment is universal overhead, so the bound is on the
+     word-rounded request size. *)
+  for n = 1 to Size_map.max_small m do
+    let c = Size_map.rounded m n in
+    let r = (n + 3) / 4 * 4 in
+    let waste = float_of_int (c - r) /. float_of_int c in
+    if waste > 0.25 +. 1e-9 then
+      Alcotest.failf "size %d wastes %.0f%% in class %d" n (100. *. waste) c
+  done;
+  (* A tighter bound needs more classes. *)
+  let tighter = Size_map.bounded ~max_frag:0.10 () in
+  check_bool "tighter bound, more classes" true
+    (List.length tighter > List.length classes);
+  check_bool "bad bound rejected" true
+    (match Size_map.bounded ~max_frag:1.5 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_size_map_rejects_bad_classes () =
+  let heap = fresh_heap () in
+  check_bool "unsorted rejected" true
+    (match Size_map.create heap ~classes:[ 16; 8 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "non-word rejected" true
+    (match Size_map.create heap ~classes:[ 10 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_custom_exact_reuse () =
+  let heap = fresh_heap () in
+  let c = Custom.create_for ~histogram:[ (24, 1000); (40, 500) ] heap in
+  let alloc = Custom.allocator c in
+  let a = Allocator.malloc alloc 24 in
+  Allocator.free alloc a;
+  let a' = Allocator.malloc alloc 24 in
+  check_int "LIFO reuse" a a';
+  (* 24 is a hot size: granted exactly 24, no tag. *)
+  let b = Allocator.malloc alloc 24 in
+  check_int "no per-object overhead" 24 (abs (b - a'));
+  Allocator.free alloc a';
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_custom_fragmentation_beats_bsd () =
+  (* For 24-byte-heavy workloads: custom grants 24, BSD grants 32. *)
+  let heap1 = fresh_heap () in
+  let cu = Custom.create_for ~histogram:[ (24, 1000) ] heap1 in
+  let ca = Custom.allocator cu in
+  let heap2 = fresh_heap () in
+  let ba = Bsd.allocator (Bsd.create heap2) in
+  ignore (Allocator.malloc ca 24);
+  ignore (Allocator.malloc ba 24);
+  let fc = Alloc_stats.internal_fragmentation (Allocator.stats ca) in
+  let fb = Alloc_stats.internal_fragmentation (Allocator.stats ba) in
+  check_bool "custom wastes less" true (fc < fb)
+
+let test_custom_large_objects () =
+  let heap = fresh_heap () in
+  let c = Custom.create heap in
+  let alloc = Custom.allocator c in
+  let a = Allocator.malloc alloc 50_000 in
+  check_int "page aligned" 0 (a mod 4096);
+  Allocator.free alloc a;
+  Allocator.check alloc
+
+let test_custom_pages_retained () =
+  let heap = fresh_heap () in
+  let c = Custom.create heap in
+  let alloc = Custom.allocator c in
+  let objs = List.init 50 (fun _ -> Allocator.malloc alloc 24) in
+  let pages = Page_pool.used_page_count (Custom.pool c) in
+  List.iter (Allocator.free alloc) objs;
+  (* Unlike GNU local, pages stay with their class for instant reuse. *)
+  check_int "pages retained" pages (Page_pool.used_page_count (Custom.pool c));
+  Allocator.check alloc
+
+(* ------------------------------------------------------------------ *)
+(* Predictive (lifetime prediction)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let all_short sites = Array.make sites Predictive.Short
+let all_long sites = Array.make sites Predictive.Long
+
+let test_predictive_trainer_majority () =
+  let tr = Predictive.Trainer.create ~sites:3 in
+  for _ = 1 to 10 do
+    Predictive.Trainer.observe tr ~site:0 ~long:false
+  done;
+  Predictive.Trainer.observe tr ~site:0 ~long:true;
+  for _ = 1 to 5 do
+    Predictive.Trainer.observe tr ~site:1 ~long:true
+  done;
+  (* site 2 never observed *)
+  let p = Predictive.Trainer.finish tr in
+  check_bool "site 0 short" true (p.(0) = Predictive.Short);
+  check_bool "site 1 long" true (p.(1) = Predictive.Long);
+  check_bool "unseen defaults long" true (p.(2) = Predictive.Long)
+
+let test_predictive_arena_bump () =
+  let heap = fresh_heap () in
+  let p = Predictive.create ~predictions:(all_short 4) heap in
+  let alloc = Predictive.allocator p in
+  let a = Allocator.malloc_sited alloc ~site:0 24 in
+  let b = Allocator.malloc_sited alloc ~site:1 40 in
+  (* Bump allocation: consecutive, word-aligned. *)
+  check_int "bump adjacency" (a + 24) b;
+  check_int "one arena chunk" 1 (Predictive.arena_pages p);
+  Allocator.free alloc a;
+  Allocator.free alloc b;
+  Allocator.check alloc
+
+let test_predictive_chunk_recycles () =
+  let heap = fresh_heap () in
+  let p = Predictive.create ~predictions:(all_short 4) heap in
+  let alloc = Predictive.allocator p in
+  (* Allocate and free in waves: the current chunk rewinds, so the same
+     addresses come back and no new pages are taken. *)
+  let wave () =
+    let xs = List.init 50 (fun _ -> Allocator.malloc_sited alloc ~site:0 32) in
+    List.iter (Allocator.free alloc) xs;
+    List.hd xs
+  in
+  let first = wave () in
+  let again = wave () in
+  check_int "same hot page reused" first again;
+  check_int "still one chunk" 1 (Predictive.arena_pages p);
+  Allocator.check alloc
+
+let test_predictive_retired_chunk_freed () =
+  let heap = fresh_heap () in
+  let p = Predictive.create ~predictions:(all_short 4) heap in
+  let alloc = Predictive.allocator p in
+  (* Fill beyond one page so the first chunk retires, then free its
+     objects: the page must return to the pool. *)
+  let xs = List.init 200 (fun _ -> Allocator.malloc_sited alloc ~site:0 32) in
+  check_bool "several chunks" true (Predictive.arena_pages p >= 2);
+  let before = Predictive.arena_pages p in
+  List.iter (Allocator.free alloc) xs;
+  check_bool "retired chunks reclaimed" true
+    (Predictive.arena_pages p < before);
+  Allocator.check alloc
+
+let test_predictive_long_goes_to_general () =
+  let heap = fresh_heap () in
+  let p = Predictive.create ~predictions:(all_long 4) heap in
+  let alloc = Predictive.allocator p in
+  let a = Allocator.malloc_sited alloc ~site:0 24 in
+  check_int "no arena chunk" 0 (Predictive.arena_pages p);
+  Allocator.free alloc a;
+  Allocator.check alloc;
+  check_bool "table says long" true
+    (Predictive.prediction_for p 0 = Predictive.Long);
+  check_bool "out of range is long" true
+    (Predictive.prediction_for p 99 = Predictive.Long)
+
+let test_predictive_big_shorts_bypass_arena () =
+  let heap = fresh_heap () in
+  let p = Predictive.create ~predictions:(all_short 4) heap in
+  let alloc = Predictive.allocator p in
+  let a = Allocator.malloc_sited alloc ~site:0 10_000 in
+  check_int "no arena chunk for big objects" 0 (Predictive.arena_pages p);
+  Allocator.free alloc a;
+  Allocator.check alloc
+
+let test_predictive_plain_malloc_is_long () =
+  let heap = fresh_heap () in
+  let p = Predictive.create ~predictions:(all_short 4) heap in
+  let alloc = Predictive.allocator p in
+  let a = Allocator.malloc alloc 24 in
+  check_int "plain malloc avoids arena" 0 (Predictive.arena_pages p);
+  Allocator.free alloc a;
+  Allocator.check alloc
+
+let test_predictive_mixed_random () =
+  let heap = fresh_heap () in
+  let preds = Array.init 8 (fun i -> if i < 4 then Predictive.Short else Predictive.Long) in
+  let p = Predictive.create ~predictions:preds heap in
+  let alloc = Predictive.allocator p in
+  let live = ref [] in
+  let rng = ref 7777 in
+  let next () = rng := (!rng * 1103515245 + 12345) land 0x3FFFFFFF; !rng in
+  for i = 1 to 600 do
+    let r = next () in
+    if r mod 100 < 55 || !live = [] then begin
+      let site = next () mod 8 in
+      let size = 4 + (next () mod 300) in
+      live := Allocator.malloc_sited alloc ~site size :: !live
+    end
+    else begin
+      let idx = next () mod List.length !live in
+      Allocator.free alloc (List.nth !live idx);
+      live := List.filteri (fun j _ -> j <> idx) !live
+    end;
+    if i mod 100 = 0 then Allocator.check alloc
+  done;
+  List.iter (Allocator.free alloc) !live;
+  Allocator.check alloc
+
+(* ------------------------------------------------------------------ *)
+(* Cross-allocator properties                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random malloc/free scripts, executed against a real allocator with
+   periodic and final invariant checks.  The script is a list of
+   (size, free_victim_choice) pairs. *)
+let random_ops_property key =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: random ops keep invariants" key)
+    ~count:30
+    QCheck.(
+      list_of_size (Gen.int_range 10 120)
+        (pair (int_range 1 3000) (int_bound 99)))
+    (fun script ->
+      let heap = fresh_heap () in
+      let alloc = Registry.build key heap in
+      let live = ref [] in
+      let step i (size, victim) =
+        if victim < 35 && !live <> [] then begin
+          let idx = victim mod List.length !live in
+          let a = List.nth !live idx in
+          Allocator.free alloc a;
+          live := List.filteri (fun j _ -> j <> idx) !live
+        end
+        else if victim < 50 && !live <> [] then begin
+          let idx = victim mod List.length !live in
+          let a = List.nth !live idx in
+          let b = Allocator.realloc alloc a size in
+          live := List.mapi (fun j x -> if j = idx then b else x) !live
+        end
+        else live := Allocator.malloc alloc size :: !live;
+        if i mod 25 = 0 then Allocator.check alloc
+      in
+      List.iteri step script;
+      Allocator.check alloc;
+      List.iter (Allocator.free alloc) !live;
+      Allocator.check alloc;
+      true)
+
+let props_random = List.map (fun k -> random_ops_property k) (Registry.keys ())
+
+let test_all_allocators_emit_attributed_traffic () =
+  List.iter
+    (fun key ->
+      let heap, c = counted_heap () in
+      let alloc = Registry.build key heap in
+      let a = Allocator.malloc alloc 24 in
+      let b = Allocator.malloc alloc 100 in
+      Allocator.free alloc a;
+      Allocator.free alloc b;
+      check_bool
+        (key ^ ": malloc traffic")
+        true
+        (Memsim.Sink.Counter.by_source c Memsim.Event.Malloc > 0);
+      check_bool
+        (key ^ ": free traffic")
+        true
+        (Memsim.Sink.Counter.by_source c Memsim.Event.Free > 0))
+    (Registry.keys ())
+
+let test_segregated_cheaper_than_search () =
+  (* The paper's Figure 1: BSD/QuickFit spend far fewer instructions
+     than FirstFit on a mixed-size churn workload. *)
+  let run key =
+    let heap = fresh_heap () in
+    let alloc = Registry.build key heap in
+    let live = ref [] in
+    let rng = ref 9001 in
+    let next () =
+      rng := (!rng * 1103515245 + 12345) land 0x3FFFFFFF;
+      !rng
+    in
+    for _ = 1 to 2000 do
+      let r = next () in
+      if r mod 100 < 55 || !live = [] then
+        live := Allocator.malloc alloc (4 + (r mod 400)) :: !live
+      else begin
+        let idx = next () mod List.length !live in
+        Allocator.free alloc (List.nth !live idx);
+        live := List.filteri (fun j _ -> j <> idx) !live
+      end
+    done;
+    Cost.allocator_total (Heap.cost (Allocator.heap alloc))
+  in
+  let ff = run "firstfit" in
+  let bsd = run "bsd" in
+  let qf = run "quickfit" in
+  check_bool "bsd cheaper than firstfit" true (bsd < ff);
+  check_bool "quickfit cheaper than firstfit" true (qf < ff)
+
+let test_no_free_workload () =
+  (* PTC frees nothing; every allocator must cope. *)
+  List.iter
+    (fun key ->
+      let heap = fresh_heap () in
+      let alloc = Registry.build key heap in
+      for i = 1 to 300 do
+        ignore (Allocator.malloc alloc (4 + (i mod 200)))
+      done;
+      Allocator.check alloc)
+    (Registry.keys ())
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "allocators"
+    [
+      ( "cost",
+        [
+          tc "phases" test_cost_phases;
+          tc "empty fraction" test_cost_empty_fraction;
+        ] );
+      ( "heap",
+        [
+          tc "load/store costs" test_heap_load_store_costs;
+          tc "phase attribution" test_heap_phase_attribution;
+          tc "regions disjoint" test_heap_regions_disjoint;
+          tc "page-aligned base" test_heap_page_aligned_base;
+        ] );
+      ( "framework",
+        [
+          tc "misuse" test_framework_misuse;
+          tc "stats" test_framework_stats;
+          tc "rejects zero" test_framework_rejects_zero;
+          tc "registry" test_registry_contents;
+        ] );
+      ( "tags-and-freelists",
+        [
+          tc "boundary tag roundtrip" test_boundary_tag_roundtrip;
+          tc "footer lookup" test_boundary_tag_footer_lookup;
+          tc "payload helpers" test_boundary_tag_payload;
+          tc "freelist ops" test_freelist_ops;
+          tc "freelist insert_after" test_freelist_insert_after;
+          tc "freelist traffic counted" test_freelist_traffic_counted;
+        ]
+        @ qsuite
+            [ prop_freelist_random_matches_model; prop_page_pool_random_ops ]
+      );
+      ( "realloc",
+        [
+          tc "in-place same class" test_realloc_in_place_same_class;
+          tc "moves across classes" test_realloc_moves_across_classes;
+          tc "copy traffic" test_realloc_copy_traffic;
+          tc "misuse" test_realloc_misuse;
+          tc "shrink" test_realloc_shrink;
+          tc "every allocator" test_realloc_every_allocator;
+        ] );
+      ( "firstfit",
+        [
+          tc "basic reuse" test_firstfit_basic_reuse;
+          tc "coalesce to one block" test_firstfit_coalesce_to_one_block;
+          tc "interleaved coalesce" test_firstfit_interleaved_coalesce;
+          tc "split threshold" test_firstfit_split_threshold;
+          tc "large allocation" test_firstfit_large_allocation;
+          tc "rover advances" test_firstfit_rover_advances;
+        ] );
+      ( "bestfit",
+        [
+          tc "picks smallest" test_bestfit_picks_smallest;
+          tc "exact fit" test_bestfit_exact_fit_stops_search;
+        ] );
+      ( "gnu-g++",
+        [
+          tc "bins" test_gpp_bins;
+          tc "freed block lands in bin" test_gpp_freed_block_lands_in_bin;
+          tc "takes from bigger bin" test_gpp_takes_from_bigger_bin;
+          tc "mixed churn" test_gpp_mixed_churn;
+        ] );
+      ( "bsd",
+        [
+          tc "classes" test_bsd_classes;
+          tc "lifo reuse" test_bsd_lifo_reuse;
+          tc "page carving" test_bsd_page_carving;
+          tc "no coalescing wastes space" test_bsd_no_coalescing_wastes_space;
+          tc "large object" test_bsd_large_object;
+        ] );
+      ( "page-pool",
+        [
+          tc "roundtrip" test_pool_alloc_free_roundtrip;
+          tc "coalescing" test_pool_coalescing;
+          tc "first-fit reuse" test_pool_first_fit_reuse;
+          tc "grow coalesces with top" test_pool_grow_coalesces_with_top;
+          tc "rejects bad free" test_pool_rejects_bad_free;
+        ] );
+      ( "gnu-local",
+        [
+          tc "classes" test_local_classes;
+          tc "fragment reuse" test_local_fragment_reuse;
+          tc "page reclamation" test_local_page_reclamation;
+          tc "no object tags" test_local_no_object_tags;
+          tc "large objects" test_local_large_objects;
+          tc "mixed classes per page" test_local_mixed_classes_per_page;
+          tc "tag emulation traffic" test_local_tag_emulation_traffic;
+        ] );
+      ( "quickfit",
+        [
+          tc "small fast path" test_quickfit_small_fast_path;
+          tc "rounding" test_quickfit_rounding;
+          tc "delegates large" test_quickfit_delegates_large;
+          tc "distinct size lists" test_quickfit_distinct_size_lists;
+          tc "sequential carving" test_quickfit_carving_is_sequential;
+          tc "interleaved sbrk extents" test_quickfit_interleaved_sbrk_extents;
+        ] );
+      ( "size-map",
+        [
+          tc "defaults" test_size_map_defaults;
+          tc "design hot sizes" test_size_map_design_hot_sizes;
+          tc "design bounds classes" test_size_map_design_bounds_classes;
+          tc "bounded-fragmentation policy" test_size_map_bounded_policy;
+          tc "rejects bad classes" test_size_map_rejects_bad_classes;
+        ] );
+      ( "custom",
+        [
+          tc "exact reuse" test_custom_exact_reuse;
+          tc "fragmentation beats bsd" test_custom_fragmentation_beats_bsd;
+          tc "large objects" test_custom_large_objects;
+          tc "pages retained" test_custom_pages_retained;
+        ] );
+      ( "predictive",
+        [
+          tc "trainer majority" test_predictive_trainer_majority;
+          tc "arena bump" test_predictive_arena_bump;
+          tc "chunk recycles" test_predictive_chunk_recycles;
+          tc "retired chunk freed" test_predictive_retired_chunk_freed;
+          tc "long goes to general" test_predictive_long_goes_to_general;
+          tc "big shorts bypass arena" test_predictive_big_shorts_bypass_arena;
+          tc "plain malloc is long" test_predictive_plain_malloc_is_long;
+          tc "mixed random" test_predictive_mixed_random;
+        ] );
+      ( "cross-allocator",
+        [
+          tc "attributed traffic" test_all_allocators_emit_attributed_traffic;
+          tc "segregated cheaper than search"
+            test_segregated_cheaper_than_search;
+          tc "no-free workload" test_no_free_workload;
+        ]
+        @ qsuite props_random );
+    ]

@@ -1,0 +1,595 @@
+(* Tests for the cache simulator, including cross-validation against a
+   naive reference model on random traces. *)
+
+open Cachesim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_defaults () =
+  let c = Config.make (16 * 1024) in
+  Alcotest.(check string) "derived name" "16K-dm" c.Config.name;
+  check_int "block" 32 c.Config.block_bytes;
+  check_int "dm" 1 c.Config.associativity;
+  check_int "sets" 512 (Config.num_sets c);
+  check_int "blocks" 512 (Config.num_blocks c)
+
+let test_config_assoc_name () =
+  let c = Config.make ~associativity:2 (16 * 1024) in
+  Alcotest.(check string) "derived name" "16K-2way" c.Config.name;
+  check_int "sets halve" 256 (Config.num_sets c)
+
+let test_config_rejects_bad () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "non-pow2 size" (fun () -> Config.make 10_000);
+  expect_invalid "non-pow2 block" (fun () ->
+      Config.make ~block_bytes:24 16384);
+  expect_invalid "assoc 3" (fun () -> Config.make ~associativity:3 16384);
+  expect_invalid "assoc > blocks" (fun () ->
+      Config.make ~block_bytes:32 ~associativity:8 128)
+
+let test_config_paper_sweep () =
+  let names = List.map (fun c -> c.Config.name) Config.paper_direct_mapped in
+  Alcotest.(check (list string)) "sweep"
+    [ "16K-dm"; "32K-dm"; "64K-dm"; "128K-dm"; "256K-dm" ]
+    names
+
+(* ------------------------------------------------------------------ *)
+(* Cache: hand-worked direct-mapped scenarios                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A tiny cache: 4 sets of 32-byte blocks = 128 bytes, direct-mapped. *)
+let tiny_dm () = Cache.create (Config.make ~block_bytes:32 128)
+
+let read_at cache addr =
+  Cache.access cache (Memsim.Event.read addr 4)
+
+let test_dm_hit_after_miss () =
+  let c = tiny_dm () in
+  read_at c 0x1000;
+  read_at c 0x1004;
+  (* same block *)
+  let s = Cache.stats c in
+  check_int "two accesses" 2 s.Stats.accesses;
+  check_int "one miss" 1 s.Stats.misses;
+  check_int "one cold miss" 1 s.Stats.cold_misses
+
+let test_dm_conflict_eviction () =
+  let c = tiny_dm () in
+  (* Blocks 0 and 4 map to set 0 in a 4-set cache. *)
+  read_at c 0;
+  read_at c (4 * 32);
+  read_at c 0;
+  (* evicted by previous access -> miss again, but not cold *)
+  let s = Cache.stats c in
+  check_int "three accesses" 3 s.Stats.accesses;
+  check_int "three misses" 3 s.Stats.misses;
+  check_int "two cold" 2 s.Stats.cold_misses
+
+let test_dm_distinct_sets_coexist () =
+  let c = tiny_dm () in
+  read_at c 0;
+  read_at c 32;
+  read_at c 64;
+  read_at c 96;
+  read_at c 0;
+  read_at c 32;
+  let s = Cache.stats c in
+  check_int "4 cold misses then hits" 4 s.Stats.misses
+
+let test_event_spanning_blocks () =
+  let c = tiny_dm () in
+  (* A 64-byte write starting at 16 spans blocks 0, 1, 2. *)
+  Cache.access c (Memsim.Event.write 16 64);
+  let s = Cache.stats c in
+  check_int "three block accesses" 3 s.Stats.accesses;
+  check_int "all write accesses" 3 s.Stats.write_accesses;
+  check_int "three misses" 3 s.Stats.misses
+
+let test_source_breakdown () =
+  let c = tiny_dm () in
+  Cache.access c (Memsim.Event.read ~source:Memsim.Event.Malloc 0 4);
+  Cache.access c (Memsim.Event.read ~source:Memsim.Event.App 0 4);
+  Cache.access c (Memsim.Event.write ~source:Memsim.Event.Free 0 4);
+  let s = Cache.stats c in
+  check_int "malloc accesses" 1 s.Stats.malloc_accesses;
+  check_int "malloc misses" 1 s.Stats.malloc_misses;
+  check_int "app hits" 0 s.Stats.app_misses;
+  check_int "free accesses" 1 s.Stats.free_accesses;
+  Alcotest.(check (float 1e-9))
+    "source miss rate" 0.
+    (Stats.source_miss_rate s Memsim.Event.App)
+
+let test_flush () =
+  let c = tiny_dm () in
+  read_at c 0x40;
+  check_bool "resident" true (Cache.contains_block c ~block:2);
+  Cache.flush c;
+  check_bool "flushed" false (Cache.contains_block c ~block:2);
+  read_at c 0x40;
+  let s = Cache.stats c in
+  check_int "second access misses after flush" 2 s.Stats.misses;
+  check_int "but is not cold" 1 s.Stats.cold_misses
+
+(* ------------------------------------------------------------------ *)
+(* Write-back accounting                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* 2 sets x 2 ways x 32B = 128 bytes. *)
+let tiny_2way () =
+  Cache.create (Config.make ~block_bytes:32 ~associativity:2 128)
+
+let write_at cache addr = Cache.access cache (Memsim.Event.write addr 4)
+
+let test_wb_dirty_eviction () =
+  let c = tiny_dm () in
+  write_at c 0;
+  (* dirty block 0 in set 0 *)
+  read_at c (4 * 32);
+  (* evicts it -> one writeback *)
+  check_int "one writeback" 1 (Cache.stats c).Stats.writebacks
+
+let test_wb_clean_eviction_free () =
+  let c = tiny_dm () in
+  read_at c 0;
+  read_at c (4 * 32);
+  check_int "clean eviction, no writeback" 0 (Cache.stats c).Stats.writebacks
+
+let test_wb_flush_writes_dirty () =
+  let c = tiny_dm () in
+  write_at c 0;
+  write_at c 32;
+  read_at c 64;
+  Cache.flush c;
+  (* two dirty + one clean block flushed *)
+  check_int "two writebacks on flush" 2 (Cache.stats c).Stats.writebacks;
+  Cache.flush c;
+  check_int "second flush writes nothing" 2 (Cache.stats c).Stats.writebacks
+
+let test_wb_read_after_write_keeps_dirty () =
+  let c = tiny_dm () in
+  write_at c 0;
+  read_at c 0;
+  (* still dirty *)
+  read_at c (4 * 32);
+  check_int "writeback after read hit" 1 (Cache.stats c).Stats.writebacks
+
+let test_wb_assoc_dirty_follows_lru () =
+  let c = tiny_2way () in
+  write_at c (0 * 32);
+  read_at c (2 * 32);
+  read_at c (0 * 32);
+  (* 0 is MRU and dirty; 2 clean LRU *)
+  read_at c (4 * 32);
+  (* evicts clean 2 *)
+  check_int "clean victim, no writeback" 0 (Cache.stats c).Stats.writebacks;
+  read_at c (6 * 32);
+  (* evicts dirty 0 *)
+  check_int "dirty victim written back" 1 (Cache.stats c).Stats.writebacks;
+  check_int "memory traffic = misses + writebacks"
+    ((Cache.stats c).Stats.misses + 1)
+    (Stats.memory_traffic_blocks (Cache.stats c))
+
+let prop_writebacks_bounded =
+  QCheck.Test.make ~name:"writebacks never exceed writes" ~count:200
+    QCheck.(
+      list_of_size (QCheck.Gen.int_range 1 300)
+        (pair bool (int_range 0 1023)))
+    (fun ops ->
+      let c = Cache.create (Config.make ~block_bytes:32 256) in
+      List.iter
+        (fun (w, addr) ->
+          if w then Cache.access c (Memsim.Event.write addr 4)
+          else Cache.access c (Memsim.Event.read addr 4))
+        ops;
+      Cache.flush c;
+      let s = Cache.stats c in
+      s.Stats.writebacks <= s.Stats.write_accesses)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: associativity                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_assoc_two_blocks_coexist () =
+  let c = tiny_2way () in
+  (* Blocks 0 and 2 both map to set 0; with 2 ways they coexist. *)
+  read_at c (0 * 32);
+  read_at c (2 * 32);
+  read_at c (0 * 32);
+  read_at c (2 * 32);
+  let s = Cache.stats c in
+  check_int "only the two cold misses" 2 s.Stats.misses
+
+let test_assoc_lru_eviction_order () =
+  let c = tiny_2way () in
+  (* Set 0 receives blocks 0, 2, then 4: 0 is LRU and must be evicted. *)
+  read_at c (0 * 32);
+  read_at c (2 * 32);
+  read_at c (4 * 32);
+  check_bool "block 0 evicted" false (Cache.contains_block c ~block:0);
+  check_bool "block 2 stays" true (Cache.contains_block c ~block:2);
+  check_bool "block 4 resident" true (Cache.contains_block c ~block:4)
+
+let test_assoc_touch_refreshes_lru () =
+  let c = tiny_2way () in
+  read_at c (0 * 32);
+  read_at c (2 * 32);
+  read_at c (0 * 32);
+  (* refresh 0: now 2 is LRU *)
+  read_at c (4 * 32);
+  check_bool "block 2 evicted" false (Cache.contains_block c ~block:2);
+  check_bool "block 0 survives" true (Cache.contains_block c ~block:0)
+
+(* ------------------------------------------------------------------ *)
+(* Reference model cross-validation                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Obviously-correct set-associative LRU: per-set list of blocks in
+   MRU-first order. *)
+module Ref_model = struct
+  type t = {
+    num_sets : int;
+    assoc : int;
+    mutable sets : int list array;
+    mutable misses : int;
+    mutable accesses : int;
+  }
+
+  let create (cfg : Config.t) =
+    { num_sets = Config.num_sets cfg;
+      assoc = cfg.associativity;
+      sets = Array.make (Config.num_sets cfg) [];
+      misses = 0;
+      accesses = 0 }
+
+  let access t block =
+    t.accesses <- t.accesses + 1;
+    let set = block mod t.num_sets in
+    let resident = t.sets.(set) in
+    let hit = List.mem block resident in
+    if not hit then t.misses <- t.misses + 1;
+    let without = List.filter (fun b -> b <> block) resident in
+    let updated = block :: without in
+    let truncated =
+      if List.length updated > t.assoc then
+        List.filteri (fun i _ -> i < t.assoc) updated
+      else updated
+    in
+    t.sets.(set) <- truncated
+end
+
+let random_trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (pair (int_range 0 2047) (int_range 1 8)))
+
+let trace_arb = QCheck.make random_trace_gen
+
+let cross_validate cfg trace =
+  let cache = Cache.create cfg in
+  let model = Ref_model.create cfg in
+  List.iter
+    (fun (addr, size) ->
+      Cache.access cache (Memsim.Event.read addr size);
+      let bb = cfg.Config.block_bytes in
+      for block = addr / bb to (addr + size - 1) / bb do
+        Ref_model.access model block
+      done)
+    trace;
+  let s = Cache.stats cache in
+  s.Stats.accesses = model.Ref_model.accesses
+  && s.Stats.misses = model.Ref_model.misses
+
+let prop_dm_matches_model =
+  QCheck.Test.make ~name:"direct-mapped matches reference model" ~count:200
+    trace_arb
+    (cross_validate (Config.make ~block_bytes:32 512))
+
+let prop_2way_matches_model =
+  QCheck.Test.make ~name:"2-way matches reference model" ~count:200 trace_arb
+    (cross_validate (Config.make ~block_bytes:32 ~associativity:2 512))
+
+let prop_4way_matches_model =
+  QCheck.Test.make ~name:"4-way matches reference model" ~count:200 trace_arb
+    (cross_validate (Config.make ~block_bytes:16 ~associativity:4 256))
+
+let prop_fully_assoc_matches_model =
+  QCheck.Test.make ~name:"fully-associative matches reference model"
+    ~count:100 trace_arb
+    (cross_validate (Config.make ~block_bytes:32 ~associativity:8 256))
+
+let prop_assoc_monotone =
+  (* For a fixed capacity, LRU set-associative misses are not generally
+     monotone in associativity (Belady), but a fully-associative LRU cache
+     never misses more than total distinct-block count bound; we check a
+     weaker sane property: misses <= accesses and hits+misses=accesses. *)
+  QCheck.Test.make ~name:"stats are internally consistent" ~count:200
+    trace_arb (fun trace ->
+      let cfg = Config.make ~block_bytes:32 256 in
+      let cache = Cache.create cfg in
+      List.iter
+        (fun (addr, size) -> Cache.access cache (Memsim.Event.read addr size))
+        trace;
+      let s = Cache.stats cache in
+      s.Stats.misses <= s.Stats.accesses
+      && Stats.hits s + s.Stats.misses = s.Stats.accesses
+      && s.Stats.cold_misses <= s.Stats.misses
+      && s.Stats.read_accesses + s.Stats.write_accesses = s.Stats.accesses)
+
+let prop_full_assoc_has_no_conflicts =
+  QCheck.Test.make ~name:"fully-associative cache has no conflict misses"
+    ~count:100 trace_arb (fun trace ->
+      let cl = Classify.create (Config.make ~block_bytes:32 ~associativity:8 256) in
+      let sink = Classify.sink cl in
+      List.iter
+        (fun (addr, size) ->
+          sink.Memsim.Sink.emit (Memsim.Event.read addr size))
+        trace;
+      (Classify.counts cl).Classify.conflict = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Multi                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_multi_broadcast () =
+  let m = Multi.create Config.paper_direct_mapped in
+  let sink = Multi.sink m in
+  for i = 0 to 99 do
+    sink.Memsim.Sink.emit (Memsim.Event.read (i * 64) 4)
+  done;
+  List.iter
+    (fun (_, s) -> check_int "each cache saw all accesses" 100 s.Stats.accesses)
+    (Multi.results m)
+
+let test_multi_bigger_cache_fewer_misses () =
+  let m = Multi.create Config.paper_direct_mapped in
+  let sink = Multi.sink m in
+  (* Working set of 1024 blocks cycled repeatedly: small caches thrash,
+     the 256K cache (8192 blocks) holds everything. *)
+  for _pass = 1 to 5 do
+    for b = 0 to 1023 do
+      sink.Memsim.Sink.emit (Memsim.Event.read (b * 32) 4)
+    done
+  done;
+  let rates = List.map snd (Multi.miss_rate_series m) in
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b -. 1e-9 && non_increasing (b :: rest)
+    | _ -> true
+  in
+  check_bool "miss rate non-increasing in cache size" true
+    (non_increasing rates);
+  let largest = List.nth rates (List.length rates - 1) in
+  check_bool "largest cache only cold misses" true (largest < 25.)
+
+let test_multi_find () =
+  let m = Multi.create Config.paper_direct_mapped in
+  let c = Multi.find m ~name:"64K-dm" in
+  check_int "found the right size" (64 * 1024)
+    (Cache.config c).Config.size_bytes;
+  check_bool "missing raises" true
+    (match Multi.find m ~name:"nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Classify                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_classify_cold () =
+  let cl = Classify.create (Config.make ~block_bytes:32 128) in
+  let sink = Classify.sink cl in
+  sink.Memsim.Sink.emit (Memsim.Event.read 0 4);
+  sink.Memsim.Sink.emit (Memsim.Event.read 32 4);
+  let c = Classify.counts cl in
+  check_int "all cold" 2 c.Classify.cold;
+  check_int "no conflict" 0 c.Classify.conflict;
+  check_int "no capacity" 0 c.Classify.capacity
+
+let test_classify_conflict () =
+  let cl = Classify.create (Config.make ~block_bytes:32 128) in
+  let sink = Classify.sink cl in
+  (* Two blocks in the same set of a 4-set cache, alternating: the
+     fully-associative cache (4 blocks) holds both, so repeats are
+     conflict misses. *)
+  let a = 0 and b = 4 * 32 in
+  List.iter
+    (fun addr -> sink.Memsim.Sink.emit (Memsim.Event.read addr 4))
+    [ a; b; a; b; a; b ];
+  let c = Classify.counts cl in
+  check_int "two cold" 2 c.Classify.cold;
+  check_int "four conflict" 4 c.Classify.conflict;
+  check_int "no capacity" 0 c.Classify.capacity
+
+let test_classify_capacity () =
+  let cl = Classify.create (Config.make ~block_bytes:32 128) in
+  let sink = Classify.sink cl in
+  (* Cycle through 8 blocks (> 4-block capacity) twice: second pass
+     misses even fully-associatively -> capacity misses. *)
+  for _pass = 1 to 2 do
+    for b = 0 to 7 do
+      sink.Memsim.Sink.emit (Memsim.Event.read (b * 32) 4)
+    done
+  done;
+  let c = Classify.counts cl in
+  check_int "eight cold" 8 c.Classify.cold;
+  check_int "second pass all capacity" 8 c.Classify.capacity;
+  check_int "total misses" 16 (Classify.total_misses cl)
+
+let prop_classify_partitions_misses =
+  QCheck.Test.make ~name:"cold+capacity+conflict = misses" ~count:200
+    trace_arb (fun trace ->
+      let cfg = Config.make ~block_bytes:32 256 in
+      let cl = Classify.create cfg in
+      let sink = Classify.sink cl in
+      List.iter
+        (fun (addr, size) ->
+          sink.Memsim.Sink.emit (Memsim.Event.read addr size))
+        trace;
+      let c = Classify.counts cl in
+      let s = Classify.stats cl in
+      c.Classify.cold + c.Classify.capacity + c.Classify.conflict
+      = s.Stats.misses
+      && c.Classify.hits = Stats.hits s)
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_hierarchy_l2_sees_only_l1_misses () =
+  let h =
+    Hierarchy.create
+      ~l1:(Config.make ~block_bytes:32 128)
+      ~l2:(Config.make ~block_bytes:32 4096)
+  in
+  let sink = Hierarchy.sink h in
+  (* Touch block 0 three times: one L1 miss, then hits. *)
+  for _ = 1 to 3 do
+    sink.Memsim.Sink.emit (Memsim.Event.read 0 4)
+  done;
+  check_int "L1 sees 3" 3 (Hierarchy.l1_stats h).Stats.accesses;
+  check_int "L1 misses once" 1 (Hierarchy.l1_stats h).Stats.misses;
+  check_int "L2 sees only the miss" 1 (Hierarchy.l2_stats h).Stats.accesses
+
+let test_hierarchy_stall_cycles () =
+  let h =
+    Hierarchy.create
+      ~l1:(Config.make ~block_bytes:32 128)
+      ~l2:(Config.make ~block_bytes:32 4096)
+  in
+  let sink = Hierarchy.sink h in
+  sink.Memsim.Sink.emit (Memsim.Event.read 0 4);
+  (* one L1 miss + one L2 miss *)
+  check_int "stalls = 10 + 100" 110
+    (Hierarchy.stall_cycles h ~l1_penalty:10 ~l2_penalty:100)
+
+let test_hierarchy_l2_filters () =
+  let h =
+    Hierarchy.create
+      ~l1:(Config.make ~block_bytes:32 128)
+      ~l2:(Config.make ~block_bytes:32 4096)
+  in
+  let sink = Hierarchy.sink h in
+  (* Cycle 8 blocks > L1 capacity (4 blocks) but < L2 capacity: L1
+     thrashes, L2 only cold-misses. *)
+  for _pass = 1 to 10 do
+    for b = 0 to 7 do
+      sink.Memsim.Sink.emit (Memsim.Event.read (b * 32) 4)
+    done
+  done;
+  let l1 = Hierarchy.l1_stats h and l2 = Hierarchy.l2_stats h in
+  check_int "L1 thrashes every access" 80 l1.Stats.misses;
+  check_int "L2 only cold misses" 8 l2.Stats.misses
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  Stats.record a ~kind:Memsim.Event.Read ~source:Memsim.Event.App ~miss:true
+    ~cold:true;
+  Stats.record b ~kind:Memsim.Event.Write ~source:Memsim.Event.Malloc
+    ~miss:false ~cold:false;
+  let m = Stats.merge a b in
+  check_int "accesses" 2 m.Stats.accesses;
+  check_int "misses" 1 m.Stats.misses;
+  check_int "cold" 1 m.Stats.cold_misses;
+  check_int "reads" 1 m.Stats.read_accesses;
+  check_int "writes" 1 m.Stats.write_accesses
+
+let test_stats_empty_miss_rate () =
+  let s = Stats.create () in
+  Alcotest.(check (float 0.)) "empty rate" 0. (Stats.miss_rate s)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "assoc name" `Quick test_config_assoc_name;
+          Alcotest.test_case "rejects bad" `Quick test_config_rejects_bad;
+          Alcotest.test_case "paper sweep" `Quick test_config_paper_sweep;
+        ] );
+      ( "direct-mapped",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_dm_hit_after_miss;
+          Alcotest.test_case "conflict eviction" `Quick
+            test_dm_conflict_eviction;
+          Alcotest.test_case "distinct sets coexist" `Quick
+            test_dm_distinct_sets_coexist;
+          Alcotest.test_case "event spanning blocks" `Quick
+            test_event_spanning_blocks;
+          Alcotest.test_case "source breakdown" `Quick test_source_breakdown;
+          Alcotest.test_case "flush" `Quick test_flush;
+        ] );
+      ( "write-back",
+        [
+          Alcotest.test_case "dirty eviction" `Quick test_wb_dirty_eviction;
+          Alcotest.test_case "clean eviction free" `Quick
+            test_wb_clean_eviction_free;
+          Alcotest.test_case "flush writes dirty" `Quick
+            test_wb_flush_writes_dirty;
+          Alcotest.test_case "read after write keeps dirty" `Quick
+            test_wb_read_after_write_keeps_dirty;
+          Alcotest.test_case "assoc dirty follows LRU" `Quick
+            test_wb_assoc_dirty_follows_lru;
+        ]
+        @ qsuite [ prop_writebacks_bounded ] );
+      ( "set-associative",
+        [
+          Alcotest.test_case "two blocks coexist" `Quick
+            test_assoc_two_blocks_coexist;
+          Alcotest.test_case "LRU eviction order" `Quick
+            test_assoc_lru_eviction_order;
+          Alcotest.test_case "touch refreshes LRU" `Quick
+            test_assoc_touch_refreshes_lru;
+        ]
+        @ qsuite
+            [
+              prop_dm_matches_model;
+              prop_2way_matches_model;
+              prop_4way_matches_model;
+              prop_fully_assoc_matches_model;
+              prop_assoc_monotone;
+            ] );
+      ( "multi",
+        [
+          Alcotest.test_case "broadcast" `Quick test_multi_broadcast;
+          Alcotest.test_case "bigger cache fewer misses" `Quick
+            test_multi_bigger_cache_fewer_misses;
+          Alcotest.test_case "find" `Quick test_multi_find;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "cold" `Quick test_classify_cold;
+          Alcotest.test_case "conflict" `Quick test_classify_conflict;
+          Alcotest.test_case "capacity" `Quick test_classify_capacity;
+        ]
+        @ qsuite
+            [ prop_classify_partitions_misses;
+              prop_full_assoc_has_no_conflicts ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "L2 sees only L1 misses" `Quick
+            test_hierarchy_l2_sees_only_l1_misses;
+          Alcotest.test_case "stall cycles" `Quick test_hierarchy_stall_cycles;
+          Alcotest.test_case "L2 filters" `Quick test_hierarchy_l2_filters;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+          Alcotest.test_case "empty miss rate" `Quick
+            test_stats_empty_miss_rate;
+        ] );
+    ]

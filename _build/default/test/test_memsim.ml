@@ -1,0 +1,434 @@
+(* Tests for the memsim substrate: addresses, events, sinks, regions and
+   the simulated word memory. *)
+
+open Memsim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_align_up () =
+  check_int "already aligned" 16 (Addr.align_up 16 ~alignment:8);
+  check_int "rounds up" 24 (Addr.align_up 17 ~alignment:8);
+  check_int "rounds up to word" 4 (Addr.align_up 1 ~alignment:4);
+  check_int "zero stays" 0 (Addr.align_up 0 ~alignment:4096)
+
+let test_addr_align_down () =
+  check_int "already aligned" 16 (Addr.align_down 16 ~alignment:8);
+  check_int "rounds down" 16 (Addr.align_down 23 ~alignment:8);
+  check_int "small value" 0 (Addr.align_down 3 ~alignment:4)
+
+let test_addr_predicates () =
+  check_bool "null" true (Addr.is_null Addr.null);
+  check_bool "not null" false (Addr.is_null 4);
+  check_bool "word aligned" true (Addr.word_aligned 128);
+  check_bool "not word aligned" false (Addr.word_aligned 126);
+  check_bool "is_aligned" true (Addr.is_aligned 4096 ~alignment:4096);
+  check_bool "is_aligned no" false (Addr.is_aligned 4100 ~alignment:4096)
+
+let test_addr_indices () =
+  check_int "word index" 3 (Addr.word_index 12);
+  check_int "block index" 2 (Addr.block_index 64 ~block_bytes:32);
+  check_int "block index interior" 2 (Addr.block_index 95 ~block_bytes:32);
+  check_int "page index" 1 (Addr.page_index 4097 ~page_bytes:4096)
+
+let prop_align_up_is_aligned =
+  QCheck.Test.make ~name:"align_up result is aligned" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_bound 12))
+    (fun (a, k) ->
+      let alignment = 1 lsl k in
+      let r = Addr.align_up a ~alignment in
+      r >= a && r mod alignment = 0 && r - a < alignment)
+
+let prop_align_down_is_aligned =
+  QCheck.Test.make ~name:"align_down result is aligned" ~count:500
+    QCheck.(pair (int_bound 1_000_000) (int_bound 12))
+    (fun (a, k) ->
+      let alignment = 1 lsl k in
+      let r = Addr.align_down a ~alignment in
+      r <= a && r mod alignment = 0 && a - r < alignment)
+
+(* ------------------------------------------------------------------ *)
+(* Event                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_constructors () =
+  let e = Event.read 0x1000 4 in
+  check_bool "read kind" true (e.Event.kind = Event.Read);
+  check_bool "default source" true (e.Event.source = Event.App);
+  let e = Event.write ~source:Event.Malloc 0x2000 8 in
+  check_bool "write kind" true (e.Event.kind = Event.Write);
+  check_bool "malloc source" true (e.Event.source = Event.Malloc);
+  check_int "size" 8 e.Event.size
+
+let test_event_pp () =
+  let s = Format.asprintf "%a" Event.pp (Event.read 0x10 4) in
+  Alcotest.(check string) "pp" "R app 0x00000010+4" s
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sink_counter () =
+  let c = Sink.Counter.create () in
+  let s = Sink.Counter.sink c in
+  s.emit (Event.read 0x1000 4);
+  s.emit (Event.write 0x1004 4);
+  s.emit (Event.read ~source:Event.Malloc 0x2000 2);
+  check_int "total" 3 (Sink.Counter.total c);
+  check_int "reads" 2 (Sink.Counter.reads c);
+  check_int "writes" 1 (Sink.Counter.writes c);
+  check_int "bytes" 10 (Sink.Counter.bytes c);
+  check_int "app" 2 (Sink.Counter.by_source c Event.App);
+  check_int "malloc" 1 (Sink.Counter.by_source c Event.Malloc);
+  check_int "free" 0 (Sink.Counter.by_source c Event.Free);
+  Sink.Counter.reset c;
+  check_int "reset" 0 (Sink.Counter.total c)
+
+let test_sink_fanout () =
+  let c1 = Sink.Counter.create () and c2 = Sink.Counter.create () in
+  let s = Sink.fanout [ Sink.Counter.sink c1; Sink.Counter.sink c2 ] in
+  s.emit (Event.read 0x1000 4);
+  s.emit (Event.read 0x1000 4);
+  check_int "c1 sees all" 2 (Sink.Counter.total c1);
+  check_int "c2 sees all" 2 (Sink.Counter.total c2)
+
+let test_sink_fanout_three () =
+  let cs = List.init 3 (fun _ -> Sink.Counter.create ()) in
+  let s = Sink.fanout (List.map Sink.Counter.sink cs) in
+  s.emit (Event.write 0x4 1);
+  List.iter (fun c -> check_int "each sees one" 1 (Sink.Counter.total c)) cs
+
+let test_sink_filter () =
+  let c = Sink.Counter.create () in
+  let s =
+    Sink.filter
+      (fun (e : Event.t) -> e.source = Event.Malloc)
+      (Sink.Counter.sink c)
+  in
+  s.emit (Event.read 0x1000 4);
+  s.emit (Event.read ~source:Event.Malloc 0x1000 4);
+  check_int "only malloc passes" 1 (Sink.Counter.total c)
+
+let test_sink_recorder () =
+  let r = Sink.Recorder.create ~capacity:2 () in
+  let s = Sink.Recorder.sink r in
+  s.emit (Event.read 0x10 4);
+  s.emit (Event.write 0x14 4);
+  s.emit (Event.read 0x18 4);
+  check_int "kept up to capacity" 2 (List.length (Sink.Recorder.events r));
+  check_int "dropped counted" 1 (Sink.Recorder.dropped r);
+  match Sink.Recorder.events r with
+  | [ e1; e2 ] ->
+      check_int "order preserved: first" 0x10 e1.Event.addr;
+      check_int "order preserved: second" 0x14 e2.Event.addr
+  | _ -> Alcotest.fail "expected exactly two events"
+
+(* ------------------------------------------------------------------ *)
+(* Region                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_region_extend () =
+  let r = Region.create ~base:0x1000 ~limit:0x3000 in
+  check_int "initial break" 0x1000 (Region.break r);
+  let a = Region.extend r 16 in
+  check_int "first extend returns base" 0x1000 a;
+  let b = Region.extend r 10 in
+  check_int "second extend returns old break" 0x1010 b;
+  check_int "break word-aligns sizes" 0x101c (Region.break r);
+  check_int "used" 0x1c (Region.used_bytes r)
+
+let test_region_contains () =
+  let r = Region.create ~base:0x1000 ~limit:0x3000 in
+  ignore (Region.extend r 64);
+  check_bool "contains base" true (Region.contains r 0x1000);
+  check_bool "contains interior" true (Region.contains r 0x103f);
+  check_bool "excludes break" false (Region.contains r 0x1040);
+  check_bool "excludes below base" false (Region.contains r 0xfff)
+
+let test_region_overflow () =
+  let r = Region.create ~base:0x1000 ~limit:0x1010 in
+  ignore (Region.extend r 16);
+  Alcotest.check_raises "limit enforced"
+    (Failure
+       "Region.extend: out of space (break=0x1010, need 4, limit=0x1010)")
+    (fun () -> ignore (Region.extend r 4))
+
+let test_layout_disjoint () =
+  let l = Region.Layout.create () in
+  let a = Region.Layout.add l ~name:"globals" ~size:8192 in
+  let b = Region.Layout.add l ~name:"heap" ~size:100_000 in
+  check_bool "b starts after a's limit" true (Region.base b > Region.limit a);
+  check_int "two regions listed" 2 (List.length (Region.Layout.regions l));
+  check_bool "page aligned bases" true
+    (Region.base a mod 4096 = 0 && Region.base b mod 4096 = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Sim_memory                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_load_store () =
+  let m = Sim_memory.create () in
+  check_int "uninitialised reads 0" 0 (Sim_memory.load m 0x1000);
+  Sim_memory.store m 0x1000 42;
+  check_int "reads back" 42 (Sim_memory.load m 0x1000);
+  Sim_memory.store m 0x1000 7;
+  check_int "overwrites" 7 (Sim_memory.load m 0x1000);
+  check_int "distinct words" 1 (Sim_memory.words_written m)
+
+let test_mem_emits_events () =
+  let c = Sink.Counter.create () in
+  let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
+  Sim_memory.store m 0x1000 1;
+  ignore (Sim_memory.load m 0x1000);
+  check_int "two events" 2 (Sink.Counter.total c);
+  check_int "one read" 1 (Sink.Counter.reads c);
+  check_int "one write" 1 (Sink.Counter.writes c);
+  check_int "8 bytes" 8 (Sink.Counter.bytes c)
+
+let test_mem_source_attribution () =
+  let c = Sink.Counter.create () in
+  let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
+  Sim_memory.set_source m Event.Malloc;
+  Sim_memory.store m 0x1000 1;
+  Sim_memory.with_source m Event.Free (fun () ->
+      ignore (Sim_memory.load m 0x1000));
+  (* with_source restored Malloc *)
+  Sim_memory.store m 0x1004 2;
+  check_int "malloc refs" 2 (Sink.Counter.by_source c Event.Malloc);
+  check_int "free refs" 1 (Sink.Counter.by_source c Event.Free)
+
+let test_mem_with_source_restores_on_raise () =
+  let m = Sim_memory.create () in
+  Sim_memory.set_source m Event.App;
+  (try Sim_memory.with_source m Event.Malloc (fun () -> failwith "boom")
+   with Failure _ -> ());
+  check_bool "source restored" true (Sim_memory.source m = Event.App)
+
+let test_mem_ranged_word_grain () =
+  let r = Sink.Recorder.create () in
+  let m = Sim_memory.create ~sink:(Sink.Recorder.sink r) () in
+  Sim_memory.write_bytes m 0x1002 10;
+  (* 0x1002..0x100b: partial word (2B at 0x1002), word at 0x1004,
+     word at 0x1008 — 3 events. *)
+  let evs = Sink.Recorder.events r in
+  check_int "three pieces" 3 (List.length evs);
+  let sizes = List.map (fun (e : Event.t) -> e.size) evs in
+  Alcotest.(check (list int)) "piece sizes" [ 2; 4; 4 ] sizes;
+  let addrs = List.map (fun (e : Event.t) -> e.addr) evs in
+  Alcotest.(check (list int)) "piece addrs" [ 0x1002; 0x1004; 0x1008 ] addrs
+
+let test_mem_ranged_zero () =
+  let c = Sink.Counter.create () in
+  let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
+  Sim_memory.read_bytes m 0x1000 0;
+  check_int "no events for empty range" 0 (Sink.Counter.total c)
+
+let test_mem_peek_poke_silent () =
+  let c = Sink.Counter.create () in
+  let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
+  Sim_memory.poke m 0x1000 99;
+  check_int "poke visible to peek" 99 (Sim_memory.peek m 0x1000);
+  check_int "no events" 0 (Sink.Counter.total c);
+  check_int "but visible to load" 99 (Sim_memory.load m 0x1000)
+
+let test_mem_rejects_unaligned () =
+  let m = Sim_memory.create () in
+  Alcotest.check_raises "unaligned load"
+    (Invalid_argument "Sim_memory: unaligned word access at 0x1001")
+    (fun () -> ignore (Sim_memory.load m 0x1001));
+  Alcotest.check_raises "null store"
+    (Invalid_argument "Sim_memory: access to null/negative 0x0") (fun () ->
+      Sim_memory.store m 0 1)
+
+let prop_ranged_covers_exactly =
+  QCheck.Test.make ~name:"ranged events cover exactly [a, a+n)" ~count:300
+    QCheck.(pair (int_range 1 100_000) (int_range 1 256))
+    (fun (a, n) ->
+      let r = Sink.Recorder.create ~capacity:1024 () in
+      let m = Sim_memory.create ~sink:(Sink.Recorder.sink r) () in
+      Sim_memory.read_bytes m a n;
+      let evs = Sink.Recorder.events r in
+      (* Contiguous, non-overlapping, total size = n, starting at a. *)
+      let rec walk pos = function
+        | [] -> pos = a + n
+        | (e : Event.t) :: rest ->
+            e.addr = pos && e.size > 0 && e.size <= 4
+            && walk (pos + e.size) rest
+      in
+      walk a evs)
+
+let prop_store_load_roundtrip =
+  QCheck.Test.make ~name:"store/load roundtrip over random programs"
+    ~count:200
+    QCheck.(small_list (pair (int_bound 1000) int))
+    (fun writes ->
+      let m = Sim_memory.create () in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (slot, v) ->
+          let a = 0x1000 + (4 * slot) in
+          Sim_memory.store m a v;
+          Hashtbl.replace model a v)
+        writes;
+      Hashtbl.fold (fun a v acc -> acc && Sim_memory.load m a = v) model true)
+
+(* ------------------------------------------------------------------ *)
+(* Trace_file                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tmp_trace name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let test_trace_roundtrip () =
+  let path = tmp_trace "loclab_roundtrip.trace" in
+  let events =
+    [ Event.read 0x1000 4;
+      Event.write ~source:Event.Malloc 0x1004 4;
+      Event.read ~source:Event.Free 0x0ff0 2;
+      Event.write 0x2000 64;
+      (* > 30 bytes: escaped size *)
+      Event.read 0x1_000_000 1 ]
+  in
+  Trace_file.record_to_file path (fun sink ->
+      List.iter sink.Sink.emit events);
+  let rec_ = Sink.Recorder.create () in
+  let n = Trace_file.replay_file path (Sink.Recorder.sink rec_) in
+  Alcotest.(check int) "event count" (List.length events) n;
+  Alcotest.(check bool) "events identical" true
+    (Sink.Recorder.events rec_ = events);
+  Sys.remove path
+
+let test_trace_rejects_foreign () =
+  let path = tmp_trace "loclab_foreign.trace" in
+  let oc = open_out_bin path in
+  output_string oc "NOTATRACE";
+  close_out oc;
+  Alcotest.(check bool) "foreign rejected" true
+    (match Trace_file.replay_file path Sink.null with
+    | exception Failure _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let test_trace_truncation_detected () =
+  let path = tmp_trace "loclab_trunc.trace" in
+  Trace_file.record_to_file path (fun sink ->
+      sink.Sink.emit (Event.read 0x123456 4));
+  (* Chop the last byte off. *)
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let data = really_input_string ic (len - 1) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc;
+  Alcotest.(check bool) "truncation detected" true
+    (match Trace_file.replay_file path Sink.null with
+    | exception Failure _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let test_trace_compactness () =
+  (* Sequential word touches encode in ~2 bytes/event. *)
+  let path = tmp_trace "loclab_compact.trace" in
+  Trace_file.record_to_file path (fun sink ->
+      for i = 0 to 9_999 do
+        sink.Sink.emit (Event.read (0x10000 + (4 * i)) 4)
+      done);
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "under 3 bytes/event" true (len < 30_000)
+
+let prop_trace_roundtrip_random =
+  QCheck.Test.make ~name:"trace roundtrip on random events" ~count:100
+    QCheck.(
+      small_list
+        (quad bool (int_bound 2) (int_bound 10_000_000) (int_range 1 5000)))
+    (fun specs ->
+      let events =
+        List.map
+          (fun (w, s, addr, size) ->
+            { Event.kind = (if w then Event.Write else Event.Read);
+              source =
+                (match s with
+                | 0 -> Event.App
+                | 1 -> Event.Malloc
+                | _ -> Event.Free);
+              addr;
+              size })
+          specs
+      in
+      let path = tmp_trace "loclab_prop.trace" in
+      Trace_file.record_to_file path (fun sink ->
+          List.iter sink.Sink.emit events);
+      let rec_ = Sink.Recorder.create ~capacity:100_000 () in
+      let n = Trace_file.replay_file path (Sink.Recorder.sink rec_) in
+      Sys.remove path;
+      n = List.length events && Sink.Recorder.events rec_ = events)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "memsim"
+    [
+      ( "addr",
+        [
+          Alcotest.test_case "align_up" `Quick test_addr_align_up;
+          Alcotest.test_case "align_down" `Quick test_addr_align_down;
+          Alcotest.test_case "predicates" `Quick test_addr_predicates;
+          Alcotest.test_case "indices" `Quick test_addr_indices;
+        ]
+        @ qsuite [ prop_align_up_is_aligned; prop_align_down_is_aligned ] );
+      ( "event",
+        [
+          Alcotest.test_case "constructors" `Quick test_event_constructors;
+          Alcotest.test_case "pp" `Quick test_event_pp;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "counter" `Quick test_sink_counter;
+          Alcotest.test_case "fanout" `Quick test_sink_fanout;
+          Alcotest.test_case "fanout three" `Quick test_sink_fanout_three;
+          Alcotest.test_case "filter" `Quick test_sink_filter;
+          Alcotest.test_case "recorder" `Quick test_sink_recorder;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "extend" `Quick test_region_extend;
+          Alcotest.test_case "contains" `Quick test_region_contains;
+          Alcotest.test_case "overflow" `Quick test_region_overflow;
+          Alcotest.test_case "layout disjoint" `Quick test_layout_disjoint;
+        ] );
+      ( "trace_file",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "rejects foreign" `Quick
+            test_trace_rejects_foreign;
+          Alcotest.test_case "truncation detected" `Quick
+            test_trace_truncation_detected;
+          Alcotest.test_case "compactness" `Quick test_trace_compactness;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_trace_roundtrip_random ]
+      );
+      ( "sim_memory",
+        [
+          Alcotest.test_case "load/store" `Quick test_mem_load_store;
+          Alcotest.test_case "emits events" `Quick test_mem_emits_events;
+          Alcotest.test_case "source attribution" `Quick
+            test_mem_source_attribution;
+          Alcotest.test_case "with_source restores on raise" `Quick
+            test_mem_with_source_restores_on_raise;
+          Alcotest.test_case "ranged word grain" `Quick
+            test_mem_ranged_word_grain;
+          Alcotest.test_case "ranged zero" `Quick test_mem_ranged_zero;
+          Alcotest.test_case "peek/poke silent" `Quick
+            test_mem_peek_poke_silent;
+          Alcotest.test_case "rejects unaligned" `Quick
+            test_mem_rejects_unaligned;
+        ]
+        @ qsuite [ prop_ranged_covers_exactly; prop_store_load_roundtrip ] );
+    ]

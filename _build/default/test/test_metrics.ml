@@ -1,0 +1,183 @@
+(* Tests for the metrics library: cost model, execution-time estimator,
+   table and series rendering. *)
+
+open Metrics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Cost model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_paper () =
+  check_int "penalty" 25 Cost_model.paper.Cost_model.miss_penalty_cycles;
+  Alcotest.(check (float 1e-9))
+    "20 MHz second" 1.0
+    (Cost_model.seconds_of_cycles Cost_model.paper 20_000_000)
+
+let test_model_with_penalty () =
+  let m = Cost_model.with_penalty Cost_model.paper 100 in
+  check_int "changed" 100 m.Cost_model.miss_penalty_cycles;
+  check_int "future" 100 Cost_model.future.Cost_model.miss_penalty_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Exec time                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exec_time_formula () =
+  (* I + (M x P) x D with I=1000, D=100, M=0.1, P=25: 1000+250=1250. *)
+  let et =
+    Exec_time.of_miss_rate ~model:Cost_model.paper ~instructions:1000
+      ~data_refs:100 ~miss_rate:0.1
+  in
+  check_int "miss cycles" 250 (Exec_time.miss_cycles et);
+  check_int "total" 1250 (Exec_time.total_cycles et);
+  Alcotest.(check (float 1e-9)) "fraction" 0.2 (Exec_time.miss_fraction et)
+
+let test_exec_time_absolute_misses () =
+  let et =
+    Exec_time.make ~model:Cost_model.paper ~instructions:500 ~data_refs:100
+      ~misses:4
+  in
+  check_int "total" 600 (Exec_time.total_cycles et)
+
+let test_exec_time_normalization () =
+  let base =
+    Exec_time.make ~model:Cost_model.paper ~instructions:1000 ~data_refs:100
+      ~misses:0
+  in
+  let other =
+    Exec_time.make ~model:Cost_model.paper ~instructions:800 ~data_refs:100
+      ~misses:20
+  in
+  Alcotest.(check (float 1e-9))
+    "normalized" 1.3
+    (Exec_time.normalized_to other ~baseline:base);
+  Alcotest.(check (float 1e-9))
+    "cpu normalized" 0.8
+    (Exec_time.cpu_normalized_to other ~baseline:base)
+
+let test_exec_time_zero () =
+  let et =
+    Exec_time.make ~model:Cost_model.paper ~instructions:0 ~data_refs:0
+      ~misses:0
+  in
+  Alcotest.(check (float 0.)) "no crash on empty" 0. (Exec_time.miss_fraction et)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t =
+    Table.create ~title:"T"
+      ~columns:[ ("name", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row t [ "a"; "1" ];
+  Table.add_row t [ "long-name"; "23" ];
+  let s = Table.render t in
+  check_bool "contains title" true (String.length s > 0 && s.[0] = 'T');
+  (* Right-aligned numbers line up: " 1" under "23". *)
+  check_bool "right aligned" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> String.length l >= 2 && l <> "" &&
+       String.trim l = "a           1") lines
+     || List.exists (fun l -> String.trim l <> "") lines)
+
+let test_table_rejects_bad_row () =
+  let t = Table.create ~title:"T" ~columns:[ ("a", Table.Left) ] in
+  check_bool "mismatch rejected" true
+    (match Table.add_row t [ "x"; "y" ] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_table_csv () =
+  let t =
+    Table.create ~title:"T"
+      ~columns:[ ("name", Table.Left); ("v", Table.Right) ]
+  in
+  Table.add_row t [ "a,b"; "1" ];
+  Table.add_separator t;
+  Table.add_row t [ "c"; "2" ];
+  check_str "csv with quoting" "name,v\n\"a,b\",1\nc,2\n" (Table.to_csv t)
+
+let test_table_formatters () =
+  check_str "fmt_int" "1,234,567" (Table.fmt_int 1234567);
+  check_str "fmt_int small" "42" (Table.fmt_int 42);
+  check_str "fmt_int negative" "-1,000" (Table.fmt_int (-1000));
+  check_str "fmt_float" "3.14" (Table.fmt_float 3.14159);
+  check_str "fmt_pct" "12.3%" (Table.fmt_pct 0.1234);
+  check_str "fmt_kb" "4 KB" (Table.fmt_kb 4096);
+  check_str "fmt_kb rounds up" "5 KB" (Table.fmt_kb 4097)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_series_columns () =
+  let s = Series.create ~title:"S" ~x_label:"x" ~y_label:"y" in
+  Series.add s ~name:"a" [ (1., 10.); (2., 20.) ];
+  Series.add s ~name:"b" [ (1., 11.) ];
+  let out = Series.render ~plot:false s in
+  let lines = String.split_on_char '\n' out |> List.map String.trim in
+  check_bool "header row has both series" true
+    (List.exists (fun l -> l = "x   a   b") lines);
+  check_bool "x=1 row has both values" true
+    (List.exists (fun l -> l = "1  10  11") lines);
+  (* Missing points render as "-". *)
+  check_bool "missing point is a dash" true
+    (List.exists (fun l -> l = "2  20   -") lines)
+
+let test_series_plot_renders () =
+  let s = Series.create ~title:"S" ~x_label:"x" ~y_label:"y" in
+  Series.add s ~name:"a" [ (1., 1.); (2., 100.); (3., 10000.) ];
+  let out = Series.render s in
+  check_bool "log scale chosen" true
+    (let rec contains i =
+       i + 9 <= String.length out
+       && (String.sub out i 9 = "log scale" || contains (i + 1))
+     in
+     contains 0);
+  check_bool "legend present" true
+    (let rec contains i =
+       i + 6 <= String.length out
+       && (String.sub out i 6 = "legend" || contains (i + 1))
+     in
+     contains 0)
+
+let test_series_csv () =
+  let s = Series.create ~title:"S" ~x_label:"x" ~y_label:"y" in
+  Series.add s ~name:"a" [ (1., 10.) ];
+  check_str "csv" "series,x,y\na,1,10\n" (Series.to_csv s)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "cost_model",
+        [ tc "paper" test_model_paper; tc "with_penalty" test_model_with_penalty ]
+      );
+      ( "exec_time",
+        [
+          tc "formula" test_exec_time_formula;
+          tc "absolute misses" test_exec_time_absolute_misses;
+          tc "normalization" test_exec_time_normalization;
+          tc "zero" test_exec_time_zero;
+        ] );
+      ( "table",
+        [
+          tc "render" test_table_render;
+          tc "rejects bad row" test_table_rejects_bad_row;
+          tc "csv" test_table_csv;
+          tc "formatters" test_table_formatters;
+        ] );
+      ( "series",
+        [
+          tc "columns" test_series_columns;
+          tc "plot renders" test_series_plot_renders;
+          tc "csv" test_series_csv;
+        ] );
+    ]
