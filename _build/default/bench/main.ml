@@ -10,8 +10,10 @@
    (BSD/QuickFit fast, FirstFit/G++ searching, GNU local heavyweight)
    at native speed.
 
-   Scale comes from LOCLAB_SCALE (default 0.25); pass LOCLAB_BENCH=0 to
-   skip part 2 (e.g. in CI). *)
+   Scale comes from LOCLAB_SCALE (default 0.25); LOCLAB_JOBS sets the
+   worker domains used to fill the run grid (default 1; output is
+   bit-identical for any value).  Pass LOCLAB_BENCH=0 to skip part 2
+   (e.g. in CI). *)
 
 open Bechamel
 
@@ -20,18 +22,28 @@ let scale =
   | Some s -> (try float_of_string s with _ -> 0.25)
   | None -> 0.25
 
+let jobs = Exec.Pool.default_jobs ()
 let run_micro = Sys.getenv_opt "LOCLAB_BENCH" <> Some "0"
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every table and figure                          *)
 (* ------------------------------------------------------------------ *)
 
-let ctx = Core.Context.create ~scale ()
+let ctx = Core.Context.create ~scale ~jobs ()
 
 let () =
   Printf.printf
-    "loclab bench: reproducing Grunwald/Zorn/Henderson PLDI'93 at scale %.2f\n\n"
-    scale;
+    "loclab bench: reproducing Grunwald/Zorn/Henderson PLDI'93 at scale %.2f \
+     (%d job%s)\n\n"
+    scale jobs
+    (if jobs = 1 then "" else "s");
+  (* Fill the whole memoized grid up front — in parallel when jobs > 1 —
+     and report the fill time, the number the --jobs knob moves. *)
+  let t0 = Unix.gettimeofday () in
+  Core.Experiment.warm_all ctx;
+  Printf.printf "grid fill: %.2f s wall (%d jobs, scale %.2f)\n\n"
+    (Unix.gettimeofday () -. t0)
+    jobs scale;
   List.iter
     (fun e ->
       Printf.printf "================ %s — %s (%s) ================\n%s\n"

@@ -17,13 +17,30 @@ let penalty_arg =
   let doc = "Cache miss penalty in cycles (the paper uses 25)." in
   Arg.(value & opt int 25 & info [ "p"; "penalty" ] ~docv:"CYCLES" ~doc)
 
-let make_ctx scale penalty =
+let jobs_arg =
+  let doc =
+    "Worker domains for filling the run grid (0 = one per core).  \
+     Defaults to $(b,LOCLAB_JOBS), else 1.  Output is bit-identical for \
+     every value; jobs only change wall-clock time."
+  in
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOCLAB_JOBS") ~doc)
+
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "loclab: jobs must be >= 0\n";
+    exit 2
+  end;
+  if jobs = 0 then Exec.Pool.recommended_jobs () else jobs
+
+let make_ctx ?(jobs = 1) scale penalty =
   if scale <= 0. || scale > 4.0 then begin
     Printf.eprintf "loclab: scale must be in (0, 4]\n";
     exit 2
   end;
   let model = Metrics.Cost_model.with_penalty Metrics.Cost_model.paper penalty in
-  Core.Context.create ~scale ~model ()
+  Core.Context.create ~scale ~jobs ~model ()
 
 (* ---- list ---------------------------------------------------------- *)
 
@@ -58,7 +75,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,loclab list)); e.g. fig2 tab4." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run scale penalty ids =
+  let run scale penalty jobs ids =
     (* Validate ids before paying for any simulation. *)
     List.iter
       (fun id ->
@@ -69,7 +86,10 @@ let run_cmd =
               id;
             exit 2)
       ids;
-    let ctx = make_ctx scale penalty in
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) scale penalty in
+    (* Fill every needed grid cell in parallel before rendering; the
+       renderings below then only read the memo. *)
+    Core.Experiment.warm ctx ids;
     List.iter
       (fun id ->
         print_endline (Core.Experiment.run ctx id);
@@ -78,20 +98,21 @@ let run_cmd =
   in
   let doc = "Regenerate the given tables/figures." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ ids_arg)
+    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ ids_arg)
 
 (* ---- all ----------------------------------------------------------- *)
 
 let all_cmd =
-  let run scale penalty =
-    let ctx = make_ctx scale penalty in
+  let run scale penalty jobs =
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) scale penalty in
     List.iter
       (fun (id, out) ->
         Printf.printf "================ %s ================\n%s\n" id out)
       (Core.Experiment.run_all ctx)
   in
   let doc = "Regenerate every table and figure (shares one run grid)." in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg $ penalty_arg)
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg)
 
 (* ---- probe --------------------------------------------------------- *)
 

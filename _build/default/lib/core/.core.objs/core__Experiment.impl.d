@@ -1,1 +1,1 @@
-lib/core/experiment.ml: Ablations Context Figures List Tables
+lib/core/experiment.ml: Ablations Context Figures List Runs Tables

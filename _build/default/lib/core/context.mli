@@ -5,7 +5,11 @@ type t = {
   model : Metrics.Cost_model.t;
 }
 
-val create : ?scale:float -> ?model:Metrics.Cost_model.t -> unit -> t
+val create :
+  ?scale:float -> ?jobs:int -> ?model:Metrics.Cost_model.t -> unit -> t
+(** [jobs] (default 1) is the worker-domain bound forwarded to
+    {!Runs.create}; it only affects how fast the grid fills
+    ({!Runs.prefetch}), never the numbers. *)
 
 val five_programs : (string * string) list
 (** (profile key, paper label) for the five-program suite, in the

@@ -5,6 +5,11 @@ type t = {
   id : string;  (** e.g. ["fig4"], ["tab6"], ["abl-coalesce"]. *)
   title : string;
   paper_ref : string;  (** Where it appears in the paper. *)
+  cells : (string * string) list;
+      (** The (profile, allocator) grid cells the renderer demands —
+          the prefetch hint {!warm} feeds to {!Runs.prefetch}.  Empty
+          for static experiments and for the two ablations that run
+          fresh off-grid simulations at render time. *)
   render : Context.t -> string;
 }
 
@@ -17,9 +22,21 @@ val find : string -> t
 
 val ids : unit -> string list
 
+val warm : Context.t -> string list -> unit
+(** [warm ctx ids] fills the context's run grid for every cell the
+    named experiments will demand, using up to [Runs.jobs ctx.runs]
+    worker domains ({!Runs.prefetch}).  Purely a wall-clock
+    optimization: rendering after a warm pass is bit-identical to
+    rendering cold.
+    @raise Not_found for unknown ids. *)
+
+val warm_all : Context.t -> unit
+(** {!warm} over {!ids}. *)
+
 val run : Context.t -> string -> string
-(** [run ctx id] renders one experiment.
+(** [run ctx id] renders one experiment, warming its cells first.
     @raise Not_found for unknown ids. *)
 
 val run_all : Context.t -> (string * string) list
-(** Renders every experiment, sharing the context's memoized runs. *)
+(** Renders every experiment, sharing the context's memoized runs and
+    warming the full grid up front. *)

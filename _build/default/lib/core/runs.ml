@@ -6,7 +6,11 @@ type data = {
   pages : Vmsim.Page_sim.t;
 }
 
-type t = { scale : float; memo : (string * string, data) Hashtbl.t }
+type t = {
+  scale : float;
+  jobs : int;
+  memo : (string * string, data) Hashtbl.t;
+}
 
 let standard_configs =
   Cachesim.Config.paper_direct_mapped
@@ -22,11 +26,15 @@ let standard_configs =
           ~block_bytes:b (64 * 1024))
       [ 16; 64; 128 ]
 
-let create ?(scale = 0.2) () =
-  assert (scale > 0.);
-  { scale; memo = Hashtbl.create 64 }
+let create ?(scale = 0.2) ?(jobs = 1) () =
+  (* Not an assert: -noassert builds must still reject a zero-step
+     grid instead of looping or dividing by zero deep in a driver. *)
+  if not (scale > 0.) then invalid_arg "Runs.create: scale must be > 0";
+  if jobs < 1 then invalid_arg "Runs.create: jobs must be >= 1";
+  { scale; jobs; memo = Hashtbl.create 64 }
 
 let scale t = t.scale
+let jobs t = t.jobs
 
 (* "custom" is the synthesized allocator: train its size classes on the
    profile's own request mix, like CustoMalloc generating an allocator
@@ -76,6 +84,38 @@ let get t ~profile ~allocator =
       let d = run t ~profile ~allocator in
       Hashtbl.replace t.memo key d;
       d
+
+let prefetch t cells =
+  (* Keep first-occurrence order and drop cells the memo already holds:
+     the pending list is both the work list and the merge order. *)
+  let seen = Hashtbl.create 16 in
+  let pending =
+    List.rev
+      (List.fold_left
+         (fun acc key ->
+           if Hashtbl.mem t.memo key || Hashtbl.mem seen key then acc
+           else begin
+             Hashtbl.replace seen key ();
+             key :: acc
+           end)
+         [] cells)
+  in
+  match pending with
+  | [] -> ()
+  | _ ->
+      (* Every cell is self-contained (own heap, RNG, sinks), so the
+         workers never touch [t.memo]; results come back in submission
+         order and are merged here, on the calling domain.  A parallel
+         fill is therefore bit-identical to a sequential one. *)
+      let datas =
+        Exec.Pool.with_pool
+          ~jobs:(min t.jobs (List.length pending))
+          (fun pool ->
+            Exec.Pool.map pool
+              (fun (profile, allocator) -> run t ~profile ~allocator)
+              pending)
+      in
+      List.iter2 (fun key d -> Hashtbl.replace t.memo key d) pending datas
 
 let cache_stats d ~name =
   match

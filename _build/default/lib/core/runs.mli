@@ -19,17 +19,32 @@ type data = {
 
 type t
 
-val create : ?scale:float -> unit -> t
+val create : ?scale:float -> ?jobs:int -> unit -> t
 (** [scale] (default 0.2) is forwarded to every
-    {!Workload.Driver.run}. *)
+    {!Workload.Driver.run}.  [jobs] (default 1) bounds the worker
+    domains {!prefetch} may use to fill the grid concurrently.
+    @raise Invalid_argument if [scale <= 0] or [jobs < 1]. *)
 
 val scale : t -> float
+
+val jobs : t -> int
 
 val get : t -> profile:string -> allocator:string -> data
 (** Memoized.  [allocator] is a {!Allocators.Registry} key; ["custom"]
     is trained on the profile's own size histogram (the CustoMalloc
     workflow).
     @raise Not_found for unknown keys. *)
+
+val prefetch : t -> (string * string) list -> unit
+(** [prefetch t cells] fills the memo for every (profile, allocator)
+    cell not already present, evaluating missing cells on up to
+    {!jobs} worker domains.  Cells are independent simulations (each
+    owns its heap, RNG and sinks) and results are merged in submission
+    order on the calling domain, so the memo contents — and therefore
+    every rendering — are bit-identical to a sequential fill.  Order
+    is deduplicated first-occurrence order.  If any cell raises (e.g.
+    {!get}'s [Not_found] for an unknown key), no cell of this batch is
+    merged and the first failure (by position) is re-raised. *)
 
 val cache_stats : data -> name:string -> Cachesim.Stats.t
 (** Statistics of a named configuration, e.g. ["64K-dm"].

@@ -1,0 +1,1 @@
+lib/exec/pool.ml: Array Condition Domain Fun List Mutex Printexc Queue String Sys

@@ -1,0 +1,133 @@
+(* OCaml 5 caps live domains at 128 including the main one; stay well
+   under so pools compose with whatever the host process already runs. *)
+let max_jobs = 64
+
+let clamp_jobs jobs = max 1 (min max_jobs jobs)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (** queue non-empty, or [stopping]. *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work_ready t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* stopping and drained *)
+      Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      (* Tasks never raise: map wraps the user function in a result. *)
+      task ();
+      worker_loop t
+
+let create ~jobs =
+  let jobs = clamp_jobs jobs in
+  let t =
+    { jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [] }
+  in
+  if jobs > 1 then begin
+    (* If the runtime runs out of domain slots partway, keep the
+       workers we did get: fewer workers degrade throughput, never
+       results (and with zero workers map falls back to List.map). *)
+    let workers = ref [] in
+    (try
+       for _ = 1 to jobs do
+         workers := Domain.spawn (fun () -> worker_loop t) :: !workers
+       done
+     with _ -> ());
+    t.workers <- !workers
+  end;
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One slot per input element; [Error] keeps the backtrace so the
+   re-raise on the calling domain looks like the original failure. *)
+type 'b slot =
+  | Pending
+  | Ok of 'b
+  | Failed of exn * Printexc.raw_backtrace
+
+let map t f xs =
+  if t.stopping then invalid_arg "Exec.Pool.map: pool is shut down";
+  if t.jobs = 1 || t.workers = [] then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | _ ->
+        let inputs = Array.of_list xs in
+        let n = Array.length inputs in
+        let results = Array.make n Pending in
+        let remaining = ref n in
+        let batch_done = Condition.create () in
+        Mutex.lock t.mutex;
+        if t.stopping then begin
+          Mutex.unlock t.mutex;
+          invalid_arg "Exec.Pool.map: pool is shut down"
+        end;
+        Array.iteri
+          (fun i x ->
+            Queue.add
+              (fun () ->
+                let r =
+                  match f x with
+                  | v -> Ok v
+                  | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+                in
+                Mutex.lock t.mutex;
+                results.(i) <- r;
+                decr remaining;
+                if !remaining = 0 then Condition.broadcast batch_done;
+                Mutex.unlock t.mutex)
+              t.queue)
+          inputs;
+        Condition.broadcast t.work_ready;
+        while !remaining > 0 do
+          Condition.wait batch_done t.mutex
+        done;
+        Mutex.unlock t.mutex;
+        (* Submission order: the first failure by input index wins, as
+           it would under List.map. *)
+        Array.to_list
+          (Array.map
+             (function
+               | Ok v -> v
+               | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+               | Pending -> assert false)
+             results)
+
+let default_jobs () =
+  match Sys.getenv_opt "LOCLAB_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> clamp_jobs j
+      | Some _ | None -> 1)
+  | None -> 1
+
+let recommended_jobs () = clamp_jobs (Domain.recommended_domain_count ())

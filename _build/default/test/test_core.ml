@@ -65,6 +65,45 @@ let test_runs_exec_time_uses_misses () =
     (Metrics.Exec_time.total_cycles et256
     <= Metrics.Exec_time.total_cycles et16)
 
+let test_runs_bad_scale_rejected () =
+  (* A real invalid_arg, not an assert: must hold under -noassert too. *)
+  let rejects scale =
+    match Core.Runs.create ~scale () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "scale 0 rejected" true (rejects 0.);
+  check_bool "negative scale rejected" true (rejects (-1.));
+  check_bool "nan rejected" true (rejects Float.nan);
+  check_bool "bad jobs rejected" true
+    (match Core.Runs.create ~jobs:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_runs_cross_simulator_consistency () =
+  (* The 16K direct-mapped cache of the sweep and the hierarchy's L1
+     are the same configuration fed by the same event stream through
+     different sinks (Multi vs Hierarchy); their statistics must agree
+     exactly, field by field. *)
+  let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
+  let sweep = Core.Runs.cache_stats d ~name:"16K-dm" in
+  let l1 = d.Core.Runs.l1 in
+  let open Cachesim.Stats in
+  check_int "accesses" sweep.accesses l1.accesses;
+  check_int "misses" sweep.misses l1.misses;
+  check_int "read accesses" sweep.read_accesses l1.read_accesses;
+  check_int "read misses" sweep.read_misses l1.read_misses;
+  check_int "write accesses" sweep.write_accesses l1.write_accesses;
+  check_int "write misses" sweep.write_misses l1.write_misses;
+  check_int "cold misses" sweep.cold_misses l1.cold_misses;
+  check_int "writebacks" sweep.writebacks l1.writebacks;
+  check_int "app accesses" sweep.app_accesses l1.app_accesses;
+  check_int "app misses" sweep.app_misses l1.app_misses;
+  check_int "malloc accesses" sweep.malloc_accesses l1.malloc_accesses;
+  check_int "malloc misses" sweep.malloc_misses l1.malloc_misses;
+  check_int "free accesses" sweep.free_accesses l1.free_accesses;
+  check_int "free misses" sweep.free_misses l1.free_misses
+
 let test_runs_unknown_keys () =
   check_bool "unknown profile" true
     (match Core.Runs.get ctx.Core.Context.runs ~profile:"nope" ~allocator:"bsd" with
@@ -213,6 +252,9 @@ let () =
           tc "miss rate decreases with size"
             test_runs_miss_rate_decreases_with_size;
           tc "exec time uses misses" test_runs_exec_time_uses_misses;
+          tc "bad scale rejected" test_runs_bad_scale_rejected;
+          tc "cross-simulator consistency"
+            test_runs_cross_simulator_consistency;
           tc "unknown keys" test_runs_unknown_keys;
           tc "custom trained" test_runs_custom_trained;
         ] );

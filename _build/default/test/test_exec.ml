@@ -1,0 +1,164 @@
+(* Tests for the domain-pool scheduler and — the point of it all — the
+   guarantee that parallelism never changes the science: every
+   experiment renders byte-identically under jobs=1 and jobs=4. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_basic () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Exec.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int))
+        "map = List.map" (List.map f xs)
+        (Exec.Pool.map pool f xs))
+
+let test_pool_map_empty_and_singleton () =
+  Exec.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Exec.Pool.map pool succ []);
+      Alcotest.(check (list int)) "singleton" [ 8 ] (Exec.Pool.map pool succ [ 7 ]))
+
+let test_pool_jobs_clamped () =
+  Exec.Pool.with_pool ~jobs:0 (fun pool ->
+      check_int "jobs >= 1" 1 (Exec.Pool.jobs pool));
+  Exec.Pool.with_pool ~jobs:(-3) (fun pool ->
+      check_int "negative clamped" 1 (Exec.Pool.jobs pool));
+  Exec.Pool.with_pool ~jobs:1_000_000 (fun pool ->
+      check_bool "upper clamp" true (Exec.Pool.jobs pool <= 64))
+
+let test_pool_exception_propagates () =
+  (* The first failure by input position surfaces, like List.map. *)
+  let f x = if x mod 3 = 0 then failwith (string_of_int x) else x in
+  Exec.Pool.with_pool ~jobs:4 (fun pool ->
+      check_bool "first raising element wins" true
+        (match Exec.Pool.map pool f [ 1; 2; 9; 4; 6 ] with
+        | exception Failure msg -> msg = "9"
+        | _ -> false);
+      (* The pool survives a failing batch. *)
+      Alcotest.(check (list int))
+        "pool still works" [ 2; 5 ]
+        (Exec.Pool.map pool f [ 2; 5 ]))
+
+let test_pool_map_after_shutdown_raises () =
+  let pool = Exec.Pool.create ~jobs:4 in
+  ignore (Exec.Pool.map pool succ [ 1; 2; 3 ]);
+  Exec.Pool.shutdown pool;
+  Exec.Pool.shutdown pool;
+  (* idempotent *)
+  check_bool "map after shutdown" true
+    (match Exec.Pool.map pool succ [ 1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_with_pool_returns_and_cleans_up () =
+  check_int "returns f's value" 42
+    (Exec.Pool.with_pool ~jobs:2 (fun _ -> 42));
+  check_bool "shuts down on exception" true
+    (match Exec.Pool.with_pool ~jobs:2 (fun _ -> failwith "body") with
+    | exception Failure msg -> msg = "body"
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Pool properties                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Cheap but not constant-time, so workers genuinely interleave. *)
+let work x =
+  let acc = ref (x land 0xFFFF) in
+  for i = 1 to 200 + (x land 63) do
+    acc := (!acc * 31) + i
+  done;
+  (x, !acc)
+
+let prop_map_matches_list_map =
+  QCheck.Test.make ~count:60
+    ~name:"Pool.map preserves order and equals List.map"
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(0 -- 60) small_int))
+    (fun (jobs, xs) ->
+      Exec.Pool.with_pool ~jobs (fun pool ->
+          Exec.Pool.map pool work xs = List.map work xs))
+
+let prop_exceptions_propagate =
+  (* Negative elements raise; the surfaced exception must name the
+     first negative by position (exactly what List.map would raise,
+     since it applies the function left to right). *)
+  let f x = if x < 0 then failwith (string_of_int x) else x in
+  QCheck.Test.make ~count:60 ~name:"Pool.map re-raises the first failure"
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(1 -- 40) (int_range (-20) 20)))
+    (fun (jobs, xs) ->
+      let expected =
+        match List.find_opt (fun x -> x < 0) xs with
+        | Some x -> Error (string_of_int x)
+        | None -> Ok (List.map f xs)
+      in
+      let got =
+        Exec.Pool.with_pool ~jobs (fun pool ->
+            match Exec.Pool.map pool f xs with
+            | ys -> Ok ys
+            | exception Failure msg -> Error msg)
+      in
+      got = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Differential determinism: jobs must never change the numbers       *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_grid_bit_identical () =
+  (* Render every experiment at small scale from a sequentially filled
+     grid and from a 4-domain grid; every byte must match.  This is the
+     contract that lets `loclab --jobs N` exist at all. *)
+  let ctx1 = Core.Context.create ~scale:0.02 ~jobs:1 () in
+  let ctx4 = Core.Context.create ~scale:0.02 ~jobs:4 () in
+  Core.Experiment.warm_all ctx4;
+  List.iter
+    (fun id ->
+      Alcotest.(check string)
+        (id ^ " identical under jobs=1 and jobs=4")
+        (Core.Experiment.run ctx1 id)
+        (Core.Experiment.run ctx4 id))
+    (Core.Experiment.ids ())
+
+let test_prefetch_then_get_shares_data () =
+  (* get after prefetch must hit the memo, not re-run. *)
+  let runs = Core.Runs.create ~scale:0.02 ~jobs:4 () in
+  Core.Runs.prefetch runs [ ("make", "bsd"); ("make", "bsd"); ("gawk", "bsd") ];
+  let a = Core.Runs.get runs ~profile:"make" ~allocator:"bsd" in
+  let b = Core.Runs.get runs ~profile:"make" ~allocator:"bsd" in
+  check_bool "memoized from prefetch" true (a == b)
+
+let test_prefetch_unknown_key_raises () =
+  let runs = Core.Runs.create ~scale:0.02 ~jobs:4 () in
+  check_bool "unknown profile raises Not_found" true
+    (match Core.Runs.prefetch runs [ ("nope", "bsd") ] with
+    | exception Not_found -> true
+    | _ -> false)
+
+let tc name f = Alcotest.test_case name `Quick f
+let qt t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          tc "map basic" test_pool_map_basic;
+          tc "map empty/singleton" test_pool_map_empty_and_singleton;
+          tc "jobs clamped" test_pool_jobs_clamped;
+          tc "exception propagates" test_pool_exception_propagates;
+          tc "map after shutdown raises" test_pool_map_after_shutdown_raises;
+          tc "with_pool returns and cleans up"
+            test_with_pool_returns_and_cleans_up;
+        ] );
+      ( "pool-properties",
+        [ qt prop_map_matches_list_map; qt prop_exceptions_propagate ] );
+      ( "determinism",
+        [
+          tc "parallel grid bit-identical" test_parallel_grid_bit_identical;
+          tc "prefetch feeds the memo" test_prefetch_then_get_shares_data;
+          tc "prefetch unknown key raises" test_prefetch_unknown_key_raises;
+        ] );
+    ]
