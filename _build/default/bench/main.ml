@@ -31,6 +31,30 @@ let run_micro = Sys.getenv_opt "LOCLAB_BENCH" <> Some "0"
 
 let ctx = Core.Context.create ~scale ~jobs ()
 
+(* Numbers exported to the BENCH json at exit. *)
+let fill_seconds = ref 0.
+let grid_events = ref 0
+let kernel_results : (string * float) list ref = ref []
+
+(* Total simulated references across the (deduplicated) grid — the
+   event count behind the fill time, for an events/second figure. *)
+let count_grid_events () =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Core.Experiment.t) ->
+      List.iter
+        (fun (profile, allocator) ->
+          if not (Hashtbl.mem seen (profile, allocator)) then begin
+            Hashtbl.replace seen (profile, allocator) ();
+            let d =
+              Core.Runs.get ctx.Core.Context.runs ~profile ~allocator
+            in
+            grid_events :=
+              !grid_events + d.Core.Runs.result.Workload.Driver.data_refs
+          end)
+        e.Core.Experiment.cells)
+    Core.Experiment.all
+
 let () =
   Printf.printf
     "loclab bench: reproducing Grunwald/Zorn/Henderson PLDI'93 at scale %.2f \
@@ -41,9 +65,13 @@ let () =
      and report the fill time, the number the --jobs knob moves. *)
   let t0 = Unix.gettimeofday () in
   Core.Experiment.warm_all ctx;
-  Printf.printf "grid fill: %.2f s wall (%d jobs, scale %.2f)\n\n"
-    (Unix.gettimeofday () -. t0)
-    jobs scale;
+  fill_seconds := Unix.gettimeofday () -. t0;
+  count_grid_events ();
+  Printf.printf "grid fill: %.2f s wall (%d jobs, scale %.2f)\n"
+    !fill_seconds jobs scale;
+  Printf.printf "grid throughput: %.2f M events/s (%d simulated references)\n\n"
+    (float_of_int !grid_events /. !fill_seconds /. 1e6)
+    !grid_events;
   List.iter
     (fun e ->
       Printf.printf "================ %s — %s (%s) ================\n%s\n"
@@ -108,6 +136,23 @@ let substrate_tests =
           (Cachesim.Cache.access_block cache ~kind:Memsim.Event.Read
              ~source:Memsim.Event.App ~block:(!counter * 37 land 0xFFFF)))
   in
+  (* One probe serves the whole 32-byte family of the standard sweep —
+     the per-access cost amortized across every member at once, to set
+     against substrate:cache-access (one member per probe). *)
+  let forest =
+    Cachesim.Forest.create
+      (List.filter
+         (fun (c : Cachesim.Config.t) -> c.block_bytes = 32)
+         Core.Runs.standard_configs)
+  in
+  let fcounter = ref 0 in
+  let forest_kernel =
+    Staged.stage (fun () ->
+        incr fcounter;
+        ignore
+          (Cachesim.Forest.access_block forest ~kind:Memsim.Event.Read
+             ~source:Memsim.Event.App ~block:(!fcounter * 37 land 0xFFFF)))
+  in
   let stack = Vmsim.Lru_stack.create () in
   let scounter = ref 0 in
   let stack_kernel =
@@ -116,6 +161,7 @@ let substrate_tests =
         ignore (Vmsim.Lru_stack.access stack (!scounter * 31 land 0x3FF)))
   in
   [ Test.make ~name:"substrate:cache-access" cache_kernel;
+    Test.make ~name:"substrate:forest-access" forest_kernel;
     Test.make ~name:"substrate:lru-stack-access" stack_kernel ]
 
 let run_tests tests =
@@ -132,10 +178,59 @@ let run_tests tests =
           let result = Analyze.one ols instance raw in
           match Analyze.OLS.estimates result with
           | Some [ est ] ->
+              kernel_results := (Test.Elt.name elt, est) :: !kernel_results;
               Printf.printf "  %-28s %12.1f ns/run\n" (Test.Elt.name elt) est
           | _ -> Printf.printf "  %-28s (no estimate)\n" (Test.Elt.name elt))
         (Test.elements test))
     tests
+
+(* ------------------------------------------------------------------ *)
+(* BENCH json                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable copy of the headline numbers, for CI trend checks
+   and EXPERIMENTS.md.  LOCLAB_BENCH_JSON overrides the path; set it to
+   the empty string to skip the file. *)
+let bench_json_path =
+  match Sys.getenv_opt "LOCLAB_BENCH_JSON" with
+  | Some "" -> None
+  | Some p -> Some p
+  | None -> Some "loclab-bench.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"scale\": %g,\n" scale;
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"grid\": {\n";
+  Printf.fprintf oc "    \"fill_seconds\": %.3f,\n" !fill_seconds;
+  Printf.fprintf oc "    \"events\": %d,\n" !grid_events;
+  Printf.fprintf oc "    \"events_per_sec\": %.0f\n"
+    (float_of_int !grid_events /. !fill_seconds);
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"kernels_ns_per_run\": {";
+  let kernels = List.rev !kernel_results in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "%s\n    \"%s\": %.1f"
+        (if i = 0 then "" else ",")
+        (json_escape name) est)
+    kernels;
+  if kernels <> [] then Printf.fprintf oc "\n  ";
+  Printf.fprintf oc "}\n}\n";
+  close_out oc
 
 let () =
   if run_micro then begin
@@ -148,4 +243,9 @@ let () =
     Printf.printf
       "\nExperiment regeneration (warm grid), one per table/figure:\n";
     run_tests experiment_tests
-  end
+  end;
+  match bench_json_path with
+  | None -> ()
+  | Some path ->
+      write_bench_json path;
+      Printf.printf "\nbench json written to %s\n" path

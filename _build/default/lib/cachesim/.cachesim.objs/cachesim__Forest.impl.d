@@ -1,0 +1,1 @@
+lib/cachesim/forest.ml: Array Config Hashtbl List Memsim Printf Stats

@@ -1,0 +1,1 @@
+lib/cachesim/forest.mli: Config Memsim Stats

@@ -1,1 +1,1 @@
-lib/cachesim/hierarchy.ml: Cache Config Memsim Stats
+lib/cachesim/hierarchy.ml: Array Config Forest Memsim Stats

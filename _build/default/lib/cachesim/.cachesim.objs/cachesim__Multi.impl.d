@@ -1,1 +1,1 @@
-lib/cachesim/multi.ml: Array Cache Config List Memsim Stats
+lib/cachesim/multi.ml: Array Config Forest Hashtbl List Memsim Printf Stats String

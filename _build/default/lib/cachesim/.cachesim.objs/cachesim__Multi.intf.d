@@ -1,1 +1,1 @@
-lib/cachesim/multi.mli: Cache Config Memsim Stats
+lib/cachesim/multi.mli: Config Memsim Stats

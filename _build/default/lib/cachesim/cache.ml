@@ -8,9 +8,14 @@ type t = {
   dirty : bool array;
   num_sets : int;
   assoc : int;
+  block_shift : int;  (* log2 block_bytes: block index = addr lsr shift *)
   seen : (int, unit) Hashtbl.t;  (* blocks ever referenced, for cold misses *)
   mutable stats : Stats.t;
 }
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
 
 let create config =
   let num_sets = Config.num_sets config in
@@ -20,6 +25,7 @@ let create config =
     dirty = Array.make (num_sets * assoc) false;
     num_sets;
     assoc;
+    block_shift = log2 config.Config.block_bytes;
     seen = Hashtbl.create 4096;
     stats = Stats.create () }
 
@@ -81,9 +87,8 @@ let access_block t ~kind ~source ~block =
   miss
 
 let access t (e : Memsim.Event.t) =
-  let bb = t.config.Config.block_bytes in
-  let first = e.addr / bb in
-  let last = (e.addr + e.size - 1) / bb in
+  let first = e.addr lsr t.block_shift in
+  let last = (e.addr + e.size - 1) lsr t.block_shift in
   for block = first to last do
     ignore (access_block t ~kind:e.kind ~source:e.source ~block)
   done

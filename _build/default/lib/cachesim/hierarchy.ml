@@ -1,29 +1,48 @@
-type t = { l1 : Cache.t; l2 : Cache.t }
+(* Each level is a single-member {!Forest} family: the member code path
+   (inline probe, array counters, cold table consulted only on a miss)
+   is shared with the multi-configuration sweep, and a one-member
+   family's statistics are exactly an independent cache's.  L2 sees
+   only the L1 miss stream, as in the paper's two-level runs. *)
+type t = {
+  l1 : Forest.t;
+  l2 : Forest.t;
+  l1_shift : int;  (* log2 of the L1 block size *)
+  l2_shift : int;
+}
 
-let create ~l1 ~l2 = { l1 = Cache.create l1; l2 = Cache.create l2 }
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create ~l1 ~l2 =
+  { l1 = Forest.create [ l1 ];
+    l2 = Forest.create [ l2 ];
+    l1_shift = log2 l1.Config.block_bytes;
+    l2_shift = log2 l2.Config.block_bytes }
+
+let access t (e : Memsim.Event.t) =
+  let ks = Forest.ks_index ~kind:e.kind ~source:e.source in
+  let first = e.addr lsr t.l1_shift in
+  let last = (e.addr + e.size - 1) lsr t.l1_shift in
+  for block = first to last do
+    if Forest.access_block_ks t.l1 ~ks ~block > 0 then
+      (* Translate the L1 block to the (possibly larger) L2 block. *)
+      ignore
+        (Forest.access_block_ks t.l2 ~ks
+           ~block:((block lsl t.l1_shift) lsr t.l2_shift))
+  done
 
 let sink t =
-  Memsim.Sink.of_fn (fun (e : Memsim.Event.t) ->
-      let bb1 = (Cache.config t.l1).Config.block_bytes in
-      let first = e.addr / bb1 in
-      let last = (e.addr + e.size - 1) / bb1 in
-      for block = first to last do
-        let miss =
-          Cache.access_block t.l1 ~kind:e.kind ~source:e.source ~block
-        in
-        if miss then begin
-          (* Translate the L1 block to the (possibly larger) L2 block. *)
-          let addr = block * bb1 in
-          let bb2 = (Cache.config t.l2).Config.block_bytes in
-          ignore
-            (Cache.access_block t.l2 ~kind:e.kind ~source:e.source
-               ~block:(addr / bb2))
-        end
+  let access_event = access t in
+  Memsim.Sink.make ~emit:access_event
+    ~emit_batch:(fun buf len ->
+      for i = 0 to len - 1 do
+        access_event (Array.unsafe_get buf i)
       done)
 
-let l1_stats t = Cache.stats t.l1
-let l2_stats t = Cache.stats t.l2
+let l1_stats t = Forest.member_stats t.l1 0
+let l2_stats t = Forest.member_stats t.l2 0
 
 let stall_cycles t ~l1_penalty ~l2_penalty =
-  let s1 = Cache.stats t.l1 and s2 = Cache.stats t.l2 in
+  let s1 = l1_stats t and s2 = l2_stats t in
   (s1.Stats.misses * l1_penalty) + (s2.Stats.misses * l2_penalty)

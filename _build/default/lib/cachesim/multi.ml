@@ -1,27 +1,96 @@
-type t = { caches : Cache.t array }
+(* A set of cache configurations fed from one trace.  Configurations
+   are partitioned by block size into {!Forest} families: within a
+   family the direct-mapped members cost one inclusion walk per
+   reference, set-associative members are probed individually, and the
+   access profile and cold-miss table are shared family-wide.
+   Per-configuration statistics are bit-identical to simulating every
+   configuration independently. *)
+
+type t = {
+  slots : (Config.t * (int * int)) array;
+      (* creation order; (forest index, member index within it) *)
+  forests : Forest.t array;
+}
 
 let create configs =
   if configs = [] then invalid_arg "Cachesim.Multi.create: no configurations";
-  { caches = Array.of_list (List.map Cache.create configs) }
+  (* One family per block size, in first-seen order. *)
+  let families : (int, Config.t list ref) Hashtbl.t = Hashtbl.create 4 in
+  let family_order = ref [] in
+  let slots_rev = ref [] in
+  List.iter
+    (fun (c : Config.t) ->
+      let members =
+        match Hashtbl.find_opt families c.block_bytes with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add families c.block_bytes r;
+            family_order := c.block_bytes :: !family_order;
+            r
+      in
+      members := c :: !members;
+      slots_rev := (c, (c.block_bytes, List.length !members - 1)) :: !slots_rev)
+    configs;
+  let family_order = List.rev !family_order in
+  let forests =
+    Array.of_list
+      (List.map
+         (fun bb -> Forest.create (List.rev !(Hashtbl.find families bb)))
+         family_order)
+  in
+  let forest_index =
+    let tbl = Hashtbl.create 4 in
+    List.iteri (fun i bb -> Hashtbl.add tbl bb i) family_order;
+    tbl
+  in
+  let slots =
+    Array.of_list
+      (List.rev_map
+         (fun (c, (bb, member)) -> (c, (Hashtbl.find forest_index bb, member)))
+         !slots_rev)
+  in
+  { slots; forests }
 
-let caches t = Array.to_list t.caches
+let access t e =
+  for i = 0 to Array.length t.forests - 1 do
+    Forest.access t.forests.(i) e
+  done
 
 let sink t =
-  Memsim.Sink.of_fn (fun e ->
-      for i = 0 to Array.length t.caches - 1 do
-        Cache.access t.caches.(i) e
+  let forests = t.forests in
+  let emit = access t in
+  Memsim.Sink.make ~emit
+    ~emit_batch:(fun buf len ->
+      (* Decode each event's kind/source once, then feed every family. *)
+      for i = 0 to len - 1 do
+        let e : Memsim.Event.t = Array.unsafe_get buf i in
+        let ks = Forest.ks_index ~kind:e.kind ~source:e.source in
+        for j = 0 to Array.length forests - 1 do
+          Forest.access_range_ks
+            (Array.unsafe_get forests j)
+            ~ks ~addr:e.addr ~size:e.size
+        done
       done)
 
+let stats_of t (f, m) = Forest.member_stats t.forests.(f) m
+
 let results t =
-  Array.to_list t.caches
-  |> List.map (fun c -> (Cache.config c, Cache.stats c))
+  Array.to_list t.slots |> List.map (fun (c, slot) -> (c, stats_of t slot))
+
+let names t =
+  Array.to_list t.slots |> List.map (fun ((c : Config.t), _) -> c.name)
 
 let find t ~name =
   match
-    Array.find_opt (fun c -> (Cache.config c).Config.name = name) t.caches
+    Array.find_opt (fun ((c : Config.t), _) -> c.name = name) t.slots
   with
-  | Some c -> c
-  | None -> raise Not_found
+  | Some (c, slot) -> (c, stats_of t slot)
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Cachesim.Multi.find: unknown cache %S (known: %s)"
+           name
+           (String.concat ", " (names t)))
 
 let miss_rate_series t =
   results t

@@ -2,21 +2,31 @@
 
     The paper sweeps cache sizes (Figures 6–8); feeding every
     configuration from the same execution-driven trace is how TYCHO was
-    used.  All caches see the identical reference stream. *)
+    used.  All caches see the identical reference stream.
+
+    Internally the configurations are partitioned by block size into
+    {!Forest} families: direct-mapped members are simulated in one
+    inclusion walk per reference, set-associative members are probed
+    individually but share the family's access profile and cold-miss
+    table.  The partition is invisible in the results — statistics are
+    bit-identical to simulating every configuration on its own. *)
 
 type t
 
 val create : Config.t list -> t
-val caches : t -> Cache.t list
+(** @raise Invalid_argument on an empty configuration list. *)
 
 val sink : t -> Memsim.Sink.t
-(** Forwards every event to every cache. *)
+(** Forwards every event to every configuration. *)
 
 val results : t -> (Config.t * Stats.t) list
 (** Configuration and statistics per cache, in creation order. *)
 
-val find : t -> name:string -> Cache.t
-(** @raise Not_found if no cache has that configuration name. *)
+val find : t -> name:string -> Config.t * Stats.t
+(** [find t ~name] looks a configuration up by display name.
+
+    @raise Invalid_argument if no configuration has that name; the
+    message lists the known names. *)
 
 val miss_rate_series : t -> (string * float) list
 (** [(name, miss-rate %)] per configuration — one figure series. *)

@@ -1,1 +1,1 @@
-lib/core/runs.ml: Allocators Cachesim Exec Hashtbl List Memsim Metrics Printf Vmsim Workload
+lib/core/runs.ml: Allocators Cachesim Exec Hashtbl List Memsim Metrics Printf String Vmsim Workload

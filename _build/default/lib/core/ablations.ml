@@ -264,8 +264,7 @@ let lifetime_prediction (ctx : Context.t) =
         in
         let rate kb =
           Cachesim.Stats.miss_rate_pct
-            (Cachesim.Cache.stats
-               (Cachesim.Multi.find multi ~name:(Printf.sprintf "%dK-dm" kb)))
+            (snd (Cachesim.Multi.find multi ~name:(Printf.sprintf "%dK-dm" kb)))
         in
         Table.add_row table
           [ plabel; name;

@@ -122,7 +122,11 @@ let cache_stats d ~name =
     List.find_opt (fun (c, _) -> c.Cachesim.Config.name = name) d.caches
   with
   | Some (_, s) -> s
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Runs.cache_stats: unknown cache %S (known: %s)" name
+           (String.concat ", "
+              (List.map (fun (c, _) -> c.Cachesim.Config.name) d.caches)))
 
 let miss_rate d ~cache = Cachesim.Stats.miss_rate (cache_stats d ~name:cache)
 

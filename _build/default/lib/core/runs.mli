@@ -48,7 +48,8 @@ val prefetch : t -> (string * string) list -> unit
 
 val cache_stats : data -> name:string -> Cachesim.Stats.t
 (** Statistics of a named configuration, e.g. ["64K-dm"].
-    @raise Not_found if the configuration was not simulated. *)
+    @raise Invalid_argument if the configuration was not simulated; the
+    message lists the configurations that were. *)
 
 val miss_rate : data -> cache:string -> float
 (** Miss rate (fraction) of a named configuration. *)

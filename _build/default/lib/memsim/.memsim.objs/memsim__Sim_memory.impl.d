@@ -1,1 +1,1 @@
-lib/memsim/sim_memory.ml: Addr Event Fun Hashtbl Printf Sink
+lib/memsim/sim_memory.ml: Addr Array Bytes Event Fun Printf Sink

@@ -1,11 +1,41 @@
+(* The backing store is a dense array indexed by word index: simulated
+   addresses start at a small fixed layout base and metadata stores
+   cluster in the static+heap regions, so the footprint stays
+   proportional to the highest address actually stored to — and a
+   store/load is an array access instead of a hashtable probe on the
+   allocators' hot path.  [touched] marks words ever stored, preserving
+   the distinct-word count (reads of untouched words are 0 either
+   way). *)
 type t = {
-  words : (int, int) Hashtbl.t;
+  mutable words : int array;
+  mutable touched : Bytes.t;
+  mutable written : int;  (* distinct words ever stored *)
   mutable sink : Sink.t;
   mutable source : Event.source;
 }
 
 let create ?(sink = Sink.null) () =
-  { words = Hashtbl.create 4096; sink; source = Event.App }
+  { words = Array.make 4096 0;
+    touched = Bytes.make 4096 '\000';
+    written = 0;
+    sink;
+    source = Event.App }
+
+(* Grow (by doubling) until word index [i] is in range. *)
+let ensure t i =
+  let n = Array.length t.words in
+  if i >= n then begin
+    let n' =
+      let rec go n' = if i < n' then n' else go (2 * n') in
+      go (2 * n)
+    in
+    let words = Array.make n' 0 in
+    Array.blit t.words 0 words 0 n;
+    let touched = Bytes.make n' '\000' in
+    Bytes.blit t.touched 0 touched 0 n;
+    t.words <- words;
+    t.touched <- touched
+  end
 
 let set_sink t sink = t.sink <- sink
 let source t = t.source
@@ -22,17 +52,25 @@ let check_word_addr a =
   if a <= 0 then
     invalid_arg (Printf.sprintf "Sim_memory: access to null/negative 0x%x" a)
 
+let set_word t i v =
+  ensure t i;
+  Array.unsafe_set t.words i v;
+  if Bytes.unsafe_get t.touched i = '\000' then begin
+    Bytes.unsafe_set t.touched i '\001';
+    t.written <- t.written + 1
+  end
+
+let get_word t i = if i < Array.length t.words then Array.unsafe_get t.words i else 0
+
 let load t a =
   check_word_addr a;
   t.sink.emit { kind = Read; source = t.source; addr = a; size = Addr.word_bytes };
-  match Hashtbl.find_opt t.words (Addr.word_index a) with
-  | Some v -> v
-  | None -> 0
+  get_word t (Addr.word_index a)
 
 let store t a v =
   check_word_addr a;
   t.sink.emit { kind = Write; source = t.source; addr = a; size = Addr.word_bytes };
-  Hashtbl.replace t.words (Addr.word_index a) v
+  set_word t (Addr.word_index a) v
 
 let ranged t kind a n =
   assert (n >= 0);
@@ -57,12 +95,10 @@ let write_bytes t a n = ranged t Event.Write a n
 
 let peek t a =
   check_word_addr a;
-  match Hashtbl.find_opt t.words (Addr.word_index a) with
-  | Some v -> v
-  | None -> 0
+  get_word t (Addr.word_index a)
 
 let poke t a v =
   check_word_addr a;
-  Hashtbl.replace t.words (Addr.word_index a) v
+  set_word t (Addr.word_index a) v
 
-let words_written t = Hashtbl.length t.words
+let words_written t = t.written

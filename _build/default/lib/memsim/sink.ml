@@ -1,7 +1,17 @@
-type t = { emit : Event.t -> unit }
+type t = {
+  emit : Event.t -> unit;
+  emit_batch : Event.t array -> int -> unit;
+}
 
-let null = { emit = ignore }
-let of_fn f = { emit = f }
+let batch_of_emit f buf len =
+  for i = 0 to len - 1 do
+    f (Array.unsafe_get buf i)
+  done
+
+let null = { emit = ignore; emit_batch = (fun _ _ -> ()) }
+let of_fn f = { emit = f; emit_batch = batch_of_emit f }
+let make ~emit ~emit_batch = { emit; emit_batch }
+let emit_batch t buf ~len = t.emit_batch buf len
 
 let fanout sinks =
   match sinks with
@@ -12,6 +22,10 @@ let fanout sinks =
           (fun e ->
             a.emit e;
             b.emit e);
+        emit_batch =
+          (fun buf len ->
+            a.emit_batch buf len;
+            b.emit_batch buf len);
       }
   | sinks ->
       let arr = Array.of_list sinks in
@@ -20,57 +34,88 @@ let fanout sinks =
             for i = 0 to Array.length arr - 1 do
               arr.(i).emit e
             done);
+        emit_batch =
+          (fun buf len ->
+            for i = 0 to Array.length arr - 1 do
+              arr.(i).emit_batch buf len
+            done);
       }
 
-let filter pred sink = { emit = (fun e -> if pred e then sink.emit e) }
+let filter pred sink =
+  of_fn (fun e -> if pred e then sink.emit e)
 
-module Counter = struct
-  type counter = {
-    mutable total : int;
-    mutable reads : int;
-    mutable writes : int;
-    mutable bytes : int;
-    mutable app : int;
-    mutable malloc : int;
-    mutable free : int;
+module Batcher = struct
+  type batcher = {
+    buf : Event.t array;
+    capacity : int;
+    mutable len : int;
+    downstream : t;
   }
 
-  let create () =
-    { total = 0; reads = 0; writes = 0; bytes = 0; app = 0; malloc = 0;
-      free = 0 }
+  let default_capacity = 256
 
-  let sink c =
+  let dummy : Event.t =
+    { kind = Event.Read; source = Event.App; addr = 0; size = 1 }
+
+  let create ?(capacity = default_capacity) downstream =
+    if capacity < 1 then invalid_arg "Sink.Batcher.create: capacity must be >= 1";
+    { buf = Array.make capacity dummy; capacity; len = 0; downstream }
+
+  let flush b =
+    if b.len > 0 then begin
+      b.downstream.emit_batch b.buf b.len;
+      b.len <- 0
+    end
+
+  let sink b =
     { emit =
-        (fun (e : Event.t) ->
-          c.total <- c.total + 1;
-          c.bytes <- c.bytes + e.size;
-          (match e.kind with
-          | Read -> c.reads <- c.reads + 1
-          | Write -> c.writes <- c.writes + 1);
-          match e.source with
-          | App -> c.app <- c.app + 1
-          | Malloc -> c.malloc <- c.malloc + 1
-          | Free -> c.free <- c.free + 1);
+        (fun e ->
+          Array.unsafe_set b.buf b.len e;
+          b.len <- b.len + 1;
+          if b.len = b.capacity then flush b);
+      emit_batch =
+        (* Already-batched input: drain our buffer to keep order, then
+           pass the foreign batch through untouched. *)
+        (fun buf len ->
+          flush b;
+          b.downstream.emit_batch buf len);
     }
+end
 
-  let total c = c.total
-  let reads c = c.reads
-  let writes c = c.writes
+module Counter = struct
+  (* Event tallies live in a 6-cell array indexed [ki*3 + si] (ki: 0
+     read / 1 write; si: 0 app / 1 malloc / 2 free): classifying an
+     event is one read-modify-write on the hot path, totals and
+     marginals are summed on demand. *)
+  type counter = {
+    cells : int array;
+    mutable bytes : int;
+  }
+
+  let create () = { cells = Array.make 6 0; bytes = 0 }
+
+  let count c (e : Event.t) =
+    c.bytes <- c.bytes + e.size;
+    let ki = match e.kind with Read -> 0 | Write -> 1 in
+    let si = match e.source with App -> 0 | Malloc -> 1 | Free -> 2 in
+    let ks = (ki * 3) + si in
+    Array.unsafe_set c.cells ks (Array.unsafe_get c.cells ks + 1)
+
+  let sink c = of_fn (count c)
+
+  let reads c = c.cells.(0) + c.cells.(1) + c.cells.(2)
+  let writes c = c.cells.(3) + c.cells.(4) + c.cells.(5)
+  let total c = reads c + writes c
   let bytes c = c.bytes
 
   let by_source c = function
-    | Event.App -> c.app
-    | Event.Malloc -> c.malloc
-    | Event.Free -> c.free
+    | Event.App -> c.cells.(0) + c.cells.(3)
+    | Event.Malloc -> c.cells.(1) + c.cells.(4)
+    | Event.Free -> c.cells.(2) + c.cells.(5)
 
   let reset c =
-    c.total <- 0;
-    c.reads <- 0;
-    c.writes <- 0;
-    c.bytes <- 0;
-    c.app <- 0;
-    c.malloc <- 0;
-    c.free <- 0
+    Array.fill c.cells 0 6 0;
+    c.bytes <- 0
 end
 
 module Recorder = struct
@@ -81,15 +126,16 @@ module Recorder = struct
   }
 
   let create ?(capacity = 65536) () =
-    assert (capacity >= 0);
+    (* Not an assert: -noassert builds must still reject a negative
+       capacity instead of silently recording nothing. *)
+    if capacity < 0 then
+      invalid_arg "Sink.Recorder.create: capacity must be >= 0";
     { capacity; events_rev = []; count = 0 }
 
   let sink r =
-    { emit =
-        (fun e ->
-          if r.count < r.capacity then r.events_rev <- e :: r.events_rev;
-          r.count <- r.count + 1);
-    }
+    of_fn (fun e ->
+        if r.count < r.capacity then r.events_rev <- e :: r.events_rev;
+        r.count <- r.count + 1)
 
   let events r = List.rev r.events_rev
   let dropped r = max 0 (r.count - r.capacity)

@@ -4,21 +4,67 @@
     composable: [fanout] broadcasts one trace to several consumers (e.g. a
     family of cache simulators plus the page-fault simulator plus raw
     counters), exactly as the paper drives TYCHO and VMSIM from one
-    execution-driven trace. *)
+    execution-driven trace.
 
-type t = { emit : Event.t -> unit }
+    Sinks consume events one at a time ([emit]) or a batch at a time
+    ([emit_batch]): a batch delivery must be observationally identical to
+    emitting each of its events in order, and exists only to amortise the
+    per-event closure dispatch on the hot path (one indirect call per
+    batch per consumer instead of one per reference).  [fanout] hands the
+    whole batch to each consumer in turn, so consumers must not rely on
+    being interleaved event-by-event with their siblings — none of the
+    simulators do, as each owns disjoint state. *)
+
+type t = {
+  emit : Event.t -> unit;
+  emit_batch : Event.t array -> int -> unit;
+      (** [emit_batch buf len] consumes [buf.(0 .. len-1)], exactly as
+          [len] successive [emit]s would.  Entries beyond [len] are
+          garbage and must not be read. *)
+}
 
 val null : t
 (** Discards every event. *)
 
 val of_fn : (Event.t -> unit) -> t
-(** Wraps a plain function. *)
+(** Wraps a plain function; batches are consumed by iterating it. *)
+
+val make :
+  emit:(Event.t -> unit) -> emit_batch:(Event.t array -> int -> unit) -> t
+(** A sink with a specialised batch path (e.g. an internal tight loop
+    that skips the per-event dispatch). *)
+
+val emit_batch : t -> Event.t array -> len:int -> unit
+(** [emit_batch t buf ~len] delivers the first [len] events of [buf]. *)
 
 val fanout : t list -> t
-(** [fanout sinks] forwards each event to every sink, in order. *)
+(** [fanout sinks] forwards each event to every sink, in order.  Batches
+    are delivered whole to each sink in turn (see the module comment). *)
 
 val filter : (Event.t -> bool) -> t -> t
 (** [filter pred sink] forwards only events satisfying [pred]. *)
+
+(** Buffers events into a preallocated array and flushes them downstream
+    with one [emit_batch] call, so a producer that emits word-at-a-time
+    (the simulated machine) costs the downstream fanout one dispatch per
+    batch instead of one per reference.  The driver owns the flush:
+    anything reading downstream state (counters, cache statistics) must
+    [flush] first. *)
+module Batcher : sig
+  type batcher
+
+  val create : ?capacity:int -> t -> batcher
+  (** [create downstream] with a buffer of [capacity] events (default
+      256).  @raise Invalid_argument if [capacity < 1]. *)
+
+  val sink : batcher -> t
+  (** The buffering front: stores each event, auto-flushing when the
+      buffer fills.  Batches arriving at the front are passed through
+      (after draining the buffer, to preserve order). *)
+
+  val flush : batcher -> unit
+  (** Deliver any buffered events downstream now. *)
+end
 
 (** Running totals of a trace: how many references, reads, writes, bytes,
     broken down by source.  This supplies the [D] term of the paper's
@@ -49,7 +95,8 @@ module Recorder : sig
 
   val create : ?capacity:int -> unit -> recorder
   (** [capacity] bounds how many events are retained (default 65536);
-      later events are dropped but still counted. *)
+      later events are dropped but still counted.
+      @raise Invalid_argument if [capacity < 0]. *)
 
   val sink : recorder -> t
 

@@ -1,5 +1,6 @@
 type t = {
   page_bytes : int;
+  page_shift : int;  (* log2 page_bytes: page index = addr lsr shift *)
   stack : Lru_stack.t;
   mutable references : int;
   (* Collapse consecutive same-page accesses: they are distance-1 hits at
@@ -12,7 +13,12 @@ type t = {
 let create ?(page_bytes = 4096) () =
   if page_bytes <= 0 || page_bytes land (page_bytes - 1) <> 0 then
     invalid_arg "Page_sim.create: page size must be a positive power of two";
+  let log2 n =
+    let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+    go 0 n
+  in
   { page_bytes;
+    page_shift = log2 page_bytes;
     stack = Lru_stack.create ();
     references = 0;
     last_page = -1;
@@ -27,14 +33,15 @@ let touch_page t page =
     t.last_page <- page
   end
 
-let sink t =
-  Memsim.Sink.of_fn (fun (e : Memsim.Event.t) ->
-      t.references <- t.references + 1;
-      let first = e.addr / t.page_bytes in
-      let last = (e.addr + e.size - 1) / t.page_bytes in
-      for page = first to last do
-        touch_page t page
-      done)
+let access t (e : Memsim.Event.t) =
+  t.references <- t.references + 1;
+  let first = e.addr lsr t.page_shift in
+  let last = (e.addr + e.size - 1) lsr t.page_shift in
+  for page = first to last do
+    touch_page t page
+  done
+
+let sink t = Memsim.Sink.of_fn (access t)
 
 let references t = t.references
 let distinct_pages t = Lru_stack.distinct t.stack

@@ -120,8 +120,16 @@ let run_with ?(sink = Memsim.Sink.null) ?(scale = 1.0)
   Profile.validate profile;
   let p = profile in
   let counter = Memsim.Sink.Counter.create () in
-  Heap.set_sink heap
-    (Memsim.Sink.fanout [ Memsim.Sink.Counter.sink counter; sink ]);
+  (* Batch the reference stream: the simulated machine emits word-grain
+     events, so buffering them and flushing whole batches through the
+     fanout pays the consumer dispatch once per batch, not once per
+     reference.  Order within the stream is preserved exactly; the
+     flush below runs before any downstream state is read. *)
+  let batcher =
+    Memsim.Sink.Batcher.create
+      (Memsim.Sink.fanout [ Memsim.Sink.Counter.sink counter; sink ])
+  in
+  Heap.set_sink heap (Memsim.Sink.Batcher.sink batcher);
   let mem = Heap.mem heap in
   let rng = Rng.create p.Profile.seed in
   let steps = Profile.scaled_steps p ~scale in
@@ -261,6 +269,7 @@ let run_with ?(sink = Memsim.Sink.null) ?(scale = 1.0)
     (* Private computation. *)
     Heap.charge heap p.Profile.compute_per_step
   done;
+  Memsim.Sink.Batcher.flush batcher;
   let cost = Heap.cost heap in
   { profile = p;
     allocator_key = Allocator.name alloc;

@@ -369,15 +369,28 @@ let test_multi_bigger_cache_fewer_misses () =
   let largest = List.nth rates (List.length rates - 1) in
   check_bool "largest cache only cold misses" true (largest < 25.)
 
+(* Naive substring check, for asserting on error-message contents. *)
+let contains_substring ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
 let test_multi_find () =
   let m = Multi.create Config.paper_direct_mapped in
-  let c = Multi.find m ~name:"64K-dm" in
-  check_int "found the right size" (64 * 1024)
-    (Cache.config c).Config.size_bytes;
-  check_bool "missing raises" true
-    (match Multi.find m ~name:"nope" with
-    | exception Not_found -> true
-    | _ -> false)
+  let cfg, _ = Multi.find m ~name:"64K-dm" in
+  check_int "found the right size" (64 * 1024) cfg.Config.size_bytes;
+  (* A bare Not_found told the caller nothing; the error now names the
+     unknown key and every candidate. *)
+  match Multi.find m ~name:"nope" with
+  | exception Invalid_argument msg ->
+      check_bool "message names the unknown" true
+        (contains_substring ~needle:"nope" msg);
+      check_bool "message lists candidates" true
+        (contains_substring ~needle:"16K-dm" msg
+        && contains_substring ~needle:"256K-dm" msg)
+  | _ -> Alcotest.fail "expected Invalid_argument"
 
 (* ------------------------------------------------------------------ *)
 (* Classify                                                           *)
@@ -489,6 +502,135 @@ let test_hierarchy_l2_filters () =
   check_int "L2 only cold misses" 8 l2.Stats.misses
 
 (* ------------------------------------------------------------------ *)
+(* Forest                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The forest's contract is exact equality with independently simulated
+   caches — every Stats.t field, not just hit/miss totals. *)
+let stats_testable = Alcotest.testable Stats.pp (fun (a : Stats.t) b -> a = b)
+
+(* Deterministic mixed read/write stream: multi-block spanning sizes,
+   all three sources, addresses wide enough to force evictions. *)
+let lcg_stream n =
+  let state = ref 123456789 in
+  let next m =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod m
+  in
+  List.init n (fun _ ->
+      let addr = next 65536 in
+      let size = 1 + next 70 in
+      let source =
+        match next 3 with
+        | 0 -> Memsim.Event.App
+        | 1 -> Memsim.Event.Malloc
+        | _ -> Memsim.Event.Free
+      in
+      if next 2 = 0 then Memsim.Event.read ~source addr size
+      else Memsim.Event.write ~source addr size)
+
+let test_forest_equivalence () =
+  (* The production family shape: the paper's direct-mapped sweep plus
+     the 16K associativity set, one shared 32-byte block size. *)
+  let configs =
+    Config.paper_direct_mapped
+    @ List.map
+        (fun a -> Config.make ~associativity:a (16 * 1024))
+        [ 2; 4; 8 ]
+  in
+  let forest = Forest.create configs in
+  let fsink = Forest.sink forest in
+  let caches = List.map Cache.create configs in
+  List.iter
+    (fun e ->
+      fsink.Memsim.Sink.emit e;
+      List.iter (fun c -> Cache.access c e) caches)
+    (lcg_stream 6000);
+  List.iteri
+    (fun i c ->
+      Alcotest.check stats_testable
+        (Cache.config c).Config.name
+        (Cache.stats c)
+        (Forest.member_stats forest i))
+    caches
+
+let test_forest_batched_multi_equivalence () =
+  (* The production pipeline shape: several families behind a Batcher
+     (odd capacity, so flushes land mid-stream), against independent
+     caches fed event by event. *)
+  let configs =
+    Config.paper_direct_mapped
+    @ [ Config.make ~associativity:4 (16 * 1024);
+        Config.make ~name:"64K-b16" ~block_bytes:16 (64 * 1024);
+        Config.make ~name:"64K-b128" ~block_bytes:128 (64 * 1024) ]
+  in
+  let multi = Multi.create configs in
+  let batcher = Memsim.Sink.Batcher.create ~capacity:7 (Multi.sink multi) in
+  let bsink = Memsim.Sink.Batcher.sink batcher in
+  let caches = List.map Cache.create configs in
+  List.iter
+    (fun e ->
+      bsink.Memsim.Sink.emit e;
+      List.iter (fun c -> Cache.access c e) caches)
+    (lcg_stream 6000);
+  Memsim.Sink.Batcher.flush batcher;
+  List.iter2
+    (fun c (cfg, stats) ->
+      Alcotest.check stats_testable cfg.Config.name (Cache.stats c) stats)
+    caches (Multi.results multi)
+
+let test_forest_create_rejects () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "empty family" (fun () -> Forest.create []);
+  expect_invalid "mixed block sizes" (fun () ->
+      Forest.create [ Config.make 256; Config.make ~block_bytes:16 256 ])
+
+let forest_case_gen =
+  QCheck.Gen.(
+    oneofl [ 16; 32 ] >>= fun bb ->
+    let cfg =
+      pair (oneofl [ 256; 512; 1024; 2048; 4096 ]) (oneofl [ 1; 1; 2; 4 ])
+      >|= fun (cap, assoc) ->
+      Config.make ~name:(Printf.sprintf "%d-%dway" cap assoc) ~block_bytes:bb
+        ~associativity:assoc cap
+    in
+    pair
+      (list_size (int_range 1 5) cfg)
+      (list_size (int_range 1 400)
+         (pair
+            (pair bool (int_range 0 2))
+            (pair (int_range 0 4095) (int_range 1 70)))))
+
+let prop_forest_matches_caches =
+  QCheck.Test.make ~name:"forest matches independent caches" ~count:300
+    (QCheck.make forest_case_gen)
+    (fun (configs, raw_events) ->
+      let forest = Forest.create configs in
+      let caches = List.map Cache.create configs in
+      List.iter
+        (fun ((write, src), (addr, size)) ->
+          let source =
+            match src with
+            | 0 -> Memsim.Event.App
+            | 1 -> Memsim.Event.Malloc
+            | _ -> Memsim.Event.Free
+          in
+          let e =
+            if write then Memsim.Event.write ~source addr size
+            else Memsim.Event.read ~source addr size
+          in
+          Forest.access forest e;
+          List.iter (fun c -> Cache.access c e) caches)
+        raw_events;
+      List.for_all
+        (fun (i, c) -> Cache.stats c = Forest.member_stats forest i)
+        (List.mapi (fun i c -> (i, c)) caches))
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -570,6 +712,16 @@ let () =
             test_multi_bigger_cache_fewer_misses;
           Alcotest.test_case "find" `Quick test_multi_find;
         ] );
+      ( "forest",
+        [
+          Alcotest.test_case "equivalence vs independent caches" `Quick
+            test_forest_equivalence;
+          Alcotest.test_case "batched multi equivalence" `Quick
+            test_forest_batched_multi_equivalence;
+          Alcotest.test_case "create validation" `Quick
+            test_forest_create_rejects;
+        ]
+        @ qsuite [ prop_forest_matches_caches ] );
       ( "classify",
         [
           Alcotest.test_case "cold" `Quick test_classify_cold;

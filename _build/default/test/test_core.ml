@@ -114,6 +114,25 @@ let test_runs_unknown_keys () =
     | exception Not_found -> true
     | _ -> false)
 
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_runs_cache_stats_unknown () =
+  let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
+  match Core.Runs.cache_stats d ~name:"3K-dm" with
+  | _ -> Alcotest.fail "expected Invalid_argument for unknown cache"
+  | exception Invalid_argument msg ->
+      check_bool "names the bad key" true
+        (contains_substring ~needle:"3K-dm" msg);
+      (* The message must list the configurations that were simulated. *)
+      List.iter
+        (fun (cfg : Cachesim.Config.t) ->
+          check_bool (cfg.name ^ " listed") true
+            (contains_substring ~needle:cfg.name msg))
+        Core.Runs.standard_configs
+
 let test_runs_custom_trained () =
   (* "custom" must build per-profile (trained on the histogram). *)
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"espresso" ~allocator:"custom" in
@@ -256,6 +275,7 @@ let () =
           tc "cross-simulator consistency"
             test_runs_cross_simulator_consistency;
           tc "unknown keys" test_runs_unknown_keys;
+          tc "cache_stats unknown name" test_runs_cache_stats_unknown;
           tc "custom trained" test_runs_custom_trained;
         ] );
       ( "experiments",

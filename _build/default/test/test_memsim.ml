@@ -127,6 +127,57 @@ let test_sink_recorder () =
       check_int "order preserved: second" 0x14 e2.Event.addr
   | _ -> Alcotest.fail "expected exactly two events"
 
+let test_sink_recorder_rejects () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Sink.Recorder.create: capacity must be >= 0") (fun () ->
+      ignore (Sink.Recorder.create ~capacity:(-1) ()))
+
+(* A batched delivery path must be observationally identical to direct
+   delivery: same events, same order, whatever mix of single emits and
+   pass-through batches arrives at the front. *)
+let test_sink_batcher_equivalence () =
+  let stream =
+    List.init 23 (fun i ->
+        let source =
+          match i mod 3 with
+          | 0 -> Event.App
+          | 1 -> Event.Malloc
+          | _ -> Event.Free
+        in
+        if i mod 2 = 0 then Event.read ~source (4 * i) (1 + (i mod 7))
+        else Event.write ~source (4 * i) (1 + (i mod 7)))
+  in
+  let direct_r = Sink.Recorder.create () in
+  List.iter (Sink.Recorder.sink direct_r).emit stream;
+  let batched_r = Sink.Recorder.create () in
+  let batched_c = Sink.Counter.create () in
+  let b =
+    Sink.Batcher.create ~capacity:5
+      (Sink.fanout
+         [ Sink.Recorder.sink batched_r; Sink.Counter.sink batched_c ])
+  in
+  let front = Sink.Batcher.sink b in
+  (* First half event-at-a-time, then an already-batched chunk (the
+     pass-through path), then the rest event-at-a-time. *)
+  let arr = Array.of_list stream in
+  for i = 0 to 10 do
+    front.emit arr.(i)
+  done;
+  front.emit_batch (Array.sub arr 11 6) 6;
+  for i = 17 to Array.length arr - 1 do
+    front.emit arr.(i)
+  done;
+  Sink.Batcher.flush b;
+  check_bool "batched events = direct events" true
+    (Sink.Recorder.events batched_r = Sink.Recorder.events direct_r);
+  check_int "counter saw every event" (List.length stream)
+    (Sink.Counter.total batched_c)
+
+let test_sink_batcher_rejects () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Sink.Batcher.create: capacity must be >= 1") (fun () ->
+      ignore (Sink.Batcher.create ~capacity:0 Sink.null))
+
 (* ------------------------------------------------------------------ *)
 (* Region                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -395,6 +446,11 @@ let () =
           Alcotest.test_case "fanout three" `Quick test_sink_fanout_three;
           Alcotest.test_case "filter" `Quick test_sink_filter;
           Alcotest.test_case "recorder" `Quick test_sink_recorder;
+          Alcotest.test_case "recorder rejects" `Quick
+            test_sink_recorder_rejects;
+          Alcotest.test_case "batcher equivalence" `Quick
+            test_sink_batcher_equivalence;
+          Alcotest.test_case "batcher rejects" `Quick test_sink_batcher_rejects;
         ] );
       ( "region",
         [
