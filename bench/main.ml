@@ -10,10 +10,16 @@
    (BSD/QuickFit fast, FirstFit/G++ searching, GNU local heavyweight)
    at native speed.
 
+   Part 1 also measures the persistent artifact store: the grid is
+   filled cold through a store (writing every cell through), then a
+   second, fresh grid is filled warm from the same store — the
+   warm/cold ratio is the store's speedup, recorded in the BENCH json.
+
    Scale comes from LOCLAB_SCALE (default 0.25); LOCLAB_JOBS sets the
    worker domains used to fill the run grid (default 1; output is
-   bit-identical for any value).  Pass LOCLAB_BENCH=0 to skip part 2
-   (e.g. in CI). *)
+   bit-identical for any value).  LOCLAB_STORE names the store
+   directory (default: a throwaway under the system temp dir, removed
+   at exit).  Pass LOCLAB_BENCH=0 to skip part 2 (e.g. in CI). *)
 
 open Bechamel
 
@@ -29,10 +35,27 @@ let run_micro = Sys.getenv_opt "LOCLAB_BENCH" <> Some "0"
 (* Part 1: regenerate every table and figure                          *)
 (* ------------------------------------------------------------------ *)
 
-let ctx = Core.Context.create ~scale ~jobs ()
+(* The store under test: LOCLAB_STORE, or a throwaway directory that is
+   removed after the run. *)
+let store_dir, store_is_temp =
+  match Sys.getenv_opt "LOCLAB_STORE" with
+  | Some dir when dir <> "" -> (dir, false)
+  | _ ->
+      ( Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "loclab-bench-store-%d" (Unix.getpid ())),
+        true )
+
+let store = Store.open_ store_dir
+let ctx = Core.Context.create ~scale ~jobs ~store ()
 
 (* Numbers exported to the BENCH json at exit. *)
 let fill_seconds = ref 0.
+let warm_fill_seconds = ref 0.
+let cold_hits = ref 0
+let cold_simulated = ref 0
+let warm_hits = ref 0
+let warm_simulated = ref 0
 let grid_events = ref 0
 let kernel_results : (string * float) list ref = ref []
 
@@ -50,7 +73,7 @@ let count_grid_events () =
               Core.Runs.get ctx.Core.Context.runs ~profile ~allocator
             in
             grid_events :=
-              !grid_events + d.Core.Runs.result.Workload.Driver.data_refs
+              !grid_events + d.Core.Artifact.summary.Core.Artifact.data_refs
           end)
         e.Core.Experiment.cells)
     Core.Experiment.all
@@ -66,12 +89,28 @@ let () =
   let t0 = Unix.gettimeofday () in
   Core.Experiment.warm_all ctx;
   fill_seconds := Unix.gettimeofday () -. t0;
+  cold_hits := Core.Runs.store_hits ctx.Core.Context.runs;
+  cold_simulated := Core.Runs.simulated ctx.Core.Context.runs;
   count_grid_events ();
   Printf.printf "grid fill: %.2f s wall (%d jobs, scale %.2f)\n"
     !fill_seconds jobs scale;
-  Printf.printf "grid throughput: %.2f M events/s (%d simulated references)\n\n"
+  Printf.printf "grid throughput: %.2f M events/s (%d simulated references)\n"
     (float_of_int !grid_events /. !fill_seconds /. 1e6)
     !grid_events;
+  Printf.printf "store fill: %d cells simulated, %d already present (%s)\n"
+    !cold_simulated !cold_hits store_dir;
+  (* Warm pass: a fresh grid over the same store — every cell should be
+     a store hit and the fill should be pure decode I/O. *)
+  let wctx = Core.Context.create ~scale ~jobs ~store () in
+  let t1 = Unix.gettimeofday () in
+  Core.Experiment.warm_all wctx;
+  warm_fill_seconds := Unix.gettimeofday () -. t1;
+  warm_hits := Core.Runs.store_hits wctx.Core.Context.runs;
+  warm_simulated := Core.Runs.simulated wctx.Core.Context.runs;
+  Printf.printf
+    "store warm fill: %.3f s wall (%d hits, %d simulated) — %.0fx speedup\n\n"
+    !warm_fill_seconds !warm_hits !warm_simulated
+    (!fill_seconds /. !warm_fill_seconds);
   List.iter
     (fun e ->
       Printf.printf "================ %s — %s (%s) ================\n%s\n"
@@ -220,6 +259,16 @@ let write_bench_json path =
   Printf.fprintf oc "    \"events_per_sec\": %.0f\n"
     (float_of_int !grid_events /. !fill_seconds);
   Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"store\": {\n";
+  Printf.fprintf oc "    \"cold_fill_seconds\": %.3f,\n" !fill_seconds;
+  Printf.fprintf oc "    \"cold_store_hits\": %d,\n" !cold_hits;
+  Printf.fprintf oc "    \"cold_simulated\": %d,\n" !cold_simulated;
+  Printf.fprintf oc "    \"warm_fill_seconds\": %.3f,\n" !warm_fill_seconds;
+  Printf.fprintf oc "    \"warm_store_hits\": %d,\n" !warm_hits;
+  Printf.fprintf oc "    \"warm_simulated\": %d,\n" !warm_simulated;
+  Printf.fprintf oc "    \"speedup\": %.1f\n"
+    (!fill_seconds /. !warm_fill_seconds);
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"kernels_ns_per_run\": {";
   let kernels = List.rev !kernel_results in
   List.iteri
@@ -244,8 +293,14 @@ let () =
       "\nExperiment regeneration (warm grid), one per table/figure:\n";
     run_tests experiment_tests
   end;
-  match bench_json_path with
+  (match bench_json_path with
   | None -> ()
   | Some path ->
       write_bench_json path;
-      Printf.printf "\nbench json written to %s\n" path
+      Printf.printf "\nbench json written to %s\n" path);
+  if store_is_temp then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat store_dir f))
+      (Sys.readdir store_dir);
+    Unix.rmdir store_dir
+  end

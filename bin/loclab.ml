@@ -27,6 +27,22 @@ let jobs_arg =
     value & opt int 1
     & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOCLAB_JOBS") ~doc)
 
+let store_arg =
+  let doc =
+    "Persistent artifact store directory (created if absent).  Finished \
+     grid cells are written through to it and later runs read them back \
+     instead of simulating; a warm store renders byte-identically to a \
+     cold one.  Defaults to $(b,LOCLAB_STORE)."
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~env:(Cmd.Env.info "LOCLAB_STORE") ~doc)
+  in
+  (* An empty LOCLAB_STORE means "no store", not a store at "". *)
+  Term.(const (function Some "" -> None | d -> d) $ raw)
+
 let resolve_jobs jobs =
   if jobs < 0 then begin
     Printf.eprintf "loclab: jobs must be >= 0\n";
@@ -34,13 +50,61 @@ let resolve_jobs jobs =
   end;
   if jobs = 0 then Exec.Pool.recommended_jobs () else jobs
 
-let make_ctx ?(jobs = 1) scale penalty =
+let open_store dir =
+  try Store.open_ dir
+  with Sys_error msg ->
+    Printf.eprintf "loclab: cannot open store %s: %s\n" dir msg;
+    exit 2
+
+let make_ctx ?(jobs = 1) ?store_dir scale penalty =
   if scale <= 0. || scale > 4.0 then begin
     Printf.eprintf "loclab: scale must be in (0, 4]\n";
     exit 2
   end;
   let model = Metrics.Cost_model.with_penalty Metrics.Cost_model.paper penalty in
-  Core.Context.create ~scale ~jobs ~model ()
+  match store_dir with
+  | None -> Core.Context.create ~scale ~jobs ~model ()
+  | Some dir ->
+      Core.Context.create ~scale ~jobs ~store:(open_store dir) ~model ()
+
+(* Progress and store diagnostics go through Logs; the format reporter
+   sends every non-App level to stderr, so table/figure stdout stays
+   byte-comparable between warm and cold runs. *)
+let setup_logs () =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level
+    (match Sys.getenv_opt "LOCLAB_LOG" with
+    | Some "quiet" -> None
+    | Some "error" -> Some Logs.Error
+    | Some "warning" -> Some Logs.Warning
+    | Some "debug" -> Some Logs.Debug
+    | Some "info" | _ -> Some Logs.Info)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Render one experiment and log (id, store-hit/simulated deltas,
+   elapsed) — the per-experiment progress line for [all]/[report]. *)
+let render_with_progress ctx (e : Core.Experiment.t) =
+  let runs = ctx.Core.Context.runs in
+  let h0 = Core.Runs.store_hits runs and s0 = Core.Runs.simulated runs in
+  let out, dt = timed (fun () -> Core.Experiment.run ctx e.Core.Experiment.id) in
+  Logs.info (fun m ->
+      m "%-13s %2d cells (+%d store, +%d simulated)  %6.2fs"
+        e.Core.Experiment.id
+        (List.length e.Core.Experiment.cells)
+        (Core.Runs.store_hits runs - h0)
+        (Core.Runs.simulated runs - s0)
+        dt);
+  out
+
+let grid_summary ctx =
+  let runs = ctx.Core.Context.runs in
+  Logs.info (fun m ->
+      m "grid: %d cells from store, %d simulated"
+        (Core.Runs.store_hits runs) (Core.Runs.simulated runs))
 
 (* ---- list ---------------------------------------------------------- *)
 
@@ -75,7 +139,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,loclab list)); e.g. fig2 tab4." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run scale penalty jobs ids =
+  let run scale penalty jobs store_dir ids =
     (* Validate ids before paying for any simulation. *)
     List.iter
       (fun id ->
@@ -86,7 +150,7 @@ let run_cmd =
               id;
             exit 2)
       ids;
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) scale penalty in
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir scale penalty in
     (* Fill every needed grid cell in parallel before rendering; the
        renderings below then only read the memo. *)
     Core.Experiment.warm ctx ids;
@@ -94,25 +158,253 @@ let run_cmd =
       (fun id ->
         print_endline (Core.Experiment.run ctx id);
         print_newline ())
-      ids
+      ids;
+    grid_summary ctx
   in
   let doc = "Regenerate the given tables/figures." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ ids_arg)
+    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg $ ids_arg)
 
 (* ---- all ----------------------------------------------------------- *)
 
 let all_cmd =
-  let run scale penalty jobs =
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) scale penalty in
+  let run scale penalty jobs store_dir =
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir scale penalty in
     List.iter
-      (fun (id, out) ->
-        Printf.printf "================ %s ================\n%s\n" id out)
-      (Core.Experiment.run_all ctx)
+      (fun e ->
+        let out = render_with_progress ctx e in
+        Printf.printf "================ %s ================\n%s\n"
+          e.Core.Experiment.id out)
+      Core.Experiment.all;
+    grid_summary ctx
   in
   let doc = "Regenerate every table and figure (shares one run grid)." in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg)
+    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg)
+
+(* ---- report --------------------------------------------------------- *)
+
+let report_cmd =
+  let run scale penalty jobs store_dir =
+    let dir =
+      match store_dir with
+      | Some dir -> dir
+      | None ->
+          Printf.eprintf
+            "loclab report: a warm artifact store is required (--store DIR \
+             or LOCLAB_STORE).\n";
+          exit 2
+    in
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ~store_dir:dir scale penalty in
+    let runs = ctx.Core.Context.runs in
+    let wanted =
+      List.concat_map (fun e -> e.Core.Experiment.cells) Core.Experiment.all
+    in
+    let total = List.length (List.sort_uniq compare wanted) in
+    (match Core.Runs.load runs wanted with
+    | [] -> ()
+    | (p, a) :: _ as missing when List.length missing = total ->
+        Printf.eprintf
+          "loclab report: store %s is cold: all %d grid cells missing at \
+           scale %g (first: %s/%s).\n\
+           Fill it first:  loclab all --store %s --scale %g\n"
+          dir (List.length missing) scale p a dir scale;
+        exit 1
+    | missing ->
+        (* A mostly-warm store with a few corrupt or missing cells
+           degrades to re-simulating just those (and healing the
+           store), never to a failed report. *)
+        Logs.warn (fun m ->
+            m "store %s: %d of %d grid cells missing or corrupt; \
+               re-simulating them" dir (List.length missing) total));
+    List.iter
+      (fun e ->
+        let out = render_with_progress ctx e in
+        Printf.printf "================ %s ================\n%s\n"
+          e.Core.Experiment.id out)
+      Core.Experiment.all;
+    grid_summary ctx
+  in
+  let doc =
+    "Regenerate every table and figure from a warm artifact store \
+     without simulating any grid cell.  A fully cold store is an error; \
+     isolated missing or corrupt cells are re-simulated (with a \
+     warning) and healed.  Output is byte-identical to $(b,loclab all)."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg)
+
+(* ---- store --------------------------------------------------------- *)
+
+let require_store store_dir sub =
+  match store_dir with
+  | Some dir -> open_store dir
+  | None ->
+      Printf.eprintf "loclab store %s: --store DIR or LOCLAB_STORE required.\n"
+        sub;
+      exit 2
+
+let short d = if String.length d > 12 then String.sub d 0 12 else d
+
+let store_ls_cmd =
+  let run store_dir =
+    let store = require_store store_dir "ls" in
+    let digests = Store.ls store in
+    List.iter
+      (fun digest ->
+        match Store.find store ~digest with
+        | Store.Hit payload -> (
+            match Core.Artifact.decode_meta payload with
+            | Ok m ->
+                Printf.printf
+                  "%s  %-10s %-14s scale %-5g seed %-6d schema %d  %7d bytes\n"
+                  (short digest) m.Core.Artifact.program
+                  m.Core.Artifact.allocator m.Core.Artifact.scale
+                  m.Core.Artifact.seed m.Core.Artifact.schema_version
+                  (String.length payload)
+            | Error reason ->
+                Printf.printf "%s  <unreadable metadata: %s>\n" (short digest)
+                  reason)
+        | Store.Corrupt reason ->
+            Printf.printf "%s  <corrupt: %s>\n" (short digest) reason
+        | Store.Miss -> ())
+      digests;
+    Printf.printf "%d cells in %s\n" (List.length digests) (Store.root store)
+  in
+  let doc = "List the cells in the store with their decoded metadata." in
+  Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ store_arg)
+
+let store_verify_cmd =
+  let run store_dir =
+    let store = require_store store_dir "verify" in
+    let bad = ref 0 in
+    let cells = Store.verify store in
+    List.iter
+      (fun (digest, r) ->
+        match r with
+        | Error reason ->
+            incr bad;
+            Printf.printf "%s  BAD frame: %s\n" (short digest) reason
+        | Ok bytes -> (
+            match Store.find store ~digest with
+            | Store.Miss | Store.Corrupt _ ->
+                incr bad;
+                Printf.printf "%s  BAD: vanished between passes\n" (short digest)
+            | Store.Hit payload -> (
+                match Core.Artifact.decode_meta payload with
+                | Error reason ->
+                    incr bad;
+                    Printf.printf "%s  BAD metadata: %s\n" (short digest) reason
+                | Ok m when
+                    m.Core.Artifact.schema_version
+                    <> Core.Artifact.schema_version ->
+                    (* Readable but unreachable: digests of the current
+                       schema never collide with it.  Not an error. *)
+                    Printf.printf "%s  foreign schema %d (%s/%s) — gc'able\n"
+                      (short digest) m.Core.Artifact.schema_version
+                      m.Core.Artifact.program m.Core.Artifact.allocator
+                | Ok m -> (
+                    match Core.Artifact.decode payload with
+                    | Error reason ->
+                        incr bad;
+                        Printf.printf "%s  BAD body: %s\n" (short digest) reason
+                    | Ok _ when Core.Artifact.digest_of_meta m <> digest ->
+                        incr bad;
+                        Printf.printf
+                          "%s  BAD: metadata digests to %s (misfiled cell)\n"
+                          (short digest)
+                          (short (Core.Artifact.digest_of_meta m))
+                    | Ok _ ->
+                        Printf.printf "%s  ok  %-10s %-14s %7d bytes\n"
+                          (short digest) m.Core.Artifact.program
+                          m.Core.Artifact.allocator bytes))))
+      cells;
+    if !bad > 0 then begin
+      Printf.printf "%d of %d cells bad\n" !bad (List.length cells);
+      exit 1
+    end
+    else Printf.printf "verified %d cells, all ok\n" (List.length cells)
+  in
+  let doc =
+    "Re-read every cell, checking frame CRC, metadata, body decode and \
+     content address; exits 1 if any cell is bad."
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ store_arg)
+
+let store_gc_cmd =
+  let run store_dir =
+    let store = require_store store_dir "gc" in
+    let removed =
+      Store.gc store ~keep:(fun ~digest ~payload ->
+          match Core.Artifact.decode_meta payload with
+          | Error _ -> false
+          | Ok m ->
+              m.Core.Artifact.schema_version = Core.Artifact.schema_version
+              && Core.Artifact.digest_of_meta m = digest
+              && Result.is_ok (Core.Artifact.decode payload))
+    in
+    List.iter (fun f -> Printf.printf "removed %s\n" f) removed;
+    Printf.printf "%d files removed, %d cells kept\n" (List.length removed)
+      (List.length (Store.ls store))
+  in
+  let doc =
+    "Remove corrupt cells, leftover temp files, foreign-schema cells \
+     and misfiled cells."
+  in
+  Cmd.v (Cmd.info "gc" ~doc) Term.(const run $ store_arg)
+
+let store_export_cmd =
+  let format_arg =
+    let doc = "Output format: $(b,jsonl) (one object per cell) or $(b,csv) \
+               (long format, one row per cell x cache config)." in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("csv", `Csv) ]) `Jsonl
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let run store_dir format =
+    let store = require_store store_dir "export" in
+    let artifacts =
+      List.filter_map
+        (fun digest ->
+          match Store.find store ~digest with
+          | Store.Hit payload -> (
+              match Core.Artifact.decode payload with
+              | Ok a -> Some a
+              | Error reason ->
+                  Logs.warn (fun m ->
+                      m "export: skipping %s (%s)" (short digest) reason);
+                  None)
+          | Store.Miss | Store.Corrupt _ -> None)
+        (Store.ls store)
+    in
+    let coord (a : Core.Artifact.t) =
+      let m = a.Core.Artifact.meta in
+      (m.Core.Artifact.program, m.Core.Artifact.allocator, m.Core.Artifact.scale)
+    in
+    let artifacts =
+      List.sort (fun a b -> compare (coord a) (coord b)) artifacts
+    in
+    (match format with
+    | `Jsonl ->
+        List.iter (fun a -> print_endline (Core.Artifact.to_json a)) artifacts
+    | `Csv ->
+        print_endline (Metrics.Export.csv_row Core.Artifact.csv_header);
+        List.iter
+          (fun a ->
+            List.iter
+              (fun row -> print_endline (Metrics.Export.csv_row row))
+              (Core.Artifact.to_csv_rows a))
+          artifacts);
+    Logs.info (fun m -> m "exported %d cells" (List.length artifacts))
+  in
+  let doc = "Export every decodable cell as JSON-lines or CSV on stdout." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ store_arg $ format_arg)
+
+let store_cmd =
+  let doc = "Inspect and maintain a persistent artifact store." in
+  Cmd.group (Cmd.info "store" ~doc)
+    [ store_ls_cmd; store_verify_cmd; store_gc_cmd; store_export_cmd ]
 
 (* ---- probe --------------------------------------------------------- *)
 
@@ -125,7 +417,7 @@ let probe_cmd =
     let doc = "Allocator key (see $(b,loclab list))." in
     Arg.(value & opt string "quickfit" & info [ "allocator" ] ~docv:"KEY" ~doc)
   in
-  let run scale penalty program allocator =
+  let run scale penalty store_dir program allocator =
     (match Workload.Programs.find program with
     | _ -> ()
     | exception Not_found ->
@@ -138,27 +430,31 @@ let probe_cmd =
       Printf.eprintf "loclab: unknown allocator %S\n" allocator;
       exit 2
     end;
-    let ctx = make_ctx scale penalty in
+    let ctx = make_ctx ?store_dir scale penalty in
     let d = Core.Runs.get ctx.Core.Context.runs ~profile:program ~allocator in
-    let r = d.Core.Runs.result in
-    let st = r.Workload.Driver.alloc_stats in
+    let s = d.Core.Artifact.summary in
+    let st = d.Core.Artifact.alloc_stats in
     Printf.printf "%s under %s (scale %.2f)\n" program allocator scale;
+    Printf.printf "  cell digest       %s (schema %d, trace checksum %x)\n"
+      (Core.Artifact.digest_of_meta d.Core.Artifact.meta)
+      d.Core.Artifact.meta.Core.Artifact.schema_version
+      d.Core.Artifact.meta.Core.Artifact.trace_checksum;
     Printf.printf "  instructions      %s (app %s, malloc %s, free %s)\n"
-      (Metrics.Table.fmt_int r.Workload.Driver.instructions)
-      (Metrics.Table.fmt_int r.Workload.Driver.app_instructions)
-      (Metrics.Table.fmt_int r.Workload.Driver.malloc_instructions)
-      (Metrics.Table.fmt_int r.Workload.Driver.free_instructions);
+      (Metrics.Table.fmt_int s.Core.Artifact.instructions)
+      (Metrics.Table.fmt_int s.Core.Artifact.app_instructions)
+      (Metrics.Table.fmt_int s.Core.Artifact.malloc_instructions)
+      (Metrics.Table.fmt_int s.Core.Artifact.free_instructions);
     Printf.printf "  data references   %s (allocator %s)\n"
-      (Metrics.Table.fmt_int r.Workload.Driver.data_refs)
-      (Metrics.Table.fmt_int r.Workload.Driver.allocator_refs);
+      (Metrics.Table.fmt_int s.Core.Artifact.data_refs)
+      (Metrics.Table.fmt_int s.Core.Artifact.allocator_refs);
     Printf.printf "  time in alloc     %s\n"
-      (Metrics.Table.fmt_pct (Workload.Driver.allocator_fraction r));
+      (Metrics.Table.fmt_pct (Core.Artifact.allocator_fraction d));
     Printf.printf "  objects           %s allocated, %s freed\n"
       (Metrics.Table.fmt_int st.Allocators.Alloc_stats.malloc_calls)
       (Metrics.Table.fmt_int st.Allocators.Alloc_stats.free_calls);
     Printf.printf "  heap              sbrk %s, max live %s, frag %s\n"
-      (Metrics.Table.fmt_kb r.Workload.Driver.heap_used)
-      (Metrics.Table.fmt_kb r.Workload.Driver.max_live_bytes)
+      (Metrics.Table.fmt_kb s.Core.Artifact.heap_used)
+      (Metrics.Table.fmt_kb s.Core.Artifact.max_live_bytes)
       (Metrics.Table.fmt_pct
          (Allocators.Alloc_stats.internal_fragmentation st));
     List.iter
@@ -175,9 +471,9 @@ let probe_cmd =
                 s.Cachesim.Stats.malloc_misses + s.Cachesim.Stats.free_misses
               in
               if a = 0 then 0. else float_of_int m /. float_of_int a)))
-      d.Core.Runs.caches;
+      d.Core.Artifact.caches;
     let et64 =
-      Core.Runs.exec_time d ~model:ctx.Core.Context.model ~cache:"64K-dm"
+      Core.Artifact.exec_time d ~model:ctx.Core.Context.model ~cache:"64K-dm"
     in
     Printf.printf "  est. time (64K)   %.3f s (%.3f s in misses)\n"
       (Metrics.Exec_time.total_seconds et64)
@@ -185,7 +481,8 @@ let probe_cmd =
   in
   let doc = "Deep-dive one (program, allocator) pair." in
   Cmd.v (Cmd.info "probe" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ program_arg $ alloc_arg)
+    Term.(
+      const run $ scale_arg $ penalty_arg $ store_arg $ program_arg $ alloc_arg)
 
 (* ---- record / replay ------------------------------------------------ *)
 
@@ -259,6 +556,9 @@ let main =
   in
   let info = Cmd.info "loclab" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ list_cmd; run_cmd; all_cmd; probe_cmd; record_cmd; replay_cmd ]
+    [ list_cmd; run_cmd; all_cmd; report_cmd; store_cmd; probe_cmd;
+      record_cmd; replay_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  setup_logs ();
+  exit (Cmd.eval main)

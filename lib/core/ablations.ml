@@ -17,18 +17,17 @@ let coalescing (ctx : Context.t) =
       List.iter
         (fun (akey, alabel) ->
           let d = Runs.get ctx.Context.runs ~profile:pkey ~allocator:akey in
-          let r = d.Runs.result in
-          let et = Runs.exec_time d ~model:ctx.Context.model ~cache:"64K-dm" in
+          let s = d.Artifact.summary in
+          let et = Artifact.exec_time d ~model:ctx.Context.model ~cache:"64K-dm" in
           Table.add_row table
             [ plabel; alabel;
-              Table.fmt_kb r.Workload.Driver.heap_used;
+              Table.fmt_kb s.Artifact.heap_used;
               Table.fmt_int
-                (r.Workload.Driver.malloc_instructions
-               + r.Workload.Driver.free_instructions);
+                (s.Artifact.malloc_instructions + s.Artifact.free_instructions);
               Table.fmt_float ~decimals:2
-                (100. *. Runs.miss_rate d ~cache:"16K-dm");
+                (100. *. Artifact.miss_rate d ~cache:"16K-dm");
               Table.fmt_float ~decimals:2
-                (100. *. Runs.miss_rate d ~cache:"64K-dm");
+                (100. *. Artifact.miss_rate d ~cache:"64K-dm");
               Table.fmt_float ~decimals:2 (Exec_time.total_seconds et) ])
         [ ("firstfit", "coalescing"); ("firstfit-nc", "no coalescing") ];
       Table.add_separator table)
@@ -54,15 +53,15 @@ let size_classes (ctx : Context.t) =
   List.iter
     (fun (akey, alabel, classing) ->
       let d = Runs.get ctx.Context.runs ~profile:"gs-large" ~allocator:akey in
-      let r = d.Runs.result in
-      let et = Runs.exec_time d ~model:ctx.Context.model ~cache:"64K-dm" in
+      let s = d.Artifact.summary in
+      let et = Artifact.exec_time d ~model:ctx.Context.model ~cache:"64K-dm" in
       Table.add_row table
         [ alabel; classing;
           Table.fmt_pct
             (Allocators.Alloc_stats.internal_fragmentation
-               r.Workload.Driver.alloc_stats);
-          Table.fmt_kb r.Workload.Driver.heap_used;
-          Table.fmt_float ~decimals:2 (100. *. Runs.miss_rate d ~cache:"64K-dm");
+               d.Artifact.alloc_stats);
+          Table.fmt_kb s.Artifact.heap_used;
+          Table.fmt_float ~decimals:2 (100. *. Artifact.miss_rate d ~cache:"64K-dm");
           Table.fmt_float ~decimals:2 (Exec_time.total_seconds et) ])
     [ ("bsd", "BSD", "powers of two");
       ("quickfit", "QuickFit", "exact 4-32B + general");
@@ -86,7 +85,7 @@ let associativity (ctx : Context.t) =
       let pts =
         List.map
           (fun (ways, name) ->
-            (float_of_int ways, 100. *. Runs.miss_rate d ~cache:name))
+            (float_of_int ways, 100. *. Artifact.miss_rate d ~cache:name))
           [ (1, "16K-dm"); (2, "16K-2way"); (4, "16K-4way"); (8, "16K-8way") ]
       in
       Series.add series ~name:alabel pts)
@@ -113,16 +112,16 @@ let two_level (ctx : Context.t) =
     (fun (akey, alabel) ->
       let d = Runs.get ctx.Context.runs ~profile:"gs-large" ~allocator:akey in
       let stalls =
-        (d.Runs.l1.Cachesim.Stats.misses * l1_penalty)
-        + (d.Runs.l2.Cachesim.Stats.misses * l2_penalty)
+        (d.Artifact.l1.Cachesim.Stats.misses * l1_penalty)
+        + (d.Artifact.l2.Cachesim.Stats.misses * l2_penalty)
       in
-      let total = d.Runs.result.Workload.Driver.instructions + stalls in
+      let total = d.Artifact.summary.Artifact.instructions + stalls in
       Table.add_row table
         [ alabel;
           Table.fmt_float ~decimals:2
-            (Cachesim.Stats.miss_rate_pct d.Runs.l1);
+            (Cachesim.Stats.miss_rate_pct d.Artifact.l1);
           Table.fmt_float ~decimals:2
-            (Cachesim.Stats.miss_rate_pct d.Runs.l2);
+            (Cachesim.Stats.miss_rate_pct d.Artifact.l2);
           Table.fmt_float ~decimals:1 (float_of_int stalls /. 1e6);
           Table.fmt_float ~decimals:1 (float_of_int total /. 1e6) ])
     Context.with_custom;
@@ -142,7 +141,7 @@ let block_size (ctx : Context.t) =
       let pts =
         List.map
           (fun (b, name) ->
-            (float_of_int b, 100. *. Runs.miss_rate d ~cache:name))
+            (float_of_int b, 100. *. Artifact.miss_rate d ~cache:name))
           [ (16, "64K-b16"); (32, "64K-dm"); (64, "64K-b64");
             (128, "64K-b128") ]
       in
@@ -167,19 +166,16 @@ let seq_family (ctx : Context.t) =
   List.iter
     (fun (akey, alabel) ->
       let d = Runs.get ctx.Context.runs ~profile:"gs-large" ~allocator:akey in
-      let r = d.Runs.result in
-      let calls =
-        max 1 r.Workload.Driver.alloc_stats.Allocators.Alloc_stats.malloc_calls
-      in
+      let s = d.Artifact.summary in
+      let calls = max 1 d.Artifact.alloc_stats.Allocators.Alloc_stats.malloc_calls in
       Table.add_row table
         [ alabel;
           Table.fmt_float ~decimals:1
-            (float_of_int r.Workload.Driver.malloc_instructions
-            /. float_of_int calls);
-          Table.fmt_int r.Workload.Driver.allocator_refs;
-          Table.fmt_kb r.Workload.Driver.heap_used;
-          Table.fmt_float ~decimals:2 (100. *. Runs.miss_rate d ~cache:"16K-dm");
-          Table.fmt_float ~decimals:2 (100. *. Runs.miss_rate d ~cache:"64K-dm") ])
+            (float_of_int s.Artifact.malloc_instructions /. float_of_int calls);
+          Table.fmt_int s.Artifact.allocator_refs;
+          Table.fmt_kb s.Artifact.heap_used;
+          Table.fmt_float ~decimals:2 (100. *. Artifact.miss_rate d ~cache:"16K-dm");
+          Table.fmt_float ~decimals:2 (100. *. Artifact.miss_rate d ~cache:"64K-dm") ])
     [ ("firstfit", "FirstFit (roving)"); ("bestfit", "BestFit (exhaustive)");
       ("gnu-g++", "GNU G++ (segregated)"); ("quickfit", "QuickFit (exact)") ];
   Table.render table
@@ -315,7 +311,7 @@ let penalty_sweep (ctx : Context.t) =
         List.map
           (fun p ->
             let model = Cost_model.with_penalty ctx.Context.model p in
-            let et = Runs.exec_time d ~model ~cache:"64K-dm" in
+            let et = Artifact.exec_time d ~model ~cache:"64K-dm" in
             ( float_of_int p,
               float_of_int (Exec_time.total_cycles et) /. 1e6 ))
           penalties

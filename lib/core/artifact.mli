@@ -1,0 +1,126 @@
+(** The typed, versioned result of one grid cell.
+
+    An artifact is everything a renderer ever reads about one
+    (program, allocator) simulation: the run summary (instruction and
+    reference counts, heap growth), allocation statistics, per-config
+    cache statistics, the two-level hierarchy, and the frozen page-fault
+    curve — plus a metadata header naming the inputs that produced it
+    (program, allocator, scale, seed, schema version) and the trace
+    checksum for drift detection.  {!Figures} and {!Tables} are pure
+    functions of artifacts; {!Runs} fills them (from simulation or the
+    persistent {!Store}); the binary codec here is what the store
+    persists.
+
+    Schema evolution: bump {!schema_version} whenever the encoding or
+    the simulated contents change meaning.  The version participates in
+    the cell {!digest}, so old cells are simply never looked up again —
+    there is no migration, only re-simulation ([loclab store gc] reclaims
+    the orphans).  The {!meta} header's encoding is frozen across schema
+    versions (it is written first and read by {!decode_meta}), so tools
+    can still identify foreign-schema cells. *)
+
+val schema_version : int
+
+type meta = {
+  program : string;  (** Profile key, e.g. ["gs-large"]. *)
+  allocator : string;  (** Grid key, e.g. ["firstfit"] or ["custom"]. *)
+  scale : float;
+  seed : int;  (** The profile's workload PRNG seed. *)
+  schema_version : int;
+  trace_checksum : int;
+      (** {!Memsim.Sink.Checksum} over the cell's full reference trace. *)
+}
+
+type summary = {
+  steps_run : int;
+  instructions : int;
+  app_instructions : int;
+  malloc_instructions : int;
+  free_instructions : int;
+  data_refs : int;
+  app_refs : int;
+  allocator_refs : int;
+  heap_used : int;
+  max_live_bytes : int;
+}
+
+type t = {
+  meta : meta;
+  summary : summary;
+  alloc_stats : Allocators.Alloc_stats.t;
+  caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
+      (** Every simulated configuration, in simulation order. *)
+  l1 : Cachesim.Stats.t;  (** Hierarchy L1 (16K-dm). *)
+  l2 : Cachesim.Stats.t;  (** Hierarchy L2 (256K-dm behind L1). *)
+  fault_curve : Vmsim.Fault_curve.t;
+}
+
+val of_run :
+  program:string ->
+  allocator:string ->
+  scale:float ->
+  trace_checksum:int ->
+  result:Workload.Driver.result ->
+  caches:(Cachesim.Config.t * Cachesim.Stats.t) list ->
+  l1:Cachesim.Stats.t ->
+  l2:Cachesim.Stats.t ->
+  fault_curve:Vmsim.Fault_curve.t ->
+  t
+(** Distil a finished simulation.  [allocator] is the grid key (not the
+    allocator's display name); the seed is taken from the result's
+    profile. *)
+
+(** {1 Content addressing} *)
+
+val digest :
+  program:string -> allocator:string -> scale:float -> seed:int -> string
+(** Hex digest of the cell coordinates plus {!schema_version} — the
+    store filename.  Every input that can change the numbers is either
+    part of the digest or part of the code (in which case bumping
+    {!schema_version} rolls the key space). *)
+
+val digest_of_meta : meta -> string
+
+(** {1 Codec} *)
+
+val encode : t -> string
+(** Compact binary encoding (the payload framed by {!Store.put}). *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; [Error reason] on truncation, trailing bytes,
+    or a foreign {!schema_version}.  Never raises. *)
+
+val decode_meta : string -> (meta, string) result
+(** Read only the (version-frozen) metadata header, succeeding even for
+    payloads whose body layout belongs to another schema version. *)
+
+val equal : t -> t -> bool
+(** Structural equality of every field, histograms element-wise. *)
+
+(** {1 Derived metrics (what renderers consume)} *)
+
+val allocator_fraction : t -> float
+(** Fraction of instructions spent in malloc/free (Figure 1). *)
+
+val cache_stats : t -> name:string -> Cachesim.Stats.t
+(** @raise Invalid_argument if the configuration was not simulated; the
+    message lists the configurations that were. *)
+
+val miss_rate : t -> cache:string -> float
+
+val exec_time :
+  t -> model:Metrics.Cost_model.t -> cache:string -> Metrics.Exec_time.t
+(** The paper's [I + (M x P) D] for this cell under a named cache. *)
+
+(** {1 Export} *)
+
+val to_json : t -> string
+(** The full artifact as one compact JSON object (one artifact per line
+    = JSON-lines), including the fault-curve histogram. *)
+
+val csv_header : string list
+
+val to_csv_rows : t -> string list list
+(** Long-format rows, one per simulated cache configuration, each
+    carrying the cell coordinates and run summary alongside that
+    configuration's statistics.  Render with {!Metrics.Export.csv_row}. *)

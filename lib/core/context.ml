@@ -1,7 +1,7 @@
 type t = { runs : Runs.t; model : Metrics.Cost_model.t }
 
-let create ?scale ?jobs ?(model = Metrics.Cost_model.paper) () =
-  { runs = Runs.create ?scale ?jobs (); model }
+let create ?scale ?jobs ?store ?(model = Metrics.Cost_model.paper) () =
+  { runs = Runs.create ?scale ?jobs ?store (); model }
 
 let five_programs =
   [ ("espresso", "Espresso"); ("gs-large", "GS"); ("ptc", "PTC");

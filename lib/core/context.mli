@@ -6,10 +6,17 @@ type t = {
 }
 
 val create :
-  ?scale:float -> ?jobs:int -> ?model:Metrics.Cost_model.t -> unit -> t
+  ?scale:float ->
+  ?jobs:int ->
+  ?store:Store.t ->
+  ?model:Metrics.Cost_model.t ->
+  unit ->
+  t
 (** [jobs] (default 1) is the worker-domain bound forwarded to
     {!Runs.create}; it only affects how fast the grid fills
-    ({!Runs.prefetch}), never the numbers. *)
+    ({!Runs.prefetch}), never the numbers.  [store] attaches a
+    persistent artifact store — again only a matter of speed: a warm
+    store and a cold grid render byte-identically. *)
 
 val five_programs : (string * string) list
 (** (profile key, paper label) for the five-program suite, in the

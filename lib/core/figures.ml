@@ -18,7 +18,7 @@ let fig1 (ctx : Context.t) =
         List.map
           (fun (akey, _) ->
             let d = Runs.get ctx.Context.runs ~profile:pkey ~allocator:akey in
-            Table.fmt_pct (Workload.Driver.allocator_fraction d.Runs.result))
+            Table.fmt_pct (Artifact.allocator_fraction d))
           Context.paper_allocators
       in
       Table.add_row table (plabel :: cells))
@@ -40,14 +40,14 @@ let page_fault_figure (ctx : Context.t) ~profile ~title ~memory_sizes =
         List.map
           (fun m ->
             ( float_of_int (m / 1024),
-              Vmsim.Page_sim.fault_rate d.Runs.pages ~memory_bytes:m ))
+              Vmsim.Fault_curve.fault_rate d.Artifact.fault_curve ~memory_bytes:m ))
           memory_sizes
       in
       Series.add series ~name:alabel pts;
       Buffer.add_string footprints
         (Printf.sprintf "  %-10s footprint %s (sbrk %s)\n" alabel
-           (Table.fmt_kb (Vmsim.Page_sim.footprint_bytes d.Runs.pages))
-           (Table.fmt_kb d.Runs.result.Workload.Driver.heap_used)))
+           (Table.fmt_kb (Vmsim.Fault_curve.footprint_bytes d.Artifact.fault_curve))
+           (Table.fmt_kb d.Artifact.summary.Artifact.heap_used)))
     Context.paper_allocators;
   Series.render series
   ^ "\nTotal memory touched per allocator (the figures' x-axis markers):\n"
@@ -87,7 +87,7 @@ let normalized_figure (ctx : Context.t) ~cache ~title =
   List.iter
     (fun (pkey, plabel) ->
       let baseline =
-        Runs.exec_time
+        Artifact.exec_time
           (Runs.get ctx.Context.runs ~profile:pkey ~allocator:"firstfit")
           ~model:ctx.Context.model ~cache
       in
@@ -95,7 +95,7 @@ let normalized_figure (ctx : Context.t) ~cache ~title =
         List.concat_map
           (fun (akey, _) ->
             let d = Runs.get ctx.Context.runs ~profile:pkey ~allocator:akey in
-            let et = Runs.exec_time d ~model:ctx.Context.model ~cache in
+            let et = Artifact.exec_time d ~model:ctx.Context.model ~cache in
             [ Table.fmt_float ~decimals:3
                 (Exec_time.cpu_normalized_to et ~baseline);
               Table.fmt_float ~decimals:3
@@ -137,7 +137,7 @@ let miss_rate_figure (ctx : Context.t) ~profile ~title =
           (fun kb ->
             ( float_of_int kb,
               100.
-              *. Runs.miss_rate d ~cache:(Printf.sprintf "%dK-dm" kb) ))
+              *. Artifact.miss_rate d ~cache:(Printf.sprintf "%dK-dm" kb) ))
           [ 16; 32; 64; 128; 256 ]
       in
       Series.add series ~name:alabel pts)

@@ -1,15 +1,14 @@
-type data = {
-  result : Workload.Driver.result;
-  caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
-  l1 : Cachesim.Stats.t;
-  l2 : Cachesim.Stats.t;
-  pages : Vmsim.Page_sim.t;
-}
+let log_src = Logs.Src.create "loclab.runs" ~doc:"loclab run grid"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type t = {
   scale : float;
   jobs : int;
-  memo : (string * string, data) Hashtbl.t;
+  store : Store.t option;
+  memo : (string * string, Artifact.t) Hashtbl.t;
+  mutable store_hits : int;
+  mutable simulated : int;
 }
 
 let standard_configs =
@@ -26,15 +25,23 @@ let standard_configs =
           ~block_bytes:b (64 * 1024))
       [ 16; 64; 128 ]
 
-let create ?(scale = 0.2) ?(jobs = 1) () =
+let create ?(scale = 0.2) ?(jobs = 1) ?store () =
   (* Not an assert: -noassert builds must still reject a zero-step
      grid instead of looping or dividing by zero deep in a driver. *)
   if not (scale > 0.) then invalid_arg "Runs.create: scale must be > 0";
   if jobs < 1 then invalid_arg "Runs.create: jobs must be >= 1";
-  { scale; jobs; memo = Hashtbl.create 64 }
+  { scale;
+    jobs;
+    store;
+    memo = Hashtbl.create 64;
+    store_hits = 0;
+    simulated = 0 }
 
 let scale t = t.scale
 let jobs t = t.jobs
+let store t = t.store
+let store_hits t = t.store_hits
+let simulated t = t.simulated
 
 (* "custom" is the synthesized allocator: train its size classes on the
    profile's own request mix, like CustoMalloc generating an allocator
@@ -59,55 +66,135 @@ let run t ~profile ~allocator =
       ~l2:(Cachesim.Config.make (256 * 1024))
   in
   let pages = Vmsim.Page_sim.create () in
+  let checksum = Memsim.Sink.Checksum.create () in
   let sink =
     Memsim.Sink.fanout
       [ Cachesim.Multi.sink multi;
         Cachesim.Hierarchy.sink hier;
-        Vmsim.Page_sim.sink pages ]
+        Vmsim.Page_sim.sink pages;
+        Memsim.Sink.Checksum.sink checksum ]
   in
   let heap = Allocators.Heap.create () in
   let alloc = build_allocator ~profile_key:profile ~allocator heap in
   let result =
     Workload.Driver.run_with ~sink ~scale:t.scale ~profile:prof ~heap ~alloc ()
   in
-  { result;
-    caches = Cachesim.Multi.results multi;
-    l1 = Cachesim.Hierarchy.l1_stats hier;
-    l2 = Cachesim.Hierarchy.l2_stats hier;
-    pages }
+  Artifact.of_run ~program:profile ~allocator ~scale:t.scale
+    ~trace_checksum:(Memsim.Sink.Checksum.value checksum)
+    ~result
+    ~caches:(Cachesim.Multi.results multi)
+    ~l1:(Cachesim.Hierarchy.l1_stats hier)
+    ~l2:(Cachesim.Hierarchy.l2_stats hier)
+    ~fault_curve:(Vmsim.Page_sim.curve pages)
+
+(* ---- persistent store plumbing ------------------------------------- *)
+
+let cell_digest t ~profile ~allocator =
+  let prof = Workload.Programs.find profile in
+  Artifact.digest ~program:profile ~allocator ~scale:t.scale
+    ~seed:prof.Workload.Profile.seed
+
+(* Fetch one cell from the persistent store, fully validated.  Any
+   failure — absent, truncated, CRC mismatch, undecodable, or metadata
+   that does not match the requested coordinates — degrades to [None],
+   i.e. to re-simulation; corruption is reported, never fatal. *)
+let load_from_store t ~profile ~allocator =
+  match t.store with
+  | None -> None
+  | Some store -> (
+      match cell_digest t ~profile ~allocator with
+      | exception Not_found -> None (* unknown profile: let [run] raise *)
+      | digest -> (
+          match Store.find store ~digest with
+          | Store.Miss | Store.Corrupt _ -> None (* Corrupt logged by Store *)
+          | Store.Hit payload -> (
+              match Artifact.decode payload with
+              | Error reason ->
+                  Log.warn (fun m ->
+                      m "cell (%s, %s): undecodable artifact (%s); re-simulating"
+                        profile allocator reason);
+                  None
+              | Ok art ->
+                  let m = art.Artifact.meta in
+                  if
+                    m.Artifact.program <> profile
+                    || m.Artifact.allocator <> allocator
+                    || m.Artifact.scale <> t.scale
+                  then begin
+                    Log.warn (fun mf ->
+                        mf
+                          "cell (%s, %s): stored metadata names (%s, %s, scale \
+                           %g) — digest drift; re-simulating"
+                          profile allocator m.Artifact.program
+                          m.Artifact.allocator m.Artifact.scale);
+                    None
+                  end
+                  else Some art)))
+
+let write_through t art =
+  match t.store with
+  | None -> ()
+  | Some store ->
+      Store.put store
+        ~digest:(Artifact.digest_of_meta art.Artifact.meta)
+        (Artifact.encode art)
 
 let get t ~profile ~allocator =
   let key = (profile, allocator) in
   match Hashtbl.find_opt t.memo key with
-  | Some d -> d
-  | None ->
-      let d = run t ~profile ~allocator in
-      Hashtbl.replace t.memo key d;
-      d
+  | Some a -> a
+  | None -> (
+      match load_from_store t ~profile ~allocator with
+      | Some a ->
+          t.store_hits <- t.store_hits + 1;
+          Log.debug (fun m -> m "cell (%s, %s): store hit" profile allocator);
+          Hashtbl.replace t.memo key a;
+          a
+      | None ->
+          let a = run t ~profile ~allocator in
+          t.simulated <- t.simulated + 1;
+          Log.debug (fun m -> m "cell (%s, %s): simulated" profile allocator);
+          write_through t a;
+          Hashtbl.replace t.memo key a;
+          a)
 
-let prefetch t cells =
+let dedupe_missing t cells =
   (* Keep first-occurrence order and drop cells the memo already holds:
      the pending list is both the work list and the merge order. *)
   let seen = Hashtbl.create 16 in
-  let pending =
-    List.rev
-      (List.fold_left
-         (fun acc key ->
-           if Hashtbl.mem t.memo key || Hashtbl.mem seen key then acc
-           else begin
-             Hashtbl.replace seen key ();
-             key :: acc
-           end)
-         [] cells)
-  in
-  match pending with
+  List.rev
+    (List.fold_left
+       (fun acc key ->
+         if Hashtbl.mem t.memo key || Hashtbl.mem seen key then acc
+         else begin
+           Hashtbl.replace seen key ();
+           key :: acc
+         end)
+       [] cells)
+
+let load t cells =
+  List.filter
+    (fun ((profile, allocator) as key) ->
+      match load_from_store t ~profile ~allocator with
+      | Some a ->
+          t.store_hits <- t.store_hits + 1;
+          Hashtbl.replace t.memo key a;
+          false
+      | None -> true)
+    (dedupe_missing t cells)
+
+let prefetch t cells =
+  (* Serve what the persistent store already holds (cheap sequential
+     I/O), then simulate only the genuinely cold cells in parallel. *)
+  match load t cells with
   | [] -> ()
-  | _ ->
+  | pending ->
       (* Every cell is self-contained (own heap, RNG, sinks), so the
-         workers never touch [t.memo]; results come back in submission
-         order and are merged here, on the calling domain.  A parallel
-         fill is therefore bit-identical to a sequential one. *)
-      let datas =
+         workers never touch [t.memo] or the store; results come back in
+         submission order and are merged — and written through — here,
+         on the calling domain.  A parallel fill is therefore
+         bit-identical to a sequential one. *)
+      let artifacts =
         Exec.Pool.with_pool
           ~jobs:(min t.jobs (List.length pending))
           (fun pool ->
@@ -115,23 +202,9 @@ let prefetch t cells =
               (fun (profile, allocator) -> run t ~profile ~allocator)
               pending)
       in
-      List.iter2 (fun key d -> Hashtbl.replace t.memo key d) pending datas
-
-let cache_stats d ~name =
-  match
-    List.find_opt (fun (c, _) -> c.Cachesim.Config.name = name) d.caches
-  with
-  | Some (_, s) -> s
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Runs.cache_stats: unknown cache %S (known: %s)" name
-           (String.concat ", "
-              (List.map (fun (c, _) -> c.Cachesim.Config.name) d.caches)))
-
-let miss_rate d ~cache = Cachesim.Stats.miss_rate (cache_stats d ~name:cache)
-
-let exec_time d ~model ~cache =
-  let s = cache_stats d ~name:cache in
-  Metrics.Exec_time.make ~model
-    ~instructions:d.result.Workload.Driver.instructions
-    ~data_refs:d.result.Workload.Driver.data_refs ~misses:s.Cachesim.Stats.misses
+      List.iter2
+        (fun key art ->
+          t.simulated <- t.simulated + 1;
+          write_through t art;
+          Hashtbl.replace t.memo key art)
+        pending artifacts

@@ -3,61 +3,65 @@
 
     Each run drives the profile against the allocator once, feeding the
     fused trace to: the paper's direct-mapped cache sweep (16K–256K), an
-    associativity set at 16 K (2/4/8-way), a two-level hierarchy
-    (16 K L1 / 256 K L2), and the page-fault simulator.  Results are
-    memoized, so regenerating all tables and figures costs one pass per
-    pair. *)
-
-type data = {
-  result : Workload.Driver.result;
-  caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
-      (** All simulated configurations, by name. *)
-  l1 : Cachesim.Stats.t;  (** Hierarchy L1 (16K-dm). *)
-  l2 : Cachesim.Stats.t;  (** Hierarchy L2 (256K-dm behind L1). *)
-  pages : Vmsim.Page_sim.t;
-}
+    associativity set at 16 K (2/4/8-way), a block-size sweep at 64 K, a
+    two-level hierarchy (16 K L1 / 256 K L2), the page-fault simulator
+    and the trace checksum.  The finished cell is distilled to a typed
+    {!Artifact.t}; the in-process memo and the optional persistent
+    {!Store.t} both hold artifacts, so regenerating all tables and
+    figures costs one pass per pair — or zero passes from a warm
+    store. *)
 
 type t
 
-val create : ?scale:float -> ?jobs:int -> unit -> t
+val create : ?scale:float -> ?jobs:int -> ?store:Store.t -> unit -> t
 (** [scale] (default 0.2) is forwarded to every
     {!Workload.Driver.run}.  [jobs] (default 1) bounds the worker
     domains {!prefetch} may use to fill the grid concurrently.
+    [store], when given, is consulted before any simulation and written
+    through after each one.
     @raise Invalid_argument if [scale <= 0] or [jobs < 1]. *)
 
 val scale : t -> float
-
 val jobs : t -> int
+val store : t -> Store.t option
 
-val get : t -> profile:string -> allocator:string -> data
-(** Memoized.  [allocator] is a {!Allocators.Registry} key; ["custom"]
-    is trained on the profile's own size histogram (the CustoMalloc
-    workflow).
+val store_hits : t -> int
+(** Cells served from the persistent store so far. *)
+
+val simulated : t -> int
+(** Cells computed by simulation so far (each was a store miss when a
+    store is attached). *)
+
+val get : t -> profile:string -> allocator:string -> Artifact.t
+(** Memoized; consults the store before simulating.  A stored cell that
+    is truncated, fails its CRC, does not decode, or carries mismatched
+    metadata is reported (via [Logs], sources [loclab.store] /
+    [loclab.runs]) and transparently re-simulated — never a crash,
+    never wrong numbers.  [allocator] is a {!Allocators.Registry} key;
+    ["custom"] is trained on the profile's own size histogram (the
+    CustoMalloc workflow).
     @raise Not_found for unknown keys. *)
+
+val load : t -> (string * string) list -> (string * string) list
+(** [load t cells] pulls every available cell from the persistent store
+    into the memo without simulating anything, and returns the
+    (deduplicated, first-occurrence-ordered) cells that remain missing
+    — the ones {!get} or {!prefetch} would have to simulate.  With no
+    store attached, every non-memoized cell is returned. *)
 
 val prefetch : t -> (string * string) list -> unit
 (** [prefetch t cells] fills the memo for every (profile, allocator)
-    cell not already present, evaluating missing cells on up to
-    {!jobs} worker domains.  Cells are independent simulations (each
-    owns its heap, RNG and sinks) and results are merged in submission
-    order on the calling domain, so the memo contents — and therefore
-    every rendering — are bit-identical to a sequential fill.  Order
-    is deduplicated first-occurrence order.  If any cell raises (e.g.
-    {!get}'s [Not_found] for an unknown key), no cell of this batch is
-    merged and the first failure (by position) is re-raised. *)
-
-val cache_stats : data -> name:string -> Cachesim.Stats.t
-(** Statistics of a named configuration, e.g. ["64K-dm"].
-    @raise Invalid_argument if the configuration was not simulated; the
-    message lists the configurations that were. *)
-
-val miss_rate : data -> cache:string -> float
-(** Miss rate (fraction) of a named configuration. *)
-
-val exec_time :
-  data -> model:Metrics.Cost_model.t -> cache:string -> Metrics.Exec_time.t
-(** The paper's [I + (M x P) D] for this run under a named cache. *)
+    cell not already present: first from the persistent store
+    (sequential, cheap), then by evaluating the remaining cells on up
+    to {!jobs} worker domains and writing each result through the
+    store.  Cells are independent simulations (each owns its heap, RNG
+    and sinks) and results are merged in submission order on the
+    calling domain, so the memo contents — and therefore every
+    rendering — are bit-identical to a sequential fill, warm or cold.
+    If any simulated cell raises (e.g. {!get}'s [Not_found] for an
+    unknown key), no simulated cell of the batch is merged and the
+    first failure (by position) is re-raised. *)
 
 val standard_configs : Cachesim.Config.t list
 (** Everything simulated per run (the paper sweep plus the
-    associativity set). *)
+    associativity and block-size sets). *)

@@ -13,17 +13,17 @@ let program_info_table (ctx : Context.t) ~title ~programs =
   List.iter
     (fun (pkey, plabel) ->
       let d = Runs.get ctx.Context.runs ~profile:pkey ~allocator:"firstfit" in
-      let r = d.Runs.result in
-      let et = Runs.exec_time d ~model:ctx.Context.model ~cache:"64K-dm" in
-      let st = r.Workload.Driver.alloc_stats in
+      let s = d.Artifact.summary in
+      let et = Artifact.exec_time d ~model:ctx.Context.model ~cache:"64K-dm" in
+      let st = d.Artifact.alloc_stats in
       Table.add_row table
         [ plabel;
           Table.fmt_float ~decimals:2 (Exec_time.total_seconds et);
           Table.fmt_float ~decimals:1
-            (float_of_int r.Workload.Driver.instructions /. 1e6);
+            (float_of_int s.Artifact.instructions /. 1e6);
           Table.fmt_float ~decimals:1
-            (float_of_int r.Workload.Driver.data_refs /. 1e6);
-          Table.fmt_kb r.Workload.Driver.max_live_bytes;
+            (float_of_int s.Artifact.data_refs /. 1e6);
+          Table.fmt_kb s.Artifact.max_live_bytes;
           Table.fmt_int st.Allocators.Alloc_stats.malloc_calls;
           Table.fmt_int st.Allocators.Alloc_stats.free_calls ])
     programs;
@@ -63,7 +63,7 @@ let time_and_miss_table (ctx : Context.t) ~cache ~title =
         List.map
           (fun (pkey, _) ->
             let d = Runs.get ctx.Context.runs ~profile:pkey ~allocator:akey in
-            let et = Runs.exec_time d ~model:ctx.Context.model ~cache in
+            let et = Artifact.exec_time d ~model:ctx.Context.model ~cache in
             Printf.sprintf "%.2f/%.2f" (Exec_time.total_seconds et)
               (Exec_time.miss_seconds et))
           Context.five_programs
@@ -108,12 +108,12 @@ let tab6 (ctx : Context.t) =
   let miss_rate_row key =
     per_program (fun pkey ->
         Table.fmt_float ~decimals:3
-          (100. *. Runs.miss_rate (get pkey key) ~cache))
+          (100. *. Artifact.miss_rate (get pkey key) ~cache))
   in
   let miss_penalty_row key =
     per_program (fun pkey ->
         let et =
-          Runs.exec_time (get pkey key) ~model:ctx.Context.model ~cache
+          Artifact.exec_time (get pkey key) ~model:ctx.Context.model ~cache
         in
         Table.fmt_float ~decimals:2 (100. *. Exec_time.miss_fraction et))
   in
@@ -128,7 +128,7 @@ let tab6 (ctx : Context.t) =
     ("Exec-time increase due to tags (%)"
     :: per_program (fun pkey ->
            let et key =
-             Runs.exec_time (get pkey key) ~model:ctx.Context.model ~cache
+             Artifact.exec_time (get pkey key) ~model:ctx.Context.model ~cache
            in
            let with_tags = Exec_time.total_cycles (et "gnu-local-tags") in
            let without = Exec_time.total_cycles (et "gnu-local") in

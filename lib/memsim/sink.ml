@@ -118,6 +118,34 @@ module Counter = struct
     c.bytes <- 0
 end
 
+module Checksum = struct
+  type checksum = { mutable h : int }
+
+  (* FNV-1a over the native int width: wrap-around multiplication is
+     deterministic for a given word size, and every simulation in this
+     repo runs on 64-bit OCaml (the address space itself needs it). *)
+  let fnv_prime = 0x100000001B3
+  let fnv_basis = 0x11C9DC5
+
+  let create () = { h = fnv_basis }
+
+  let mix c x = c.h <- (c.h lxor x) * fnv_prime
+
+  let feed c (e : Event.t) =
+    let ki = match e.kind with Event.Read -> 0 | Event.Write -> 1 in
+    let si =
+      match e.source with Event.App -> 0 | Event.Malloc -> 1 | Event.Free -> 2
+    in
+    mix c e.addr;
+    mix c ((e.size lsl 3) lor (ki lsl 2) lor si)
+
+  let sink c = of_fn (feed c)
+
+  (* Mask the sign bit away so the value prints, compares and encodes
+     as a plain non-negative int everywhere. *)
+  let value c = c.h land max_int
+end
+
 module Recorder = struct
   type recorder = {
     capacity : int;

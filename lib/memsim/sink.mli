@@ -88,6 +88,23 @@ module Counter : sig
   val reset : counter -> unit
 end
 
+(** Order-sensitive checksum of a reference trace (FNV-1a over every
+    event's kind, source, address and size).  Two runs produce the same
+    value iff they emitted the same events in the same order, so run
+    artifacts persist it to detect simulation drift: a stored cell whose
+    inputs (program, allocator, scale, seed) match but whose trace
+    checksum differs from a fresh run exposes a behavioural change that
+    the memoization would otherwise hide. *)
+module Checksum : sig
+  type checksum
+
+  val create : unit -> checksum
+  val sink : checksum -> t
+
+  val value : checksum -> int
+  (** Checksum of everything observed so far, in [0, max_int]. *)
+end
+
 (** Bounded in-memory recording of a trace, useful in tests and for
     inspecting short runs. *)
 module Recorder : sig

@@ -1,0 +1,26 @@
+(** Machine-readable export: minimal JSON values and CSV rows.
+
+    The repo takes no serialization dependency; this is the small
+    shared core behind the artifact exporters (JSON-lines and CSV) and
+    any future machine-readable reporting.  JSON output is compact
+    (single line per value), so writing one {!to_string} per artifact
+    yields valid JSON-lines. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats serialize as [null]. *)
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact JSON on a single line, keys in the given order. *)
+
+val csv_field : string -> string
+(** RFC-4180 quoting: fields containing commas, quotes or newlines are
+    double-quoted with inner quotes doubled; other fields pass through. *)
+
+val csv_row : string list -> string
+(** Comma-joined {!csv_field}s, without a trailing newline. *)

@@ -1,0 +1,139 @@
+(* This module shares the library's name, so it is the library's
+   entry point; re-export the codec for dependents (Core.Artifact). *)
+module Codec = Codec
+
+let log_src = Logs.Src.create "loclab.store" ~doc:"loclab artifact store"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = { root : string }
+
+let magic = "LOCART1\n"
+let cell_ext = ".art"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir ->
+      (* Lost a create race to a concurrent worker; the directory is
+         there, which is all we need. *)
+      ()
+  end
+  else if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": exists and is not a directory"))
+
+let open_ dir =
+  mkdir_p dir;
+  { root = dir }
+
+let root t = t.root
+let path t ~digest = Filename.concat t.root (digest ^ cell_ext)
+
+type lookup = Hit of string | Miss | Corrupt of string
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 24) in
+  Buffer.add_string b magic;
+  Buffer.add_int64_le b (Int64.of_int (String.length payload));
+  Buffer.add_string b payload;
+  Buffer.add_int64_le b (Int64.of_int (Codec.crc32 payload));
+  Buffer.contents b
+
+let unframe data =
+  let mlen = String.length magic in
+  let total = String.length data in
+  if total < mlen + 16 then Error "truncated frame"
+  else if String.sub data 0 mlen <> magic then
+    Error "bad magic (not a loclab artifact, or an incompatible frame)"
+  else
+    let len = Int64.to_int (String.get_int64_le data mlen) in
+    if len < 0 || total <> mlen + 8 + len + 8 then
+      Error
+        (Printf.sprintf "bad frame length %d for a %d-byte file" len total)
+    else
+      let payload = String.sub data (mlen + 8) len in
+      let crc = Int64.to_int (String.get_int64_le data (mlen + 8 + len)) in
+      let actual = Codec.crc32 payload in
+      if crc <> actual then
+        Error (Printf.sprintf "CRC mismatch (stored %#x, computed %#x)" crc actual)
+      else Ok payload
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t ~digest =
+  let file = path t ~digest in
+  match read_file file with
+  | exception Sys_error _ -> Miss
+  | data -> (
+      match unframe data with
+      | Ok payload -> Hit payload
+      | Error reason ->
+          Log.warn (fun m ->
+              m "corrupt cell %s (%s); it will be re-simulated" file reason);
+          Corrupt reason)
+
+let put t ~digest payload =
+  let data = frame payload in
+  let tmp = Filename.temp_file ~temp_dir:t.root "put-" ".tmp" in
+  let oc = open_out_bin tmp in
+  (match
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc data;
+         (* Rename is atomic; without the flush-to-disk the window for
+            a torn cell after a crash is the page cache, which the CRC
+            catches on the next read. *)
+         flush oc)
+   with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp (path t ~digest)
+
+let mem t ~digest = match find t ~digest with Hit _ -> true | _ -> false
+
+let cells t =
+  Sys.readdir t.root |> Array.to_list
+  |> List.filter_map (fun f -> Filename.chop_suffix_opt ~suffix:cell_ext f)
+  |> List.sort compare
+
+let ls = cells
+
+let verify t =
+  List.map
+    (fun digest ->
+      match find t ~digest with
+      | Hit payload -> (digest, Ok (String.length payload))
+      | Miss -> (digest, Error "vanished during verify")
+      | Corrupt reason -> (digest, Error reason))
+    (cells t)
+
+let gc t ~keep =
+  let removed = ref [] in
+  let remove file =
+    (try Sys.remove (Filename.concat t.root file) with Sys_error _ -> ());
+    removed := file :: !removed
+  in
+  Array.iter
+    (fun file ->
+      match Filename.chop_suffix_opt ~suffix:cell_ext file with
+      | None ->
+          (* Anything that is not a cell is a leftover temp file from an
+             interrupted writer; renames are atomic so these are never
+             live. *)
+          if Filename.check_suffix file ".tmp" then remove file
+      | Some digest -> (
+          match find t ~digest with
+          | Hit payload -> if not (keep ~digest ~payload) then remove file
+          | Miss -> ()
+          | Corrupt _ -> remove file))
+    (Sys.readdir t.root);
+  List.sort compare !removed

@@ -1,0 +1,32 @@
+type t = {
+  page_bytes : int;
+  references : int;
+  cold : int;
+  hist : int array;
+}
+
+(* Mirrors Lru_stack.misses_at exactly: cold touches plus touches whose
+   stack distance exceeds the capacity. *)
+let faults t ~memory_bytes =
+  let capacity = max 1 (memory_bytes / t.page_bytes) in
+  let beyond = ref 0 in
+  for d = capacity + 1 to Array.length t.hist - 1 do
+    beyond := !beyond + t.hist.(d)
+  done;
+  t.cold + !beyond
+
+let fault_rate t ~memory_bytes =
+  if t.references = 0 then 0.
+  else float_of_int (faults t ~memory_bytes) /. float_of_int t.references
+
+let fault_rate_curve t ~memory_sizes =
+  List.map (fun m -> (m, fault_rate t ~memory_bytes:m)) memory_sizes
+
+let distinct_pages t = t.cold
+let footprint_bytes t = distinct_pages t * t.page_bytes
+
+let equal a b =
+  a.page_bytes = b.page_bytes
+  && a.references = b.references
+  && a.cold = b.cold
+  && a.hist = b.hist

@@ -1,0 +1,37 @@
+(** A frozen, queryable page-fault curve.
+
+    {!Page_sim.t} is a live simulation: it owns a mutating LRU stack and
+    can only answer queries about the trace it has absorbed so far.
+    This module is the pure value a finished simulation distils to —
+    the Mattson stack-distance histogram plus the reference count — from
+    which the fault count of {e every} physical-memory size is derived,
+    byte-identically to asking the live simulator.  Being plain data, it
+    is what run artifacts persist and what renderers consume. *)
+
+type t = {
+  page_bytes : int;
+  references : int;
+      (** Reference events observed (the fault-rate denominator). *)
+  cold : int;  (** Cold page touches; equals the distinct page count. *)
+  hist : int array;
+      (** [hist.(d)] = page touches with LRU stack distance [d]
+          (1-based; index 0 unused). *)
+}
+
+val faults : t -> memory_bytes:int -> int
+(** Page faults of an LRU-managed memory of the given size (rounded
+    down to whole pages; at least one page) — identical to
+    {!Page_sim.faults} on the originating simulation. *)
+
+val fault_rate : t -> memory_bytes:int -> float
+(** Faults per memory reference at the given memory size. *)
+
+val fault_rate_curve : t -> memory_sizes:int list -> (int * float) list
+
+val distinct_pages : t -> int
+
+val footprint_bytes : t -> int
+(** [distinct_pages * page_bytes], the figures' x-axis marker. *)
+
+val equal : t -> t -> bool
+(** Structural equality (the histogram compared element-wise). *)

@@ -58,3 +58,10 @@ let fault_rate_curve t ~memory_sizes =
   List.map (fun m -> (m, fault_rate t ~memory_bytes:m)) memory_sizes
 
 let footprint_bytes t = distinct_pages t * t.page_bytes
+
+let curve t =
+  { Fault_curve.page_bytes = t.page_bytes;
+    references = t.references;
+    cold = Lru_stack.cold t.stack;
+    hist = Lru_stack.histogram t.stack }
+

@@ -35,3 +35,9 @@ val fault_rate_curve : t -> memory_sizes:int list -> (int * float) list
 val footprint_bytes : t -> int
 (** Total memory touched: [distinct_pages * page_bytes].  This is the
     "total amount of memory requested" marker on the figures' x-axis. *)
+
+val curve : t -> Fault_curve.t
+(** Freeze the simulation's current state into a pure, persistable
+    fault curve.  Every query on the curve ({!Fault_curve.faults},
+    {!Fault_curve.fault_rate}, {!Fault_curve.footprint_bytes}) agrees
+    exactly with the corresponding query here. *)

@@ -28,38 +28,38 @@ let test_runs_all_configs_present () =
   List.iter
     (fun cfg ->
       let name = cfg.Cachesim.Config.name in
-      let s = Core.Runs.cache_stats d ~name in
+      let s = Core.Artifact.cache_stats d ~name in
       check_bool (name ^ " saw traffic") true (s.Cachesim.Stats.accesses > 0))
     Core.Runs.standard_configs;
   check_bool "hierarchy L1 saw traffic" true
-    (d.Core.Runs.l1.Cachesim.Stats.accesses > 0);
+    (d.Core.Artifact.l1.Cachesim.Stats.accesses > 0);
   check_bool "L2 sees fewer accesses than L1" true
-    (d.Core.Runs.l2.Cachesim.Stats.accesses
-    < d.Core.Runs.l1.Cachesim.Stats.accesses);
+    (d.Core.Artifact.l2.Cachesim.Stats.accesses
+    < d.Core.Artifact.l1.Cachesim.Stats.accesses);
   check_bool "pages saw traffic" true
-    (Vmsim.Page_sim.references d.Core.Runs.pages > 0)
+    (d.Core.Artifact.fault_curve.Vmsim.Fault_curve.references > 0)
 
 let test_runs_page_and_cache_counts_agree () =
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
   check_int "page sim sees every reference event"
-    d.Core.Runs.result.Workload.Driver.data_refs
-    (Vmsim.Page_sim.references d.Core.Runs.pages)
+    d.Core.Artifact.summary.Core.Artifact.data_refs
+    d.Core.Artifact.fault_curve.Vmsim.Fault_curve.references
 
 let test_runs_miss_rate_decreases_with_size () =
   let d =
     Core.Runs.get ctx.Core.Context.runs ~profile:"espresso" ~allocator:"firstfit"
   in
-  let r16 = Core.Runs.miss_rate d ~cache:"16K-dm" in
-  let r256 = Core.Runs.miss_rate d ~cache:"256K-dm" in
+  let r16 = Core.Artifact.miss_rate d ~cache:"16K-dm" in
+  let r256 = Core.Artifact.miss_rate d ~cache:"256K-dm" in
   check_bool "16K worse than 256K" true (r16 >= r256)
 
 let test_runs_exec_time_uses_misses () =
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
   let et16 =
-    Core.Runs.exec_time d ~model:ctx.Core.Context.model ~cache:"16K-dm"
+    Core.Artifact.exec_time d ~model:ctx.Core.Context.model ~cache:"16K-dm"
   in
   let et256 =
-    Core.Runs.exec_time d ~model:ctx.Core.Context.model ~cache:"256K-dm"
+    Core.Artifact.exec_time d ~model:ctx.Core.Context.model ~cache:"256K-dm"
   in
   check_bool "bigger cache, less time" true
     (Metrics.Exec_time.total_cycles et256
@@ -86,8 +86,8 @@ let test_runs_cross_simulator_consistency () =
      different sinks (Multi vs Hierarchy); their statistics must agree
      exactly, field by field. *)
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
-  let sweep = Core.Runs.cache_stats d ~name:"16K-dm" in
-  let l1 = d.Core.Runs.l1 in
+  let sweep = Core.Artifact.cache_stats d ~name:"16K-dm" in
+  let l1 = d.Core.Artifact.l1 in
   let open Cachesim.Stats in
   check_int "accesses" sweep.accesses l1.accesses;
   check_int "misses" sweep.misses l1.misses;
@@ -121,7 +121,7 @@ let contains_substring ~needle haystack =
 
 let test_runs_cache_stats_unknown () =
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
-  match Core.Runs.cache_stats d ~name:"3K-dm" with
+  match Core.Artifact.cache_stats d ~name:"3K-dm" with
   | _ -> Alcotest.fail "expected Invalid_argument for unknown cache"
   | exception Invalid_argument msg ->
       check_bool "names the bad key" true
@@ -136,10 +136,10 @@ let test_runs_cache_stats_unknown () =
 let test_runs_custom_trained () =
   (* "custom" must build per-profile (trained on the histogram). *)
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"espresso" ~allocator:"custom" in
-  check_bool "ran" true (d.Core.Runs.result.Workload.Driver.instructions > 0);
+  check_bool "ran" true
+    (d.Core.Artifact.summary.Core.Artifact.instructions > 0);
   check_bool "low fragmentation on trained profile" true
-    (Allocators.Alloc_stats.internal_fragmentation
-       d.Core.Runs.result.Workload.Driver.alloc_stats
+    (Allocators.Alloc_stats.internal_fragmentation d.Core.Artifact.alloc_stats
     < 0.15)
 
 (* ------------------------------------------------------------------ *)
@@ -217,7 +217,7 @@ let test_headline_firstfit_worst_gs_misses () =
      At 16K on GS, FirstFit's miss rate must exceed the segregated
      allocators'. *)
   let rate key =
-    Core.Runs.miss_rate
+    Core.Artifact.miss_rate
       (Core.Runs.get ctx.Core.Context.runs ~profile:"gs-large" ~allocator:key)
       ~cache:"16K-dm"
   in
@@ -233,7 +233,7 @@ let test_headline_firstfit_worst_gs_misses () =
 let test_headline_bsd_wastes_space () =
   let heap key =
     (Core.Runs.get ctx.Core.Context.runs ~profile:"gs-large" ~allocator:key)
-      .Core.Runs.result.Workload.Driver.heap_used
+      .Core.Artifact.summary.Core.Artifact.heap_used
   in
   check_bool "bsd sbrk > quickfit sbrk * 1.3" true
     (float_of_int (heap "bsd") > 1.3 *. float_of_int (heap "quickfit"))
@@ -241,8 +241,8 @@ let test_headline_bsd_wastes_space () =
 let test_headline_segregated_fastest_cpu () =
   let instr key =
     let d = Core.Runs.get ctx.Core.Context.runs ~profile:"espresso" ~allocator:key in
-    d.Core.Runs.result.Workload.Driver.malloc_instructions
-    + d.Core.Runs.result.Workload.Driver.free_instructions
+    d.Core.Artifact.summary.Core.Artifact.malloc_instructions
+    + d.Core.Artifact.summary.Core.Artifact.free_instructions
   in
   check_bool "bsd cheaper than firstfit" true (instr "bsd" < instr "firstfit");
   check_bool "bsd cheaper than gnu-local" true (instr "bsd" < instr "gnu-local")
@@ -250,7 +250,7 @@ let test_headline_segregated_fastest_cpu () =
 let test_headline_tags_increase_misses () =
   (* Table 6's direction: emulated boundary tags cannot reduce misses. *)
   let misses key =
-    (Core.Runs.cache_stats
+    (Core.Artifact.cache_stats
        (Core.Runs.get ctx.Core.Context.runs ~profile:"gs-large" ~allocator:key)
        ~name:"64K-dm")
       .Cachesim.Stats.misses

@@ -1,0 +1,556 @@
+(* Tests for the typed-artifact result path: codec primitives, the
+   artifact schema round-trip, the persistent content-addressed store
+   (including corruption handling and gc), write-through/read-back via
+   the run grid, and the cold-vs-warm differential over every
+   experiment. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Infrastructure: counting Logs reporter, temp dirs, file mangling   *)
+(* ------------------------------------------------------------------ *)
+
+(* Corruption must be *reported*, not silent: every degraded read logs
+   a warning on loclab.store / loclab.runs, and these tests count
+   them. *)
+let warn_count = ref 0
+
+let counting_reporter =
+  { Logs.report =
+      (fun _src level ~over k msgf ->
+        (match level with Logs.Warning -> incr warn_count | _ -> ());
+        msgf (fun ?header:_ ?tags:_ fmt ->
+            Format.ikfprintf (fun _ -> over (); k ()) Format.err_formatter fmt))
+  }
+
+let () =
+  Logs.set_reporter counting_reporter;
+  Logs.set_level (Some Logs.Warning)
+
+let made_dirs = ref []
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "loclab-test-store-%d-%d" (Unix.getpid ()) !counter)
+    in
+    made_dirs := dir :: !made_dirs;
+    dir
+
+let cleanup_dirs () =
+  List.iter
+    (fun dir ->
+      if Sys.file_exists dir && Sys.is_directory dir then begin
+        Array.iter
+          (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ()
+      end)
+    !made_dirs
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let flip_byte path off =
+  let s = Bytes.of_string (read_file path) in
+  let off = min off (Bytes.length s - 1) in
+  Bytes.set s off (Char.chr (Char.code (Bytes.get s off) lxor 0x5A));
+  write_file path (Bytes.to_string s)
+
+let truncate_file path =
+  let s = read_file path in
+  write_file path (String.sub s 0 (String.length s / 2))
+
+let cell_path store ~program ~allocator ~scale =
+  let seed = (Workload.Programs.find program).Workload.Profile.seed in
+  let digest = Core.Artifact.digest ~program ~allocator ~scale ~seed in
+  Filename.concat (Store.root store) (digest ^ ".art")
+
+(* ------------------------------------------------------------------ *)
+(* Codec primitives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vector () =
+  (* The canonical IEEE 802.3 check value. *)
+  check_int "crc32(123456789)" 0xCBF43926 (Store.Codec.crc32 "123456789");
+  check_int "crc32 of empty" 0 (Store.Codec.crc32 "")
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"codec field-sequence round-trip"
+    QCheck.(
+      quad (list small_signed_int)
+        (list (string_gen Gen.(map Char.chr (int_range 0 255))))
+        (list bool)
+        (list (array_of_size Gen.(0 -- 10) small_signed_int)))
+    (fun (ints, strings, bools, arrays) ->
+      let w = Store.Codec.Writer.create () in
+      List.iter (Store.Codec.Writer.int w) ints;
+      List.iter (Store.Codec.Writer.string w) strings;
+      List.iter (Store.Codec.Writer.bool w) bools;
+      List.iter (Store.Codec.Writer.int_array w) arrays;
+      Store.Codec.Writer.list w (Store.Codec.Writer.int w) ints;
+      let r = Store.Codec.Reader.of_string (Store.Codec.Writer.contents w) in
+      let ints' = List.map (fun _ -> Store.Codec.Reader.int r) ints in
+      let strings' = List.map (fun _ -> Store.Codec.Reader.string r) strings in
+      let bools' = List.map (fun _ -> Store.Codec.Reader.bool r) bools in
+      let arrays' =
+        List.map (fun _ -> Store.Codec.Reader.int_array r) arrays
+      in
+      let ints'' = Store.Codec.Reader.list r Store.Codec.Reader.int in
+      ints = ints' && strings = strings' && bools = bools' && arrays = arrays'
+      && ints = ints''
+      && Store.Codec.Reader.at_end r)
+
+let prop_codec_float_bits =
+  QCheck.Test.make ~count:200 ~name:"codec floats round-trip bitwise"
+    QCheck.float (fun f ->
+      let w = Store.Codec.Writer.create () in
+      Store.Codec.Writer.float w f;
+      let r = Store.Codec.Reader.of_string (Store.Codec.Writer.contents w) in
+      Int64.bits_of_float (Store.Codec.Reader.float r) = Int64.bits_of_float f)
+
+let test_codec_truncation_raises () =
+  let w = Store.Codec.Writer.create () in
+  Store.Codec.Writer.int w 42;
+  Store.Codec.Writer.string w "hello";
+  let payload = Store.Codec.Writer.contents w in
+  for cut = 0 to String.length payload - 1 do
+    let r = Store.Codec.Reader.of_string (String.sub payload 0 cut) in
+    check_bool
+      (Printf.sprintf "cut at %d detected" cut)
+      true
+      (match
+         let _ = Store.Codec.Reader.int r in
+         let _ = Store.Codec.Reader.string r in
+         ()
+       with
+      | exception Store.Codec.Error _ -> true
+      | () -> false)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Artifact codec                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stats_of_list = function
+  | [ a; m; ra; rm; wa; wm; cm; wb; aa; am; ma; mm; fa; fm ] ->
+      { Cachesim.Stats.accesses = a; misses = m; read_accesses = ra;
+        read_misses = rm; write_accesses = wa; write_misses = wm;
+        cold_misses = cm; writebacks = wb; app_accesses = aa; app_misses = am;
+        malloc_accesses = ma; malloc_misses = mm; free_accesses = fa;
+        free_misses = fm }
+  | _ -> assert false
+
+let alloc_stats_of_list = function
+  | [ mc; fc; rc; rm; br; bg; lb; mlb; lo; mlo ] ->
+      { Allocators.Alloc_stats.malloc_calls = mc; free_calls = fc;
+        realloc_calls = rc; realloc_moves = rm; bytes_requested = br;
+        bytes_granted = bg; live_bytes = lb; max_live_bytes = mlb;
+        live_objects = lo; max_live_objects = mlo }
+  | _ -> assert false
+
+let summary_of_list = function
+  | [ sr; i; ai; mi; fi; dr; ar; alr; hu; mlb ] ->
+      { Core.Artifact.steps_run = sr; instructions = i; app_instructions = ai;
+        malloc_instructions = mi; free_instructions = fi; data_refs = dr;
+        app_refs = ar; allocator_refs = alr; heap_used = hu;
+        max_live_bytes = mlb }
+  | _ -> assert false
+
+(* Configurations must satisfy Config.make's invariants, so draw from a
+   valid pool rather than generating fields. *)
+let config_pool =
+  [ Cachesim.Config.make (16 * 1024);
+    Cachesim.Config.make ~associativity:2 (16 * 1024);
+    Cachesim.Config.make ~block_bytes:64 (64 * 1024);
+    Cachesim.Config.make ~name:"odd name \"quoted\"" (32 * 1024) ]
+
+let gen_artifact =
+  let open QCheck.Gen in
+  let nonneg = int_bound 1_000_000 in
+  let key = string_size ~gen:(map Char.chr (int_range 97 122)) (1 -- 12) in
+  let scale = map (fun i -> float_of_int i /. 100.) (int_range 1 400) in
+  let stats = map stats_of_list (list_repeat 14 nonneg) in
+  key >>= fun program ->
+  key >>= fun allocator ->
+  scale >>= fun scale ->
+  nonneg >>= fun seed ->
+  nonneg >>= fun trace_checksum ->
+  map summary_of_list (list_repeat 10 nonneg) >>= fun summary ->
+  map alloc_stats_of_list (list_repeat 10 nonneg) >>= fun alloc_stats ->
+  int_range 1 (List.length config_pool) >>= fun ncfg ->
+  list_repeat ncfg stats >>= fun cache_stats ->
+  stats >>= fun l1 ->
+  stats >>= fun l2 ->
+  oneofl [ 512; 4096; 8192 ] >>= fun page_bytes ->
+  nonneg >>= fun references ->
+  nonneg >>= fun cold ->
+  array_size (0 -- 40) nonneg >>= fun hist ->
+  let caches =
+    List.map2
+      (fun c s -> (c, s))
+      (List.filteri (fun i _ -> i < ncfg) config_pool)
+      cache_stats
+  in
+  return
+    { Core.Artifact.meta =
+        { Core.Artifact.program; allocator; scale; seed;
+          schema_version = Core.Artifact.schema_version; trace_checksum };
+      summary; alloc_stats; caches; l1; l2;
+      fault_curve = { Vmsim.Fault_curve.page_bytes; references; cold; hist } }
+
+let prop_artifact_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"Artifact encode/decode identity"
+    (QCheck.make gen_artifact) (fun art ->
+      match Core.Artifact.decode (Core.Artifact.encode art) with
+      | Ok art' -> Core.Artifact.equal art art'
+      | Error _ -> false)
+
+let prop_artifact_meta_readable =
+  QCheck.Test.make ~count:100 ~name:"decode_meta reads the frozen header"
+    (QCheck.make gen_artifact) (fun art ->
+      match Core.Artifact.decode_meta (Core.Artifact.encode art) with
+      | Ok m -> m = art.Core.Artifact.meta
+      | Error _ -> false)
+
+let sample_artifact =
+  (* One real artifact from a tiny simulation, for targeted cases. *)
+  lazy
+    (let runs = Core.Runs.create ~scale:0.01 () in
+     Core.Runs.get runs ~profile:"make" ~allocator:"bsd")
+
+let test_artifact_rejects_truncation () =
+  let art = Lazy.force sample_artifact in
+  let payload = Core.Artifact.encode art in
+  List.iter
+    (fun frac ->
+      let cut = String.length payload * frac / 10 in
+      check_bool
+        (Printf.sprintf "truncated at %d/10 rejected" frac)
+        true
+        (match Core.Artifact.decode (String.sub payload 0 cut) with
+        | Error _ -> true
+        | Ok _ -> false))
+    [ 0; 3; 6; 9 ]
+
+let test_artifact_rejects_trailing_garbage () =
+  let art = Lazy.force sample_artifact in
+  check_bool "trailing byte rejected" true
+    (match Core.Artifact.decode (Core.Artifact.encode art ^ "\000") with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_artifact_rejects_foreign_schema () =
+  let art = Lazy.force sample_artifact in
+  let foreign =
+    { art with
+      Core.Artifact.meta =
+        { art.Core.Artifact.meta with
+          Core.Artifact.schema_version = Core.Artifact.schema_version + 1 } }
+  in
+  let payload = Core.Artifact.encode foreign in
+  check_bool "foreign schema rejected by decode" true
+    (match Core.Artifact.decode payload with Error _ -> true | Ok _ -> false);
+  (* ... but the frozen header stays readable for ls/gc. *)
+  check_bool "foreign schema readable by decode_meta" true
+    (match Core.Artifact.decode_meta payload with
+    | Ok m ->
+        m.Core.Artifact.schema_version = Core.Artifact.schema_version + 1
+    | Error _ -> false)
+
+let test_digest_sensitivity () =
+  let d = Core.Artifact.digest ~program:"p" ~allocator:"a" ~scale:0.5 ~seed:7 in
+  check_string "deterministic" d
+    (Core.Artifact.digest ~program:"p" ~allocator:"a" ~scale:0.5 ~seed:7);
+  List.iter
+    (fun (label, d') -> check_bool label true (d <> d'))
+    [ ("program", Core.Artifact.digest ~program:"q" ~allocator:"a" ~scale:0.5 ~seed:7);
+      ("allocator", Core.Artifact.digest ~program:"p" ~allocator:"b" ~scale:0.5 ~seed:7);
+      ("scale", Core.Artifact.digest ~program:"p" ~allocator:"a" ~scale:0.25 ~seed:7);
+      ("seed", Core.Artifact.digest ~program:"p" ~allocator:"a" ~scale:0.5 ~seed:8) ]
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let prop_store_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"store write/read is bit-identical"
+    QCheck.(
+      pair (string_gen Gen.(map Char.chr (int_range 0 255)))
+        (string_gen Gen.(map Char.chr (int_range 97 122))))
+    (fun (payload, key) ->
+      QCheck.assume (key <> "");
+      let store = Store.open_ (fresh_dir ()) in
+      let digest = Digest.to_hex (Digest.string key) in
+      Store.put store ~digest payload;
+      match Store.find store ~digest with
+      | Store.Hit payload' -> payload' = payload && Store.mem store ~digest
+      | Store.Miss | Store.Corrupt _ -> false)
+
+let test_store_miss () =
+  let store = Store.open_ (fresh_dir ()) in
+  check_bool "empty store misses" true
+    (Store.find store ~digest:"deadbeef" = Store.Miss);
+  check_bool "mem false" false (Store.mem store ~digest:"deadbeef");
+  check_int "ls empty" 0 (List.length (Store.ls store))
+
+let test_store_detects_flipped_byte () =
+  let store = Store.open_ (fresh_dir ()) in
+  Store.put store ~digest:"cell1" "some payload bytes";
+  let path = Filename.concat (Store.root store) "cell1.art" in
+  (* Flip a byte inside the payload region (past the 16-byte header). *)
+  let before = !warn_count in
+  flip_byte path 20;
+  check_bool "flipped byte detected" true
+    (match Store.find store ~digest:"cell1" with
+    | Store.Corrupt _ -> true
+    | Store.Hit _ | Store.Miss -> false);
+  check_bool "corruption logged" true (!warn_count > before)
+
+let test_store_detects_truncation () =
+  let store = Store.open_ (fresh_dir ()) in
+  Store.put store ~digest:"cell2" "a somewhat longer payload, to survive halving";
+  let path = Filename.concat (Store.root store) "cell2.art" in
+  truncate_file path;
+  check_bool "truncation detected" true
+    (match Store.find store ~digest:"cell2" with
+    | Store.Corrupt _ -> true
+    | Store.Hit _ | Store.Miss -> false)
+
+let test_store_detects_garbage_file () =
+  let store = Store.open_ (fresh_dir ()) in
+  write_file (Filename.concat (Store.root store) "cell3.art") "not a frame";
+  check_bool "garbage detected" true
+    (match Store.find store ~digest:"cell3" with
+    | Store.Corrupt _ -> true
+    | Store.Hit _ | Store.Miss -> false)
+
+let test_store_overwrite_and_ls () =
+  let store = Store.open_ (fresh_dir ()) in
+  Store.put store ~digest:"aa" "one";
+  Store.put store ~digest:"aa" "two";
+  Store.put store ~digest:"bb" "three";
+  check_bool "overwrite wins" true
+    (Store.find store ~digest:"aa" = Store.Hit "two");
+  Alcotest.(check (list string)) "ls sorted" [ "aa"; "bb" ] (Store.ls store)
+
+let test_store_verify_and_gc () =
+  let store = Store.open_ (fresh_dir ()) in
+  Store.put store ~digest:"good" "healthy payload";
+  Store.put store ~digest:"bad" "will be corrupted soon";
+  Store.put store ~digest:"unwanted" "keep says no";
+  flip_byte (Filename.concat (Store.root store) "bad.art") 20;
+  write_file (Filename.concat (Store.root store) "leftover.art.tmp") "junk";
+  let verdicts = Store.verify store in
+  check_int "verify covers all cells" 3 (List.length verdicts);
+  check_bool "good verifies" true
+    (match List.assoc "good" verdicts with Ok _ -> true | Error _ -> false);
+  check_bool "bad fails verify" true
+    (match List.assoc "bad" verdicts with Error _ -> true | Ok _ -> false);
+  let removed =
+    Store.gc store ~keep:(fun ~digest ~payload:_ -> digest <> "unwanted")
+  in
+  Alcotest.(check (list string))
+    "gc removes corrupt, rejected, and temp files"
+    [ "bad.art"; "leftover.art.tmp"; "unwanted.art" ]
+    removed;
+  Alcotest.(check (list string)) "only good survives" [ "good" ] (Store.ls store);
+  check_bool "good still readable" true
+    (Store.find store ~digest:"good" = Store.Hit "healthy payload")
+
+(* ------------------------------------------------------------------ *)
+(* Run grid + store: write-through, warm reads, healing               *)
+(* ------------------------------------------------------------------ *)
+
+let test_runs_write_through_and_warm_read () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let cold = Core.Runs.create ~scale:0.01 ~store () in
+  let a = Core.Runs.get cold ~profile:"make" ~allocator:"bsd" in
+  check_int "cold run simulated" 1 (Core.Runs.simulated cold);
+  check_int "cold run had no hits" 0 (Core.Runs.store_hits cold);
+  check_bool "cell file exists" true
+    (Sys.file_exists (cell_path store ~program:"make" ~allocator:"bsd" ~scale:0.01));
+  let warm = Core.Runs.create ~scale:0.01 ~store:(Store.open_ dir) () in
+  let b = Core.Runs.get warm ~profile:"make" ~allocator:"bsd" in
+  check_int "warm run simulated nothing" 0 (Core.Runs.simulated warm);
+  check_int "warm run hit the store" 1 (Core.Runs.store_hits warm);
+  check_bool "artifacts identical" true (Core.Artifact.equal a b);
+  check_string "encodings identical"
+    (Core.Artifact.encode a) (Core.Artifact.encode b)
+
+let test_runs_corrupt_cell_resimulated_and_healed () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let cold = Core.Runs.create ~scale:0.01 ~store () in
+  let a = Core.Runs.get cold ~profile:"gawk" ~allocator:"quickfit" in
+  let path = cell_path store ~program:"gawk" ~allocator:"quickfit" ~scale:0.01 in
+  flip_byte path 40;
+  let before = !warn_count in
+  let again = Core.Runs.create ~scale:0.01 ~store:(Store.open_ dir) () in
+  let b = Core.Runs.get again ~profile:"gawk" ~allocator:"quickfit" in
+  check_int "corrupt cell re-simulated" 1 (Core.Runs.simulated again);
+  check_int "corrupt cell is not a hit" 0 (Core.Runs.store_hits again);
+  check_bool "corruption logged" true (!warn_count > before);
+  check_bool "re-simulation reproduces the artifact" true
+    (Core.Artifact.equal a b);
+  (* The degraded read healed the store: a third pass hits again. *)
+  let healed = Core.Runs.create ~scale:0.01 ~store:(Store.open_ dir) () in
+  let c = Core.Runs.get healed ~profile:"gawk" ~allocator:"quickfit" in
+  check_int "healed store hits" 1 (Core.Runs.store_hits healed);
+  check_bool "healed artifact identical" true (Core.Artifact.equal a c)
+
+let test_runs_scale_partitions_store () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let r1 = Core.Runs.create ~scale:0.01 ~store () in
+  ignore (Core.Runs.get r1 ~profile:"make" ~allocator:"bsd");
+  (* Same store, different scale: different digest, so a miss. *)
+  let r2 = Core.Runs.create ~scale:0.02 ~store:(Store.open_ dir) () in
+  ignore (Core.Runs.get r2 ~profile:"make" ~allocator:"bsd");
+  check_int "different scale simulates" 1 (Core.Runs.simulated r2);
+  check_int "different scale does not hit" 0 (Core.Runs.store_hits r2);
+  check_int "store now holds both" 2 (List.length (Store.ls store))
+
+let test_runs_load_reports_missing () =
+  let dir = fresh_dir () in
+  let store = Store.open_ dir in
+  let r1 = Core.Runs.create ~scale:0.01 ~store () in
+  ignore (Core.Runs.get r1 ~profile:"make" ~allocator:"bsd");
+  let r2 = Core.Runs.create ~scale:0.01 ~store:(Store.open_ dir) () in
+  let missing =
+    Core.Runs.load r2
+      [ ("make", "bsd"); ("make", "bsd"); ("gawk", "bsd"); ("make", "bsd") ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "only the cold cell is missing, deduplicated"
+    [ ("gawk", "bsd") ] missing;
+  check_int "the warm cell was pulled in" 1 (Core.Runs.store_hits r2);
+  check_int "nothing simulated by load" 0 (Core.Runs.simulated r2)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: cold vs warm rendering over every experiment         *)
+(* ------------------------------------------------------------------ *)
+
+let test_differential_cold_vs_warm () =
+  let dir = fresh_dir () in
+  let cold_ctx =
+    Core.Context.create ~scale:0.02 ~jobs:2 ~store:(Store.open_ dir) ()
+  in
+  let cold_out =
+    List.map (fun id -> (id, Core.Experiment.run cold_ctx id))
+      (Core.Experiment.ids ())
+  in
+  check_bool "cold pass simulated the grid" true
+    (Core.Runs.simulated cold_ctx.Core.Context.runs > 0);
+  (* A fresh context over the same store: everything the experiments
+     need must already be present... *)
+  let warm_ctx =
+    Core.Context.create ~scale:0.02 ~jobs:2 ~store:(Store.open_ dir) ()
+  in
+  let wanted =
+    List.concat_map
+      (fun e -> e.Core.Experiment.cells)
+      Core.Experiment.all
+  in
+  Alcotest.(check (list (pair string string)))
+    "no cell missing from the warm store" []
+    (Core.Runs.load warm_ctx.Core.Context.runs wanted);
+  (* ... every rendering must be byte-identical... *)
+  List.iter
+    (fun (id, cold) ->
+      check_string (id ^ " warm = cold") cold (Core.Experiment.run warm_ctx id))
+    cold_out;
+  (* ... and the warm pass must not have simulated a single grid cell. *)
+  check_int "warm pass simulated nothing" 0
+    (Core.Runs.simulated warm_ctx.Core.Context.runs);
+  check_bool "warm pass fed from the store" true
+    (Core.Runs.store_hits warm_ctx.Core.Context.runs > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace checksum                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_checksum_orders_and_fields () =
+  let feed events =
+    let c = Memsim.Sink.Checksum.create () in
+    let sink = Memsim.Sink.Checksum.sink c in
+    List.iter (fun e -> sink.Memsim.Sink.emit e) events;
+    Memsim.Sink.Checksum.value c
+  in
+  let e1 = Memsim.Event.read 0x1000 4 in
+  let e2 = Memsim.Event.write ~source:Memsim.Event.Malloc 0x2000 8 in
+  check_bool "deterministic" true (feed [ e1; e2 ] = feed [ e1; e2 ]);
+  check_bool "order-sensitive" true (feed [ e1; e2 ] <> feed [ e2; e1 ]);
+  check_bool "address-sensitive" true
+    (feed [ e1 ] <> feed [ Memsim.Event.read 0x1004 4 ]);
+  check_bool "size-sensitive" true
+    (feed [ e1 ] <> feed [ Memsim.Event.read 0x1000 8 ]);
+  check_bool "kind-sensitive" true
+    (feed [ e1 ] <> feed [ Memsim.Event.write 0x1000 4 ]);
+  check_bool "source-sensitive" true
+    (feed [ e1 ] <> feed [ Memsim.Event.read ~source:Memsim.Event.Free 0x1000 4 ]);
+  check_bool "empty trace nonzero basis" true (feed [] <> 0)
+
+let tc name f = Alcotest.test_case name `Quick f
+let qt t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Fun.protect ~finally:cleanup_dirs (fun () ->
+      Alcotest.run "store"
+        [
+          ( "codec",
+            [
+              tc "crc32 known vector" test_crc32_vector;
+              qt prop_codec_roundtrip;
+              qt prop_codec_float_bits;
+              tc "truncation raises" test_codec_truncation_raises;
+            ] );
+          ( "artifact",
+            [
+              qt prop_artifact_roundtrip;
+              qt prop_artifact_meta_readable;
+              tc "rejects truncation" test_artifact_rejects_truncation;
+              tc "rejects trailing garbage"
+                test_artifact_rejects_trailing_garbage;
+              tc "rejects foreign schema" test_artifact_rejects_foreign_schema;
+              tc "digest sensitivity" test_digest_sensitivity;
+            ] );
+          ( "store",
+            [
+              qt prop_store_roundtrip;
+              tc "miss on empty" test_store_miss;
+              tc "flipped byte detected" test_store_detects_flipped_byte;
+              tc "truncation detected" test_store_detects_truncation;
+              tc "garbage file detected" test_store_detects_garbage_file;
+              tc "overwrite and ls" test_store_overwrite_and_ls;
+              tc "verify and gc" test_store_verify_and_gc;
+            ] );
+          ( "grid",
+            [
+              tc "write-through and warm read"
+                test_runs_write_through_and_warm_read;
+              tc "corrupt cell re-simulated and healed"
+                test_runs_corrupt_cell_resimulated_and_healed;
+              tc "scale partitions the store" test_runs_scale_partitions_store;
+              tc "load reports missing cells" test_runs_load_reports_missing;
+            ] );
+          ( "differential",
+            [ tc "cold vs warm byte-identical" test_differential_cold_vs_warm ] );
+          ( "checksum",
+            [ tc "order and field sensitivity" test_checksum_orders_and_fields ] );
+        ])
