@@ -23,6 +23,8 @@
 
 open Bechamel
 
+let () = Telemetry.setup_logging ()
+
 let scale =
   match Sys.getenv_opt "LOCLAB_SCALE" with
   | Some s -> (try float_of_string s with _ -> 0.25)
@@ -236,6 +238,29 @@ let bench_json_path =
   | Some p -> Some p
   | None -> Some "loclab-bench.json"
 
+(* Bench-json format version: bump when the object shape changes, so CI
+   consumers can detect files from another era. *)
+let bench_format = 2
+
+let git_rev () =
+  let read cmd =
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    match Unix.close_process_in ic with
+    | Unix.WEXITED 0 when line <> "" -> Some line
+    | _ -> None
+    | exception Unix.Unix_error _ -> None
+  in
+  match read "git rev-parse --short HEAD 2>/dev/null" with
+  | Some rev -> rev
+  | None | (exception Sys_error _) -> "unknown"
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -251,6 +276,15 @@ let json_escape s =
 let write_bench_json path =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"meta\": {\n";
+  Printf.fprintf oc "    \"bench_format\": %d,\n" bench_format;
+  Printf.fprintf oc "    \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.fprintf oc "    \"artifact_schema_version\": %d,\n"
+    Core.Artifact.schema_version;
+  Printf.fprintf oc "    \"generated_at\": \"%s\",\n"
+    (iso8601 (Unix.gettimeofday ()));
+  Printf.fprintf oc "    \"micro_benchmarks\": %b\n" run_micro;
+  Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"scale\": %g,\n" scale;
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"grid\": {\n";

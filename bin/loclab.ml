@@ -70,15 +70,62 @@ let make_ctx ?(jobs = 1) ?store_dir scale penalty =
 (* Progress and store diagnostics go through Logs; the format reporter
    sends every non-App level to stderr, so table/figure stdout stays
    byte-comparable between warm and cold runs. *)
-let setup_logs () =
-  Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level
-    (match Sys.getenv_opt "LOCLAB_LOG" with
-    | Some "quiet" -> None
-    | Some "error" -> Some Logs.Error
-    | Some "warning" -> Some Logs.Warning
-    | Some "debug" -> Some Logs.Debug
-    | Some "info" | _ -> Some Logs.Info)
+let setup_logs () = Telemetry.setup_logging ~default:(Some Logs.Info) ()
+
+(* ---- telemetry output ----------------------------------------------- *)
+
+let metrics_out_arg =
+  let doc =
+    "Write a metrics snapshot to $(docv) after the command finishes \
+     (Prometheus text format, or JSON when the file ends in .json) and \
+     enable metric recording for the whole run.  Recording is pure \
+     observation: tables, figures and stored artifacts are byte-identical \
+     with or without it."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write a Chrome trace-event JSON file to $(docv) after the command \
+     finishes (load it in Perfetto or chrome://tracing) and enable span \
+     recording — grid cells, pool tasks, store I/O, experiment renders."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let enable_telemetry ~metrics_out ~trace_out =
+  if metrics_out <> None then
+    Telemetry.Metrics.set_enabled Telemetry.Metrics.default true;
+  if trace_out <> None then Telemetry.Span.set_enabled true
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let write_metrics path =
+  let snap = Telemetry.Metrics.snapshot Telemetry.Metrics.default in
+  let body =
+    if Filename.check_suffix path ".json" then Telemetry.Metrics.to_json snap
+    else Telemetry.Metrics.to_prometheus snap
+  in
+  write_file path body;
+  Logs.info (fun m -> m "wrote metrics snapshot to %s" path)
+
+let write_trace path =
+  Telemetry.Span.write_chrome ~path;
+  Logs.info (fun m ->
+      m "wrote %d trace events to %s (%d dropped)" (Telemetry.Span.recorded ())
+        path
+        (Telemetry.Span.dropped ()))
+
+let write_telemetry ~metrics_out ~trace_out =
+  Option.iter write_metrics metrics_out;
+  Option.iter write_trace trace_out
 
 let timed f =
   let t0 = Unix.gettimeofday () in
@@ -139,7 +186,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,loclab list)); e.g. fig2 tab4." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run scale penalty jobs store_dir ids =
+  let run scale penalty jobs store_dir metrics_out trace_out ids =
     (* Validate ids before paying for any simulation. *)
     List.iter
       (fun id ->
@@ -150,6 +197,7 @@ let run_cmd =
               id;
             exit 2)
       ids;
+    enable_telemetry ~metrics_out ~trace_out;
     let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir scale penalty in
     (* Fill every needed grid cell in parallel before rendering; the
        renderings below then only read the memo. *)
@@ -159,16 +207,20 @@ let run_cmd =
         print_endline (Core.Experiment.run ctx id);
         print_newline ())
       ids;
-    grid_summary ctx
+    grid_summary ctx;
+    write_telemetry ~metrics_out ~trace_out
   in
   let doc = "Regenerate the given tables/figures." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg $ ids_arg)
+    Term.(
+      const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg
+      $ metrics_out_arg $ trace_out_arg $ ids_arg)
 
 (* ---- all ----------------------------------------------------------- *)
 
 let all_cmd =
-  let run scale penalty jobs store_dir =
+  let run scale penalty jobs store_dir metrics_out trace_out =
+    enable_telemetry ~metrics_out ~trace_out;
     let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir scale penalty in
     List.iter
       (fun e ->
@@ -176,16 +228,20 @@ let all_cmd =
         Printf.printf "================ %s ================\n%s\n"
           e.Core.Experiment.id out)
       Core.Experiment.all;
-    grid_summary ctx
+    grid_summary ctx;
+    write_telemetry ~metrics_out ~trace_out
   in
   let doc = "Regenerate every table and figure (shares one run grid)." in
   Cmd.v (Cmd.info "all" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg)
+    Term.(
+      const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* ---- report --------------------------------------------------------- *)
 
 let report_cmd =
-  let run scale penalty jobs store_dir =
+  let run scale penalty jobs store_dir metrics_out trace_out =
+    enable_telemetry ~metrics_out ~trace_out;
     let dir =
       match store_dir with
       | Some dir -> dir
@@ -223,7 +279,8 @@ let report_cmd =
         Printf.printf "================ %s ================\n%s\n"
           e.Core.Experiment.id out)
       Core.Experiment.all;
-    grid_summary ctx
+    grid_summary ctx;
+    write_telemetry ~metrics_out ~trace_out
   in
   let doc =
     "Regenerate every table and figure from a warm artifact store \
@@ -232,7 +289,9 @@ let report_cmd =
      warning) and healed.  Output is byte-identical to $(b,loclab all)."
   in
   Cmd.v (Cmd.info "report" ~doc)
-    Term.(const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg)
+    Term.(
+      const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* ---- store --------------------------------------------------------- *)
 
@@ -549,6 +608,196 @@ let replay_cmd =
   let doc = "Replay a recorded trace through the cache and page simulators." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg)
 
+(* ---- profile -------------------------------------------------------- *)
+
+(* One profiled cell: simulate (program, allocator) with every probe on
+   and feed the windowed time series.  Returns the driver result so the
+   caller can print a summary line. *)
+let profile_cell ~series ~scale ~window ~program ~allocator =
+  Telemetry.Span.with_span ~cat:"cell" (program ^ "/" ^ allocator) @@ fun () ->
+  let prof = Workload.Programs.find program in
+  let heap = Allocators.Heap.create () in
+  let alloc = Allocators.Registry.build allocator heap in
+  let multi = Cachesim.Multi.create Core.Runs.standard_configs in
+  let pages = Vmsim.Page_sim.create () in
+  let counter = Memsim.Sink.Counter.create () in
+  (* Per-window deltas need the previous cumulative readings; the
+     simulators' stats records are live and sampleable mid-run. *)
+  let prev_cache =
+    List.map (fun (cfg, _) -> (cfg.Cachesim.Config.name, ref 0, ref 0))
+      (Cachesim.Multi.results multi)
+  in
+  let prev_src = Hashtbl.create 3 in
+  let add_row ~window ~events name value =
+    Telemetry.Probe.Series.add series
+      [ program;
+        allocator;
+        string_of_int window;
+        string_of_int events;
+        name;
+        value ]
+  in
+  let sample ~window ~events =
+    List.iter2
+      (fun (cfg, (st : Cachesim.Stats.t)) (_, pa, pm) ->
+        let da = st.Cachesim.Stats.accesses - !pa
+        and dm = st.Cachesim.Stats.misses - !pm in
+        pa := st.Cachesim.Stats.accesses;
+        pm := st.Cachesim.Stats.misses;
+        let rate =
+          if da = 0 then 0. else 100. *. float_of_int dm /. float_of_int da
+        in
+        add_row ~window ~events
+          ("miss_rate:" ^ cfg.Cachesim.Config.name)
+          (Printf.sprintf "%.4f" rate))
+      (Cachesim.Multi.results multi)
+      prev_cache;
+    List.iter
+      (fun (key, src) ->
+        let now = Memsim.Sink.Counter.by_source counter src in
+        let before =
+          Option.value ~default:0 (Hashtbl.find_opt prev_src key)
+        in
+        Hashtbl.replace prev_src key now;
+        add_row ~window ~events ("refs:" ^ key) (string_of_int (now - before)))
+      [ ("app", Memsim.Event.App);
+        ("malloc", Memsim.Event.Malloc);
+        ("free", Memsim.Event.Free) ];
+    add_row ~window ~events "live_bytes"
+      (string_of_int
+         (Allocators.Allocator.stats alloc).Allocators.Alloc_stats.live_bytes);
+    add_row ~window ~events "footprint_bytes"
+      (string_of_int (Vmsim.Page_sim.footprint_bytes pages))
+  in
+  let windows = Telemetry.Probe.Windows.create ~every:window ~f:sample in
+  (* The window tap goes last so its siblings have absorbed everything
+     up to the window edge when [sample] reads them. *)
+  let sink =
+    Memsim.Sink.fanout
+      [ Cachesim.Multi.sink multi;
+        Vmsim.Page_sim.sink pages;
+        Memsim.Sink.Counter.sink counter;
+        Telemetry.Probe.Windows.sink windows ]
+  in
+  let result = Workload.Driver.run_with ~sink ~scale ~profile:prof ~heap ~alloc () in
+  Telemetry.Probe.Windows.flush windows;
+  (result, Telemetry.Probe.Windows.windows_fired windows)
+
+let profile_cmd =
+  let program_arg =
+    let doc = "Program profile key (see $(b,loclab list))." in
+    Arg.(value & opt string "espresso" & info [ "program" ] ~docv:"KEY" ~doc)
+  in
+  let allocs_arg =
+    let doc = "Comma-separated allocator keys to profile side by side." in
+    Arg.(
+      value
+      & opt string "firstfit,quickfit"
+      & info [ "allocators" ] ~docv:"KEYS" ~doc)
+  in
+  let window_arg =
+    let doc = "Events per probe window (the time-series resolution)." in
+    Arg.(value & opt int 100_000 & info [ "window" ] ~docv:"EVENTS" ~doc)
+  in
+  let series_out_arg =
+    let doc = "Per-window time-series CSV output file." in
+    Arg.(
+      value
+      & opt string "loclab-series.csv"
+      & info [ "series-out" ] ~docv:"FILE" ~doc)
+  in
+  let pmetrics_arg =
+    let doc = "Metrics snapshot output (Prometheus text, JSON if .json)." in
+    Arg.(
+      value
+      & opt string "loclab-metrics.prom"
+      & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let ptrace_arg =
+    let doc = "Chrome trace-event JSON output (Perfetto-loadable)." in
+    Arg.(
+      value
+      & opt string "loclab-trace.json"
+      & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let run scale penalty program allocs window series_out metrics_out trace_out =
+    ignore penalty;
+    if scale <= 0. || scale > 4.0 then begin
+      Printf.eprintf "loclab: scale must be in (0, 4]\n";
+      exit 2
+    end;
+    if window < 1 then begin
+      Printf.eprintf "loclab: window must be >= 1\n";
+      exit 2
+    end;
+    (match Workload.Programs.find program with
+    | _ -> ()
+    | exception Not_found ->
+        Printf.eprintf "loclab: unknown program %S\n" program;
+        exit 2);
+    let allocators =
+      String.split_on_char ',' allocs
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    if allocators = [] then begin
+      Printf.eprintf "loclab: no allocators given\n";
+      exit 2
+    end;
+    List.iter
+      (fun a ->
+        if a = "custom" then begin
+          Printf.eprintf
+            "loclab profile: \"custom\" is synthesized per profile; pick a \
+             registry allocator\n";
+          exit 2
+        end;
+        if not (List.mem a (Allocators.Registry.keys ())) then begin
+          Printf.eprintf "loclab: unknown allocator %S\n" a;
+          exit 2
+        end)
+      allocators;
+    Telemetry.Metrics.set_enabled Telemetry.Metrics.default true;
+    Telemetry.Span.set_enabled true;
+    let series =
+      Telemetry.Probe.Series.create
+        ~columns:[ "program"; "allocator"; "window"; "events"; "series";
+                   "value" ]
+    in
+    Printf.printf "profiling %s at scale %g, %d-event windows\n" program scale
+      window;
+    List.iter
+      (fun allocator ->
+        let result, fired =
+          profile_cell ~series ~scale ~window ~program ~allocator
+        in
+        let h = Allocators.Alloc_metrics.search_length ~allocator in
+        Printf.printf
+          "  %-12s %s refs, %d windows; fit searches: %s, mean length %.2f\n"
+          allocator
+          (Metrics.Table.fmt_int result.Workload.Driver.data_refs)
+          fired
+          (Metrics.Table.fmt_int (Telemetry.Metrics.Histogram.count h))
+          (Telemetry.Metrics.Histogram.mean h))
+      allocators;
+    Telemetry.Probe.Series.write_csv series ~path:series_out;
+    write_metrics metrics_out;
+    write_trace trace_out;
+    Printf.printf "wrote %s (%d rows), %s, %s\n" series_out
+      (Telemetry.Probe.Series.length series) metrics_out trace_out
+  in
+  let doc =
+    "Run one or more (program, allocator) cells with every probe on: \
+     windowed miss-rate / reference-mix / footprint time series (CSV), \
+     allocator-internal metrics (Prometheus snapshot) and a span trace \
+     (Chrome JSON for Perfetto).  Profiling never changes simulation \
+     results; it only observes them."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ scale_arg $ penalty_arg $ program_arg $ allocs_arg
+      $ window_arg $ series_out_arg $ pmetrics_arg $ ptrace_arg)
+
 let main =
   let doc =
     "Reproduction of 'Improving the Cache Locality of Memory Allocation' \
@@ -557,7 +806,7 @@ let main =
   let info = Cmd.info "loclab" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; run_cmd; all_cmd; report_cmd; store_cmd; probe_cmd;
-      record_cmd; replay_cmd ]
+      profile_cmd; record_cmd; replay_cmd ]
 
 let () =
   setup_logs ();

@@ -1,0 +1,18 @@
+(** Allocator-internal telemetry: the shared metric families every
+    allocator implementation records to (default registry, so they are
+    no-ops unless [Telemetry.Metrics.default] is enabled).
+
+    Handles are resolved once per allocator instance — at [create] or
+    [allocator] time — and kept; never resolve on the malloc path. *)
+
+val search_length : allocator:string -> Telemetry.Metrics.Histogram.h
+(** Free blocks examined per [malloc] fit search.  Sequential fits
+    (FirstFit, BestFit, G++ bins) observe their walk length; size-class
+    allocators (QuickFit small path, BSD) observe 1 per constant-time
+    class access — the paper's search-cost contrast in one histogram. *)
+
+val sizeclass :
+  allocator:string -> outcome:string -> Telemetry.Metrics.Counter.h
+(** Size-class allocation outcomes: ["hit"] (popped a recycled block),
+    ["carve"]/["morecore"] (took fresh storage), ["large"] (delegated to
+    the general allocator). *)

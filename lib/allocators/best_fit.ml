@@ -2,6 +2,7 @@ type t = {
   heap : Heap.t;
   fl : Freelist.t;
   mutable core : Seq_fit.t option;
+  search_h : Telemetry.Metrics.Histogram.h;
 }
 
 let node_of_block b = b + 4
@@ -12,10 +13,12 @@ let core t = Option.get t.core
    the search early (the classic optimisation). *)
 let find_fit t (_ : Seq_fit.t) ~gross =
   let head = Freelist.head t.fl in
+  let examined = ref 0 in
   let rec go node best best_size =
     if node = head then best
     else begin
       Heap.charge t.heap 2;
+      incr examined;
       let block = block_of_node node in
       let size, _ = Boundary_tag.read_header t.heap ~block in
       if size = gross then Some block
@@ -24,7 +27,9 @@ let find_fit t (_ : Seq_fit.t) ~gross =
       else go (Freelist.next t.fl node) best best_size
     end
   in
-  go (Freelist.next t.fl head) None max_int
+  let r = go (Freelist.next t.fl head) None max_int in
+  Telemetry.Metrics.Histogram.observe t.search_h !examined;
+  r
 
 let check_policy t (_ : Seq_fit.t) ~free_blocks =
   let in_list =
@@ -36,7 +41,10 @@ let check_policy t (_ : Seq_fit.t) ~free_blocks =
 
 let create ?extend_chunk ?split_threshold heap =
   let fl = Freelist.create heap in
-  let t = { heap; fl; core = None } in
+  let t =
+    { heap; fl; core = None;
+      search_h = Alloc_metrics.search_length ~allocator:"bestfit" }
+  in
   let policy =
     { Seq_fit.find_fit = (fun core ~gross -> find_fit t core ~gross);
       insert_free =

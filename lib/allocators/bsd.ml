@@ -18,6 +18,9 @@ type t = {
   (* heads.(k - min_class): static word holding the class freelist head
      (0 = empty). *)
   heads : Addr.t array;
+  search_h : Telemetry.Metrics.Histogram.h;
+  hit_c : Telemetry.Metrics.Counter.h;
+  morecore_c : Telemetry.Metrics.Counter.h;
 }
 
 let create heap =
@@ -27,7 +30,11 @@ let create heap =
         Heap.poke heap a 0;
         a)
   in
-  { heap; heads }
+  { heap; heads;
+    search_h = Alloc_metrics.search_length ~allocator:"bsd";
+    hit_c = Alloc_metrics.sizeclass ~allocator:"bsd" ~outcome:"hit";
+    morecore_c = Alloc_metrics.sizeclass ~allocator:"bsd" ~outcome:"morecore";
+  }
 
 let head_cell t k = t.heads.(k - min_class)
 
@@ -56,12 +63,17 @@ let malloc t n =
   let cell = head_cell t k in
   let block = Heap.load t.heap cell in
   let block =
-    if block <> 0 then block
+    if block <> 0 then begin
+      Telemetry.Metrics.Counter.inc t.hit_c;
+      block
+    end
     else begin
+      Telemetry.Metrics.Counter.inc t.morecore_c;
       morecore t k;
       Heap.load t.heap cell
     end
   in
+  Telemetry.Metrics.Histogram.observe t.search_h 1;
   let next = Heap.load t.heap (block + 4) in
   Heap.store t.heap cell next;
   Heap.store t.heap block k (* header: remember the class *);

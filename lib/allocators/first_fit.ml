@@ -5,6 +5,7 @@ type t = {
   fl : Freelist.t;
   rover_cell : Addr.t;  (* static word holding a freelist node address *)
   mutable core : Seq_fit.t option;
+  mutable search_h : Telemetry.Metrics.Histogram.h;
 }
 
 let node_of_block b = b + 4
@@ -18,10 +19,15 @@ let find_fit t (_ : Seq_fit.t) ~gross =
   let head = Freelist.head t.fl in
   let start = Heap.load t.heap t.rover_cell in
   let start = if start = head then Freelist.next t.fl head else start in
-  if start = head then None (* empty list *)
+  if start = head then begin
+    Telemetry.Metrics.Histogram.observe t.search_h 0;
+    None (* empty list *)
+  end
   else begin
+    let examined = ref 0 in
     let rec go node =
       Heap.charge t.heap 2 (* loop bookkeeping *);
+      incr examined;
       let block = block_of_node node in
       let size, _ = Boundary_tag.read_header t.heap ~block in
       if size >= gross then Some block
@@ -31,7 +37,9 @@ let find_fit t (_ : Seq_fit.t) ~gross =
         if succ = start then None else go succ
       end
     in
-    go start
+    let r = go start in
+    Telemetry.Metrics.Histogram.observe t.search_h !examined;
+    r
   end
 
 let insert_free t (_ : Seq_fit.t) ~block ~size:_ =
@@ -69,7 +77,10 @@ let create ?extend_chunk ?split_threshold ?coalesce heap =
   let fl = Freelist.create heap in
   let rover_cell = Heap.alloc_static heap 4 in
   Heap.poke heap rover_cell (Freelist.head fl);
-  let t = { heap; fl; rover_cell; core = None } in
+  let t =
+    { heap; fl; rover_cell; core = None;
+      search_h = Alloc_metrics.search_length ~allocator:"firstfit" }
+  in
   let policy =
     { Seq_fit.find_fit = (fun core ~gross -> find_fit t core ~gross);
       insert_free = (fun core ~block ~size -> insert_free t core ~block ~size);
@@ -87,6 +98,8 @@ let create ?extend_chunk ?split_threshold ?coalesce heap =
   t
 
 let allocator ?(name = "firstfit") t =
+  if name <> "firstfit" then
+    t.search_h <- Alloc_metrics.search_length ~allocator:name;
   Allocator.make ~name ~heap:t.heap
     { Allocator.impl_malloc = (fun n -> Seq_fit.malloc (core t) n);
       impl_free = (fun a -> Seq_fit.free (core t) a);

@@ -13,6 +13,7 @@ type t = {
   heap : Heap.t;
   bins : Freelist.t array;  (* index 0 = bin min_bin *)
   mutable core : Seq_fit.t option;
+  search_h : Telemetry.Metrics.Histogram.h;
 }
 
 let node_of_block b = b + 4
@@ -26,11 +27,13 @@ let charge_binning t = Heap.charge t.heap 4
 let find_fit t (_ : Seq_fit.t) ~gross =
   charge_binning t;
   let i0 = bin_of_size gross in
+  let examined = ref 0 in
   (* First-fit scan within the request's own bin. *)
   let rec scan fl node =
     if node = Freelist.head fl then None
     else begin
       Heap.charge t.heap 2;
+      incr examined;
       let block = block_of_node node in
       let size, _ = Boundary_tag.read_header t.heap ~block in
       if size >= gross then Some block else scan fl (Freelist.next fl node)
@@ -42,20 +45,26 @@ let find_fit t (_ : Seq_fit.t) ~gross =
     | None -> None
     | Some node -> scan fl node
   in
-  match own with
-  | Some _ as found -> found
-  | None ->
-      (* Any block in a larger bin fits; take the first one found. *)
-      let rec bigger i =
-        if i > max_bin then None
-        else begin
-          Heap.charge t.heap 1;
-          match Freelist.first (bin t i) with
-          | Some node -> Some (block_of_node node)
-          | None -> bigger (i + 1)
-        end
-      in
-      bigger (i0 + 1)
+  let found =
+    match own with
+    | Some _ as found -> found
+    | None ->
+        (* Any block in a larger bin fits; take the first one found. *)
+        let rec bigger i =
+          if i > max_bin then None
+          else begin
+            Heap.charge t.heap 1;
+            match Freelist.first (bin t i) with
+            | Some node ->
+                incr examined;
+                Some (block_of_node node)
+            | None -> bigger (i + 1)
+          end
+        in
+        bigger (i0 + 1)
+  in
+  Telemetry.Metrics.Histogram.observe t.search_h !examined;
+  found
 
 let insert_free t (_ : Seq_fit.t) ~block ~size =
   charge_binning t;
@@ -96,11 +105,14 @@ let check_policy t (_ : Seq_fit.t) ~free_blocks =
       failwith (Printf.sprintf "Gnu_gpp: bin %d does not match heap" i)
   done
 
-let create ?extend_chunk ?split_threshold heap =
+let create ?extend_chunk ?split_threshold ?(owner = "gnu-g++") heap =
   let bins =
     Array.init (max_bin - min_bin + 1) (fun _ -> Freelist.create heap)
   in
-  let t = { heap; bins; core = None } in
+  let t =
+    { heap; bins; core = None;
+      search_h = Alloc_metrics.search_length ~allocator:owner }
+  in
   let policy =
     { Seq_fit.find_fit = (fun core ~gross -> find_fit t core ~gross);
       insert_free = (fun core ~block ~size -> insert_free t core ~block ~size);

@@ -12,7 +12,13 @@
 
 type t
 
-val create : ?extend_chunk:int -> ?split_threshold:int -> Heap.t -> t
+val create :
+  ?extend_chunk:int -> ?split_threshold:int -> ?owner:string -> Heap.t -> t
+(** [owner] labels this instance's telemetry (search-length histogram);
+    defaults to ["gnu-g++"].  A host embedding G++ as its general
+    allocator ({!Quick_fit}) passes its own name so the host's large
+    path is attributed to the host. *)
+
 val allocator : t -> Allocator.t
 
 val bin_of_size : int -> int

@@ -18,6 +18,10 @@ type t = {
   tail_ptr : Addr.t;  (* static: next carve position *)
   tail_end : Addr.t;  (* static: end of current carve chunk *)
   general : Gnu_gpp.t;
+  search_h : Telemetry.Metrics.Histogram.h;
+  hit_c : Telemetry.Metrics.Counter.h;
+  carve_c : Telemetry.Metrics.Counter.h;
+  large_c : Telemetry.Metrics.Counter.h;
 }
 
 let carve_chunk = 4096
@@ -33,7 +37,13 @@ let create heap =
   let tail_end = Heap.alloc_static heap 4 in
   Heap.poke heap tail_ptr 0;
   Heap.poke heap tail_end 0;
-  { heap; heads; tail_ptr; tail_end; general = Gnu_gpp.create heap }
+  { heap; heads; tail_ptr; tail_end;
+    general = Gnu_gpp.create ~owner:"quickfit" heap;
+    search_h = Alloc_metrics.search_length ~allocator:"quickfit";
+    hit_c = Alloc_metrics.sizeclass ~allocator:"quickfit" ~outcome:"hit";
+    carve_c = Alloc_metrics.sizeclass ~allocator:"quickfit" ~outcome:"carve";
+    large_c = Alloc_metrics.sizeclass ~allocator:"quickfit" ~outcome:"large";
+  }
 
 (* Carve a fresh small block of gross size [g] from working storage. *)
 let carve t g =
@@ -61,19 +71,25 @@ let malloc t n =
     let cell = t.heads.(i) in
     let head = Heap.load t.heap cell in
     if head <> 0 then begin
+      Telemetry.Metrics.Counter.inc t.hit_c;
+      Telemetry.Metrics.Histogram.observe t.search_h 1;
       (* Pop: the tag is still in place from the block's last life. *)
       let next = Heap.load t.heap (head + 4) in
       Heap.store t.heap cell next;
       head + 4
     end
     else begin
+      Telemetry.Metrics.Counter.inc t.carve_c;
+      Telemetry.Metrics.Histogram.observe t.search_h 1;
       let block = carve t (rounded + 4) in
       Heap.store t.heap block (small_tag rounded);
       block + 4
     end
   end
   else begin
-    (* Delegate, reserving one word for our ownership tag. *)
+    Telemetry.Metrics.Counter.inc t.large_c;
+    (* Delegate, reserving one word for our ownership tag.  The general
+       allocator's fit search records its own walk length. *)
     let p = Gnu_gpp.raw_malloc t.general (n + 4) in
     Heap.store t.heap p large_tag;
     p + 4

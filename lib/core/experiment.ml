@@ -174,9 +174,15 @@ let warm_all ctx = warm ctx (ids ())
 
 let run ctx id =
   let e = find id in
+  Telemetry.Span.with_span ~cat:"experiment" e.id @@ fun () ->
   Runs.prefetch ctx.Context.runs e.cells;
   e.render ctx
 
 let run_all ctx =
   warm_all ctx;
-  List.map (fun e -> (e.id, e.render ctx)) all
+  List.map
+    (fun e ->
+      ( e.id,
+        Telemetry.Span.with_span ~cat:"experiment" e.id (fun () ->
+            e.render ctx) ))
+    all

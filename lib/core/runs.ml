@@ -57,7 +57,17 @@ let build_allocator ~profile_key ~allocator heap =
   end
   else Allocators.Registry.build allocator heap
 
+let cells_f =
+  Telemetry.Metrics.Counter.family ~name:"loclab_cells_total"
+    ~help:"Grid cells resolved, by how they were satisfied"
+    ~labels:[ "source" ] ()
+
+let cell_memo_c = Telemetry.Metrics.Counter.labels cells_f [ "memo" ]
+let cell_store_c = Telemetry.Metrics.Counter.labels cells_f [ "store" ]
+let cell_sim_c = Telemetry.Metrics.Counter.labels cells_f [ "simulated" ]
+
 let run t ~profile ~allocator =
+  Telemetry.Span.with_span ~cat:"cell" (profile ^ "/" ^ allocator) @@ fun () ->
   let prof = Workload.Programs.find profile in
   let multi = Cachesim.Multi.create standard_configs in
   let hier =
@@ -142,17 +152,21 @@ let write_through t art =
 let get t ~profile ~allocator =
   let key = (profile, allocator) in
   match Hashtbl.find_opt t.memo key with
-  | Some a -> a
+  | Some a ->
+      Telemetry.Metrics.Counter.inc cell_memo_c;
+      a
   | None -> (
       match load_from_store t ~profile ~allocator with
       | Some a ->
           t.store_hits <- t.store_hits + 1;
+          Telemetry.Metrics.Counter.inc cell_store_c;
           Log.debug (fun m -> m "cell (%s, %s): store hit" profile allocator);
           Hashtbl.replace t.memo key a;
           a
       | None ->
           let a = run t ~profile ~allocator in
           t.simulated <- t.simulated + 1;
+          Telemetry.Metrics.Counter.inc cell_sim_c;
           Log.debug (fun m -> m "cell (%s, %s): simulated" profile allocator);
           write_through t a;
           Hashtbl.replace t.memo key a;
@@ -178,6 +192,7 @@ let load t cells =
       match load_from_store t ~profile ~allocator with
       | Some a ->
           t.store_hits <- t.store_hits + 1;
+          Telemetry.Metrics.Counter.inc cell_store_c;
           Hashtbl.replace t.memo key a;
           false
       | None -> true)
@@ -205,6 +220,7 @@ let prefetch t cells =
       List.iter2
         (fun key art ->
           t.simulated <- t.simulated + 1;
+          Telemetry.Metrics.Counter.inc cell_sim_c;
           write_through t art;
           Hashtbl.replace t.memo key art)
         pending artifacts

@@ -15,6 +15,16 @@ type t = {
 
 let jobs t = t.jobs
 
+let tasks_c =
+  Telemetry.Metrics.Counter.family ~name:"loclab_pool_tasks_total"
+    ~help:"Tasks executed by pool worker domains" ~labels:[] ()
+  |> Fun.flip Telemetry.Metrics.Counter.labels []
+
+let task_us_h =
+  Telemetry.Metrics.Histogram.family ~name:"loclab_pool_task_duration_us"
+    ~help:"Wall-clock microseconds per pool task" ~labels:[] ()
+  |> Fun.flip Telemetry.Metrics.Histogram.labels []
+
 let rec worker_loop t =
   Mutex.lock t.mutex;
   while Queue.is_empty t.queue && not t.stopping do
@@ -26,8 +36,12 @@ let rec worker_loop t =
       Mutex.unlock t.mutex
   | Some task ->
       Mutex.unlock t.mutex;
+      let t0 = Telemetry.Span.now_us () in
       (* Tasks never raise: map wraps the user function in a result. *)
-      task ();
+      Telemetry.Span.with_span ~cat:"pool" "task" task;
+      Telemetry.Metrics.Counter.inc tasks_c;
+      Telemetry.Metrics.Histogram.observe task_us_h
+        (int_of_float (Telemetry.Span.now_us () -. t0));
       worker_loop t
 
 let create ~jobs =

@@ -8,6 +8,9 @@ let batch_of_emit f buf len =
     f (Array.unsafe_get buf i)
   done
 
+let dummy_event : Event.t =
+  { kind = Event.Read; source = Event.App; addr = 0; size = 1 }
+
 let null = { emit = ignore; emit_batch = (fun _ _ -> ()) }
 let of_fn f = { emit = f; emit_batch = batch_of_emit f }
 let make ~emit ~emit_batch = { emit; emit_batch }
@@ -42,7 +45,27 @@ let fanout sinks =
       }
 
 let filter pred sink =
-  of_fn (fun e -> if pred e then sink.emit e)
+  (* The batch path must stay a batch path: compact the matching events
+     into a scratch buffer (the caller's buffer is shared with sibling
+     fanout consumers, so it must not be compacted in place) and forward
+     them as one emit_batch call. *)
+  let scratch = ref [||] in
+  { emit = (fun e -> if pred e then sink.emit e);
+    emit_batch =
+      (fun buf len ->
+        if Array.length !scratch < len then
+          scratch := Array.make (max len 256) dummy_event;
+        let out = !scratch in
+        let n = ref 0 in
+        for i = 0 to len - 1 do
+          let e = Array.unsafe_get buf i in
+          if pred e then begin
+            Array.unsafe_set out !n e;
+            incr n
+          end
+        done;
+        if !n > 0 then sink.emit_batch out !n);
+  }
 
 module Batcher = struct
   type batcher = {
@@ -54,12 +77,9 @@ module Batcher = struct
 
   let default_capacity = 256
 
-  let dummy : Event.t =
-    { kind = Event.Read; source = Event.App; addr = 0; size = 1 }
-
   let create ?(capacity = default_capacity) downstream =
     if capacity < 1 then invalid_arg "Sink.Batcher.create: capacity must be >= 1";
-    { buf = Array.make capacity dummy; capacity; len = 0; downstream }
+    { buf = Array.make capacity dummy_event; capacity; len = 0; downstream }
 
   let flush b =
     if b.len > 0 then begin

@@ -42,7 +42,11 @@ val fanout : t list -> t
     are delivered whole to each sink in turn (see the module comment). *)
 
 val filter : (Event.t -> bool) -> t -> t
-(** [filter pred sink] forwards only events satisfying [pred]. *)
+(** [filter pred sink] forwards only events satisfying [pred].  Batches
+    stay batches: matching events are compacted into one [emit_batch]
+    delivery downstream (order preserved, empty batches suppressed), so
+    filtering does not degrade a consumer's batch path to per-event
+    dispatch. *)
 
 (** Buffers events into a preallocated array and flushes them downstream
     with one [emit_batch] call, so a producer that emits word-at-a-time

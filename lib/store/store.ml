@@ -33,6 +33,19 @@ let path t ~digest = Filename.concat t.root (digest ^ cell_ext)
 
 type lookup = Hit of string | Miss | Corrupt of string
 
+let lookups_f =
+  Telemetry.Metrics.Counter.family ~name:"loclab_store_lookups_total"
+    ~help:"Artifact store lookups by result" ~labels:[ "result" ] ()
+
+let lookup_hit_c = Telemetry.Metrics.Counter.labels lookups_f [ "hit" ]
+let lookup_miss_c = Telemetry.Metrics.Counter.labels lookups_f [ "miss" ]
+let lookup_corrupt_c = Telemetry.Metrics.Counter.labels lookups_f [ "corrupt" ]
+
+let puts_c =
+  Telemetry.Metrics.Counter.family ~name:"loclab_store_puts_total"
+    ~help:"Artifacts written to the store" ~labels:[] ()
+  |> Fun.flip Telemetry.Metrics.Counter.labels []
+
 let frame payload =
   let b = Buffer.create (String.length payload + 24) in
   Buffer.add_string b magic;
@@ -67,18 +80,28 @@ let read_file file =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let find t ~digest =
-  let file = path t ~digest in
-  match read_file file with
-  | exception Sys_error _ -> Miss
-  | data -> (
-      match unframe data with
-      | Ok payload -> Hit payload
-      | Error reason ->
-          Log.warn (fun m ->
-              m "corrupt cell %s (%s); it will be re-simulated" file reason);
-          Corrupt reason)
+  Telemetry.Span.with_span ~cat:"store" ~args:[ ("digest", digest) ] "find"
+    (fun () ->
+      let file = path t ~digest in
+      match read_file file with
+      | exception Sys_error _ ->
+          Telemetry.Metrics.Counter.inc lookup_miss_c;
+          Miss
+      | data -> (
+          match unframe data with
+          | Ok payload ->
+              Telemetry.Metrics.Counter.inc lookup_hit_c;
+              Hit payload
+          | Error reason ->
+              Telemetry.Metrics.Counter.inc lookup_corrupt_c;
+              Log.warn (fun m ->
+                  m "corrupt cell %s (%s); it will be re-simulated" file reason);
+              Corrupt reason))
 
 let put t ~digest payload =
+  Telemetry.Span.with_span ~cat:"store" ~args:[ ("digest", digest) ] "put"
+  @@ fun () ->
+  Telemetry.Metrics.Counter.inc puts_c;
   let data = frame payload in
   let tmp = Filename.temp_file ~temp_dir:t.root "put-" ".tmp" in
   let oc = open_out_bin tmp in

@@ -1,0 +1,152 @@
+(* Wall-clock spans with a bounded ring-buffered event log and Chrome
+   trace-event JSON export (load the file in Perfetto or
+   chrome://tracing).
+
+   The clock is gettimeofday clamped to be non-decreasing process-wide,
+   so span timestamps are monotonic even if the system clock steps
+   backwards.  Recording takes one short mutex section per span; spans
+   wrap coarse units (grid cells, store I/O, renders), never per-event
+   work, so contention is negligible.  When disabled, [with_span] runs
+   its thunk directly. *)
+
+type ev = {
+  name : string;
+  cat : string;
+  ph : char;  (* 'X' complete span, 'i' instant *)
+  ts : float;  (* microseconds since trace epoch *)
+  dur : float;  (* microseconds; 0 for instants *)
+  tid : int;
+  args : (string * string) list;
+}
+
+let dummy_ev =
+  { name = ""; cat = ""; ph = 'X'; ts = 0.; dur = 0.; tid = 0; args = [] }
+
+let default_capacity = 65536
+
+type state = {
+  mutable on : bool;
+  mutex : Mutex.t;
+  mutable buf : ev array;
+  mutable pushed : int;  (* total ever pushed; ring position = pushed mod cap *)
+}
+
+let st =
+  { on = false;
+    mutex = Mutex.create ();
+    buf = Array.make default_capacity dummy_ev;
+    pushed = 0 }
+
+let set_enabled b = st.on <- b
+let enabled () = st.on
+
+(* ---- clock --------------------------------------------------------- *)
+
+let epoch = Unix.gettimeofday ()
+
+(* Monotonic clamp: never hand out a timestamp below one already handed
+   out, even across domains. *)
+let last_us = Atomic.make 0.
+
+let now_us () =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  let rec clamp () =
+    let prev = Atomic.get last_us in
+    if t > prev then
+      if Atomic.compare_and_set last_us prev t then t else clamp ()
+    else prev
+  in
+  clamp ()
+
+(* ---- recording ----------------------------------------------------- *)
+
+let push e =
+  Mutex.lock st.mutex;
+  st.buf.(st.pushed mod Array.length st.buf) <- e;
+  st.pushed <- st.pushed + 1;
+  Mutex.unlock st.mutex
+
+let reset ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Telemetry.Span.reset: capacity must be >= 1";
+  Mutex.lock st.mutex;
+  st.buf <- Array.make capacity dummy_ev;
+  st.pushed <- 0;
+  Mutex.unlock st.mutex
+
+let recorded () = min st.pushed (Array.length st.buf)
+let dropped () = max 0 (st.pushed - Array.length st.buf)
+
+let tid () = (Domain.self () :> int)
+
+let with_span ?(args = []) ~cat name f =
+  if not st.on then f ()
+  else begin
+    let t0 = now_us () in
+    match f () with
+    | r ->
+        push
+          { name; cat; ph = 'X'; ts = t0; dur = now_us () -. t0; tid = tid ();
+            args };
+        r
+    | exception e ->
+        push
+          { name;
+            cat;
+            ph = 'X';
+            ts = t0;
+            dur = now_us () -. t0;
+            tid = tid ();
+            args = args @ [ ("error", Printexc.to_string e) ] };
+        raise e
+  end
+
+let instant ?(args = []) ~cat name =
+  if st.on then
+    push { name; cat; ph = 'i'; ts = now_us (); dur = 0.; tid = tid (); args }
+
+(* ---- Chrome trace-event export ------------------------------------- *)
+
+(* Ring contents, oldest first. *)
+let events () =
+  Mutex.lock st.mutex;
+  let cap = Array.length st.buf in
+  let n = min st.pushed cap in
+  let first = st.pushed - n in
+  let out = List.init n (fun i -> st.buf.((first + i) mod cap)) in
+  Mutex.unlock st.mutex;
+  out
+
+let ev_json e =
+  let open Metrics.Export in
+  let base =
+    [ ("name", String e.name);
+      ("cat", String e.cat);
+      ("ph", String (String.make 1 e.ph));
+      ("ts", Float e.ts);
+      ("pid", Int 1);
+      ("tid", Int e.tid) ]
+  in
+  let dur = if e.ph = 'X' then [ ("dur", Float e.dur) ] else [] in
+  (* Instants need a scope; "t" = thread. *)
+  let scope = if e.ph = 'i' then [ ("s", String "t") ] else [] in
+  let args =
+    match e.args with
+    | [] -> []
+    | l -> [ ("args", Obj (List.map (fun (k, v) -> (k, String v)) l)) ]
+  in
+  Obj (base @ dur @ scope @ args)
+
+let to_chrome_json () =
+  let open Metrics.Export in
+  to_string
+    (Obj
+       [ ("traceEvents", List (List.map ev_json (events ())));
+         ("displayTimeUnit", String "ms") ])
+
+let write_chrome ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_chrome_json ());
+      output_char oc '\n')

@@ -1,0 +1,44 @@
+(** Wall-clock spans with a ring-buffered event log and Chrome
+    trace-event JSON export (loadable in Perfetto or chrome://tracing).
+
+    One process-wide tracer, disabled by default: {!with_span} then runs
+    its thunk directly.  Timestamps come from gettimeofday clamped to be
+    non-decreasing process-wide, so they are monotonic even across a
+    system clock step.  The ring keeps the most recent [capacity] events
+    (default 65536) and counts what it overwrote ({!dropped}).
+
+    Spans are meant for coarse units — grid cells, pool tasks, store
+    I/O, experiment renders — never per-reference work. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : ?capacity:int -> unit -> unit
+(** Drop every recorded event and size the ring.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val now_us : unit -> float
+(** Microseconds since the trace epoch, monotonically non-decreasing.
+    Usable for coarse durations even when tracing is disabled. *)
+
+val with_span :
+  ?args:(string * string) list -> cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span ~cat name f] runs [f], recording a complete ("X") span
+    around it when enabled.  If [f] raises, the span is still recorded
+    (with an ["error"] arg) and the exception is re-raised. *)
+
+val instant : ?args:(string * string) list -> cat:string -> string -> unit
+(** A zero-duration marker event. *)
+
+val recorded : unit -> int
+(** Events currently held in the ring. *)
+
+val dropped : unit -> int
+(** Events overwritten because the ring was full. *)
+
+val to_chrome_json : unit -> string
+(** The ring contents (oldest first) as one Chrome trace-event JSON
+    object: [{"traceEvents": [...], ...}]. *)
+
+val write_chrome : path:string -> unit
+(** {!to_chrome_json} to a file. *)

@@ -1,0 +1,25 @@
+(* This module shares the library's name, so it is the library's entry
+   point; re-export the subsystems under their public names. *)
+module Metrics = Tmetrics
+module Span = Span
+module Probe = Probe
+
+let level_of_string = function
+  | "quiet" -> Some None
+  | "error" -> Some (Some Logs.Error)
+  | "warning" -> Some (Some Logs.Warning)
+  | "info" -> Some (Some Logs.Info)
+  | "debug" -> Some (Some Logs.Debug)
+  | _ -> None
+
+let setup_logging ?(env = "LOCLAB_LOG") ?(default = Some Logs.Warning) () =
+  Logs.set_reporter (Logs.format_reporter ());
+  let level =
+    match Sys.getenv_opt env with
+    | Some s -> (
+        match level_of_string (String.lowercase_ascii (String.trim s)) with
+        | Some l -> l
+        | None -> default)
+    | None -> default
+  in
+  Logs.set_level level

@@ -1,0 +1,29 @@
+(** Observability for the whole simulation stack.
+
+    Three subsystems, all zero-cost when disabled (the default):
+
+    - {!Metrics} — a process-wide registry of named, labelled counters,
+      gauges and log-bucketed histograms with per-domain shards, exported
+      as Prometheus text or JSON;
+    - {!Span} — wall-clock spans in a ring buffer, exported as Chrome
+      trace-event JSON for Perfetto;
+    - {!Probe} — sink-pipeline taps producing trace-position time series
+      (windowed miss rates, footprint growth, reference mix).
+
+    Instrumentation only counts — it never emits trace events, charges
+    simulated instructions, or touches simulated memory — so enabling
+    telemetry cannot change simulation results, and run artifacts stay
+    bit-identical. *)
+
+module Metrics = Tmetrics
+module Span = Span
+module Probe = Probe
+
+val setup_logging :
+  ?env:string -> ?default:Logs.level option -> unit -> unit
+(** Install the standard [Logs] format reporter and set the level from
+    the [env] environment variable (default [LOCLAB_LOG]): one of
+    [quiet], [error], [warning], [info], [debug].  An unset or
+    unrecognised value falls back to [default] (default: warnings).
+    Centralised here so the CLI, the bench harness and the tests all
+    configure logging the same way. *)

@@ -113,6 +113,76 @@ let test_sink_filter () =
   s.emit (Event.read ~source:Event.Malloc 0x1000 4);
   check_int "only malloc passes" 1 (Sink.Counter.total c)
 
+(* filter must keep the batch path a batch path: one emit_batch in, at
+   most one emit_batch out (the matching events, compacted, in order) —
+   and the result must equal filtering event-by-event. *)
+let test_sink_filter_batch () =
+  let stream =
+    List.init 31 (fun i ->
+        let source =
+          match i mod 3 with
+          | 0 -> Event.App
+          | 1 -> Event.Malloc
+          | _ -> Event.Free
+        in
+        Event.read ~source (4 * i) 4)
+  in
+  let pred (e : Event.t) = e.Event.source <> Event.App in
+  (* Reference: filter the stream per-event. *)
+  let direct = Sink.Recorder.create () in
+  List.iter
+    (fun e -> if pred e then (Sink.Recorder.sink direct).emit e)
+    stream;
+  (* Batched: one delivery, counting downstream batch dispatches. *)
+  let batched = Sink.Recorder.create () in
+  let batch_calls = ref 0 in
+  let downstream =
+    Sink.make
+      ~emit:(fun e -> (Sink.Recorder.sink batched).emit e)
+      ~emit_batch:(fun buf len ->
+        incr batch_calls;
+        Sink.emit_batch (Sink.Recorder.sink batched) buf ~len)
+  in
+  let f = Sink.filter pred downstream in
+  let arr = Array.of_list stream in
+  f.emit_batch arr (Array.length arr);
+  check_int "one downstream batch per input batch" 1 !batch_calls;
+  check_bool "batched = per-event filtering" true
+    (Sink.Recorder.events batched = Sink.Recorder.events direct);
+  (* A batch with no survivors is suppressed entirely. *)
+  let only_app = Array.of_list (List.filter (fun e -> not (pred e)) stream) in
+  f.emit_batch only_app (Array.length only_app);
+  check_int "empty result batch suppressed" 1 !batch_calls;
+  (* The caller's buffer must not be compacted in place: a fanout
+     sibling reading after the filter still sees the original events. *)
+  let sibling = Sink.Recorder.create () in
+  let pair = Sink.fanout [ Sink.filter pred Sink.null; Sink.Recorder.sink sibling ] in
+  pair.emit_batch arr (Array.length arr);
+  check_bool "sibling sees unfiltered batch" true
+    (Sink.Recorder.events sibling = stream)
+
+let test_sink_counter_reset () =
+  let c = Sink.Counter.create () in
+  let s = Sink.Counter.sink c in
+  s.emit (Event.read ~source:Event.App 0x10 4);
+  s.emit (Event.write ~source:Event.Malloc 0x14 8);
+  s.emit (Event.read ~source:Event.Free 0x18 2);
+  s.emit (Event.write ~source:Event.Free 0x1c 1);
+  check_int "pre-reset total" 4 (Sink.Counter.total c);
+  Sink.Counter.reset c;
+  check_int "total cleared" 0 (Sink.Counter.total c);
+  check_int "reads cleared" 0 (Sink.Counter.reads c);
+  check_int "writes cleared" 0 (Sink.Counter.writes c);
+  check_int "bytes cleared" 0 (Sink.Counter.bytes c);
+  check_int "app cells cleared" 0 (Sink.Counter.by_source c Event.App);
+  check_int "malloc cells cleared" 0 (Sink.Counter.by_source c Event.Malloc);
+  check_int "free cells cleared" 0 (Sink.Counter.by_source c Event.Free);
+  (* The counter keeps counting correctly after a reset. *)
+  s.emit (Event.write ~source:Event.Malloc 0x20 16);
+  check_int "counts resume" 1 (Sink.Counter.total c);
+  check_int "bytes resume" 16 (Sink.Counter.bytes c);
+  check_int "malloc resumes" 1 (Sink.Counter.by_source c Event.Malloc)
+
 let test_sink_recorder () =
   let r = Sink.Recorder.create ~capacity:2 () in
   let s = Sink.Recorder.sink r in
@@ -126,6 +196,32 @@ let test_sink_recorder () =
       check_int "order preserved: first" 0x10 e1.Event.addr;
       check_int "order preserved: second" 0x14 e2.Event.addr
   | _ -> Alcotest.fail "expected exactly two events"
+
+(* Dropped-event accounting at capacity: every event past the limit is
+   counted (and only counted), whether it arrives singly or batched. *)
+let test_sink_recorder_dropped () =
+  let r = Sink.Recorder.create ~capacity:3 () in
+  let s = Sink.Recorder.sink r in
+  let ev i = Event.read (4 * i) 4 in
+  check_int "nothing dropped while empty" 0 (Sink.Recorder.dropped r);
+  s.emit (ev 0);
+  s.emit (ev 1);
+  check_int "under capacity drops nothing" 0 (Sink.Recorder.dropped r);
+  (* A batch straddling the capacity boundary: one slot left, four
+     events — the first is kept, three are dropped. *)
+  s.emit_batch (Array.init 4 (fun i -> ev (2 + i))) 4;
+  check_int "kept exactly capacity" 3 (List.length (Sink.Recorder.events r));
+  check_int "straddling batch counted" 3 (Sink.Recorder.dropped r);
+  s.emit (ev 9);
+  check_int "every further event counted" 4 (Sink.Recorder.dropped r);
+  check_bool "kept prefix in order" true
+    (Sink.Recorder.events r = [ ev 0; ev 1; ev 2 ]);
+  (* Zero capacity keeps nothing and counts everything. *)
+  let z = Sink.Recorder.create ~capacity:0 () in
+  (Sink.Recorder.sink z).emit (ev 0);
+  check_int "zero capacity keeps nothing" 0
+    (List.length (Sink.Recorder.events z));
+  check_int "zero capacity counts drops" 1 (Sink.Recorder.dropped z)
 
 let test_sink_recorder_rejects () =
   Alcotest.check_raises "negative capacity"
@@ -445,7 +541,11 @@ let () =
           Alcotest.test_case "fanout" `Quick test_sink_fanout;
           Alcotest.test_case "fanout three" `Quick test_sink_fanout_three;
           Alcotest.test_case "filter" `Quick test_sink_filter;
+          Alcotest.test_case "filter batch" `Quick test_sink_filter_batch;
+          Alcotest.test_case "counter reset" `Quick test_sink_counter_reset;
           Alcotest.test_case "recorder" `Quick test_sink_recorder;
+          Alcotest.test_case "recorder dropped" `Quick
+            test_sink_recorder_dropped;
           Alcotest.test_case "recorder rejects" `Quick
             test_sink_recorder_rejects;
           Alcotest.test_case "batcher equivalence" `Quick

@@ -1,0 +1,557 @@
+(* Tests for the telemetry subsystem: metrics registry semantics (and
+   their Prometheus/JSON exports), span tracing, probe windows/series —
+   and the two whole-stack invariants: instrumentation is a no-op when
+   disabled, and enabling it never changes simulation results. *)
+
+module M = Telemetry.Metrics
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON syntax checker (no values kept): enough to assert    *)
+(* that exported documents are well-formed without a json dependency.  *)
+(* ------------------------------------------------------------------ *)
+
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let fail () = raise Exit in
+  let expect c = if peek () = Some c then advance () else fail () in
+  let literal w =
+    String.iter (fun c -> expect c) w
+  in
+  let parse_string () =
+    expect '"';
+    let fin = ref false in
+    while not !fin do
+      match peek () with
+      | None -> fail ()
+      | Some '"' -> advance (); fin := true
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail ()
+              done
+          | _ -> fail ())
+      | Some c when Char.code c < 0x20 -> fail ()
+      | Some _ -> advance ()
+    done
+  in
+  let parse_number () =
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let seen = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        seen := true;
+        advance ()
+      done;
+      if not !seen then fail ()
+    in
+    digits ();
+    if peek () = Some '.' then (advance (); digits ());
+    (match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ())
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> parse_string ()
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let fin = ref false in
+          while not !fin do
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' -> advance (); fin := true
+            | _ -> fail ()
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let fin = ref false in
+          while not !fin do
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' -> advance (); fin := true
+            | _ -> fail ()
+          done
+        end
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some _ -> parse_number ()
+    | None -> fail ()
+  in
+  match
+    parse_value ();
+    skip_ws ();
+    if !pos <> n then fail ()
+  with
+  | () -> true
+  | exception Exit -> false
+
+let contains ~sub s =
+  let ns = String.length s and nb = String.length sub in
+  let rec go i = i + nb <= ns && (String.sub s i nb = sub || go (i + 1)) in
+  nb = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics: counters, gauges, histograms                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_basics () =
+  let reg = M.create () in
+  let fam = M.Counter.family ~registry:reg ~name:"t_total" ~help:"h" () in
+  let c = M.Counter.labels fam [] in
+  M.Counter.inc c;
+  check_int "disabled registry ignores inc" 0 (M.Counter.value c);
+  M.set_enabled reg true;
+  M.Counter.inc c;
+  M.Counter.inc ~by:5 c;
+  check_int "inc accumulates" 6 (M.Counter.value c);
+  M.Counter.inc ~by:0 c;
+  check_int "by:0 allowed" 6 (M.Counter.value c);
+  Alcotest.check_raises "negative by rejected"
+    (Invalid_argument "Telemetry.Metrics.Counter.inc: by must be >= 0")
+    (fun () -> M.Counter.inc ~by:(-1) c)
+
+let test_counter_labels () =
+  let reg = M.create () in
+  M.set_enabled reg true;
+  let fam =
+    M.Counter.family ~registry:reg ~name:"t_lbl_total" ~help:"h"
+      ~labels:[ "alloc"; "outcome" ] ()
+  in
+  let a = M.Counter.labels fam [ "firstfit"; "hit" ] in
+  let b = M.Counter.labels fam [ "firstfit"; "miss" ] in
+  M.Counter.inc a;
+  M.Counter.inc b;
+  M.Counter.inc b;
+  check_int "children are distinct" 1 (M.Counter.value a);
+  check_int "second child" 2 (M.Counter.value b);
+  let a' = M.Counter.labels fam [ "firstfit"; "hit" ] in
+  M.Counter.inc a';
+  check_int "same labels resolve to same child" 2 (M.Counter.value a);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Telemetry.Metrics: expected 2 label values, got 1")
+    (fun () -> ignore (M.Counter.labels fam [ "firstfit" ]))
+
+let test_registry_rejects () =
+  let reg = M.create () in
+  ignore (M.Counter.family ~registry:reg ~name:"dup_total" ~help:"h" ());
+  check_bool "duplicate name rejected" true
+    (match M.Gauge.family ~registry:reg ~name:"dup_total" ~help:"h" () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "malformed metric name rejected" true
+    (match M.Counter.family ~registry:reg ~name:"bad name" ~help:"h" () with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check_bool "malformed label name rejected" true
+    (match
+       M.Counter.family ~registry:reg ~name:"ok_total" ~help:"h"
+         ~labels:[ "0bad" ] ()
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_gauge () =
+  let reg = M.create () in
+  let fam = M.Gauge.family ~registry:reg ~name:"t_gauge" ~help:"h" () in
+  let g = M.Gauge.labels fam [] in
+  M.Gauge.set g 5;
+  check_int "disabled registry ignores set" 0 (M.Gauge.value g);
+  M.set_enabled reg true;
+  M.Gauge.set g 42;
+  M.Gauge.add g (-2);
+  check_int "set then add" 40 (M.Gauge.value g)
+
+let test_histogram () =
+  let reg = M.create () in
+  M.set_enabled reg true;
+  let fam = M.Histogram.family ~registry:reg ~name:"t_hist" ~help:"h" () in
+  let h = M.Histogram.labels fam [] in
+  List.iter (M.Histogram.observe h) [ 1; 1; 3; 100; 0; -5 ];
+  check_int "count" 6 (M.Histogram.count h);
+  (* -5 clamps to 0. *)
+  check_int "sum" 105 (M.Histogram.sum h);
+  Alcotest.(check (float 0.01)) "mean" 17.5 (M.Histogram.mean h);
+  match M.snapshot reg with
+  | [ { M.samples = [ { M.v = M.Histogram_v hs; _ } ]; _ } ] ->
+      check_int "sample count" 6 hs.M.count;
+      check_int "sample sum" 105 hs.M.sum;
+      (* Buckets are cumulative and end at +Inf. *)
+      let rec monotone = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      check_bool "buckets cumulative" true (monotone hs.M.buckets);
+      (match List.rev hs.M.buckets with
+      | (inf, total) :: _ ->
+          check_bool "last bound is +Inf" true (inf = infinity);
+          check_int "last bucket = count" 6 total
+      | [] -> Alcotest.fail "no buckets");
+      (* le=1 holds the two 1s, the 0 and the clamped -5. *)
+      let le1 = List.assoc 1. hs.M.buckets in
+      check_int "le=1 cumulative" 4 le1
+  | _ -> Alcotest.fail "expected one family with one histogram sample"
+
+let test_shards_merge () =
+  let reg = M.create () in
+  M.set_enabled reg true;
+  let fam = M.Counter.family ~registry:reg ~name:"t_dom_total" ~help:"h" () in
+  let c = M.Counter.labels fam [] in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              M.Counter.inc c
+            done))
+  in
+  List.iter Domain.join domains;
+  M.Counter.inc ~by:10 c;
+  check_int "shards merge across domains" 4010 (M.Counter.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Exports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_registry () =
+  let reg = M.create () in
+  M.set_enabled reg true;
+  let cf =
+    M.Counter.family ~registry:reg ~name:"t_exp_total" ~help:"a \"counter\""
+      ~labels:[ "who" ] ()
+  in
+  M.Counter.inc ~by:3 (M.Counter.labels cf [ "a\\b\nc\"d" ]);
+  let gf = M.Gauge.family ~registry:reg ~name:"t_exp_gauge" ~help:"g" () in
+  M.Gauge.set (M.Gauge.labels gf []) 7;
+  let hf = M.Histogram.family ~registry:reg ~name:"t_exp_hist" ~help:"h" () in
+  let h = M.Histogram.labels hf [] in
+  List.iter (M.Histogram.observe h) [ 1; 2; 900 ];
+  reg
+
+let test_prometheus_export () =
+  let text = M.to_prometheus (M.snapshot (sample_registry ())) in
+  let lines = String.split_on_char '\n' text in
+  check_bool "ends with newline" true
+    (String.length text > 0 && text.[String.length text - 1] = '\n');
+  (* Every line is a comment or "name{labels} value" with a numeric
+     value; sample names may only extend the family name with _bucket /
+     _sum / _count. *)
+  List.iter
+    (fun line ->
+      if line = "" || String.length line >= 2 && String.sub line 0 2 = "# "
+      then ()
+      else begin
+        let sp = String.rindex line ' ' in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        check_bool
+          ("numeric value in: " ^ line)
+          true
+          (match float_of_string_opt value with Some _ -> true | None -> false);
+        check_bool
+          ("known family in: " ^ line)
+          true
+          (List.exists
+             (fun p ->
+               String.length line >= String.length p
+               && String.sub line 0 (String.length p) = p)
+             [ "t_exp_total"; "t_exp_gauge"; "t_exp_hist" ])
+      end)
+    lines;
+  (* The escaped label value round-trips the escapes. *)
+  check_bool "label value escaped" true
+    (List.exists
+       (fun l ->
+         l = "t_exp_total{who=\"a\\\\b\\nc\\\"d\"} 3")
+       lines);
+  (* HELP text escapes its quotes' line breaks per the format. *)
+  check_bool "has HELP" true
+    (List.exists (fun l -> l = "# HELP t_exp_total a \"counter\"") lines);
+  check_bool "has TYPE histogram" true
+    (List.mem "# TYPE t_exp_hist histogram" lines);
+  check_bool "histogram +Inf bucket" true
+    (List.mem "t_exp_hist_bucket{le=\"+Inf\"} 3" lines);
+  check_bool "histogram _sum" true (List.mem "t_exp_hist_sum 903" lines);
+  check_bool "histogram _count" true (List.mem "t_exp_hist_count 3" lines)
+
+let test_json_export () =
+  let json = M.to_json (M.snapshot (sample_registry ())) in
+  check_bool "metrics JSON well-formed" true (json_well_formed json)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The tracer is process-global: each test leaves it disabled+empty. *)
+let with_tracer f =
+  Telemetry.Span.reset ();
+  Telemetry.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Span.set_enabled false;
+      Telemetry.Span.reset ())
+    f
+
+let test_span_disabled () =
+  Telemetry.Span.reset ();
+  Telemetry.Span.set_enabled false;
+  check_int "disabled with_span runs thunk"
+    42
+    (Telemetry.Span.with_span ~cat:"t" "x" (fun () -> 42));
+  Telemetry.Span.instant ~cat:"t" "marker";
+  check_int "nothing recorded" 0 (Telemetry.Span.recorded ())
+
+let test_span_records () =
+  with_tracer @@ fun () ->
+  check_string "result passes through" "ok"
+    (Telemetry.Span.with_span ~cat:"cell" "a/b" (fun () -> "ok"));
+  Telemetry.Span.instant ~cat:"cell" "tick";
+  check_int "two events" 2 (Telemetry.Span.recorded ());
+  check_int "none dropped" 0 (Telemetry.Span.dropped ());
+  let json = Telemetry.Span.to_chrome_json () in
+  check_bool "chrome JSON well-formed" true (json_well_formed json);
+  check_bool "has traceEvents" true (contains ~sub:"\"traceEvents\"" json)
+
+let test_span_exception () =
+  with_tracer @@ fun () ->
+  check_bool "exception re-raised" true
+    (match
+       Telemetry.Span.with_span ~cat:"t" "boom" (fun () -> failwith "boom")
+     with
+    | _ -> false
+    | exception Failure _ -> true);
+  check_int "failed span still recorded" 1 (Telemetry.Span.recorded ())
+
+let test_span_ring_overflow () =
+  Telemetry.Span.reset ~capacity:4 ();
+  Telemetry.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Span.set_enabled false;
+      Telemetry.Span.reset ())
+    (fun () ->
+      for i = 1 to 7 do
+        Telemetry.Span.instant ~cat:"t" (string_of_int i)
+      done;
+      check_int "ring holds capacity" 4 (Telemetry.Span.recorded ());
+      check_int "overwrites counted" 3 (Telemetry.Span.dropped ());
+      let json = Telemetry.Span.to_chrome_json () in
+      (* Oldest events were overwritten: "4".."7" remain. *)
+      check_bool "oldest gone" true (not (contains ~sub:"\"name\":\"3\"" json));
+      check_bool "newest kept" true (contains ~sub:"\"name\":\"7\"" json))
+
+(* ------------------------------------------------------------------ *)
+(* Probes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_event i = Memsim.Event.read (4 * i) 4
+
+let test_windows_per_event () =
+  let closes = ref [] in
+  let w =
+    Telemetry.Probe.Windows.create ~every:3 ~f:(fun ~window ~events ->
+        closes := (window, events) :: !closes)
+  in
+  let s = Telemetry.Probe.Windows.sink w in
+  for i = 1 to 7 do
+    s.Memsim.Sink.emit (mk_event i)
+  done;
+  check_bool "closes at exact multiples" true
+    (List.rev !closes = [ (1, 3); (2, 6) ]);
+  Telemetry.Probe.Windows.flush w;
+  check_bool "flush closes the partial window" true
+    (List.rev !closes = [ (1, 3); (2, 6); (3, 7) ]);
+  Telemetry.Probe.Windows.flush w;
+  check_int "flush is idempotent" 3 (Telemetry.Probe.Windows.windows_fired w);
+  check_int "events seen" 7 (Telemetry.Probe.Windows.events_seen w)
+
+let test_windows_batch () =
+  let closes = ref [] in
+  let w =
+    Telemetry.Probe.Windows.create ~every:10 ~f:(fun ~window ~events ->
+        closes := (window, events) :: !closes)
+  in
+  let s = Telemetry.Probe.Windows.sink w in
+  (* Batches are indivisible: a 25-event batch crosses two window edges
+     but closes only one window, at the batch boundary. *)
+  Memsim.Sink.emit_batch s (Array.init 25 mk_event) ~len:25;
+  check_bool "one close per delivery" true (List.rev !closes = [ (1, 25) ]);
+  Memsim.Sink.emit_batch s (Array.init 4 mk_event) ~len:4;
+  check_bool "short batch below edge" true (List.rev !closes = [ (1, 25) ]);
+  s.Memsim.Sink.emit (mk_event 0);
+  (* 30 seen, last close at 25: not yet 10 past. *)
+  check_bool "edge is relative to last close" true
+    (List.rev !closes = [ (1, 25) ]);
+  Memsim.Sink.emit_batch s (Array.init 5 mk_event) ~len:5;
+  check_bool "next close at 35" true (List.rev !closes = [ (1, 25); (2, 35) ])
+
+let test_windows_rejects () =
+  Alcotest.check_raises "every < 1"
+    (Invalid_argument "Probe.Windows.create: every must be >= 1")
+    (fun () ->
+      ignore
+        (Telemetry.Probe.Windows.create ~every:0 ~f:(fun ~window:_ ~events:_ ->
+             ())))
+
+let test_series () =
+  let t = Telemetry.Probe.Series.create ~columns:[ "a"; "b" ] in
+  Telemetry.Probe.Series.add t [ "1"; "x,y" ];
+  Telemetry.Probe.Series.add t [ "2"; "plain" ];
+  check_int "length" 2 (Telemetry.Probe.Series.length t);
+  check_string "csv quotes embedded commas" "a,b\n1,\"x,y\"\n2,plain\n"
+    (Telemetry.Probe.Series.to_csv t);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Probe.Series.add: 1 fields for 2 columns")
+    (fun () -> Telemetry.Probe.Series.add t [ "only" ])
+
+(* ------------------------------------------------------------------ *)
+(* Whole-stack invariants                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_cell ~allocator =
+  let checksum = Memsim.Sink.Checksum.create () in
+  let result =
+    Workload.Driver.run
+      ~sink:(Memsim.Sink.Checksum.sink checksum)
+      ~scale:0.05
+      ~profile:(Workload.Programs.find "espresso")
+      ~allocator ()
+  in
+  (Memsim.Sink.Checksum.value checksum, result)
+
+(* Enabling every telemetry layer must not move a single simulated
+   event: the trace checksum is bit-identical with telemetry on and
+   off.  This is the "zero cost when disabled" invariant's stronger
+   sibling — observation changes nothing even when enabled. *)
+let test_telemetry_does_not_perturb () =
+  let on_off allocator =
+    M.set_enabled M.default false;
+    Telemetry.Span.set_enabled false;
+    let off, _ = run_cell ~allocator in
+    M.set_enabled M.default true;
+    Telemetry.Span.reset ();
+    Telemetry.Span.set_enabled true;
+    let on, _ =
+      Fun.protect
+        ~finally:(fun () ->
+          M.set_enabled M.default false;
+          Telemetry.Span.set_enabled false;
+          Telemetry.Span.reset ())
+        (fun () -> run_cell ~allocator)
+    in
+    check_int ("checksum unchanged under telemetry: " ^ allocator) off on
+  in
+  on_off "firstfit";
+  on_off "quickfit"
+
+(* The paper's search-cost contrast, measured: sequential fits walk
+   free lists (BestFit exhaustively), size-class allocators touch a
+   constant number of blocks.  BSD's mean is exactly 1; the sequential
+   fits must exceed the size-class allocators, with the exhaustive
+   scan the clear outlier. *)
+let test_search_length_contrast () =
+  M.set_enabled M.default true;
+  Fun.protect
+    ~finally:(fun () -> M.set_enabled M.default false)
+    (fun () ->
+      let mean allocator =
+        let h = Allocators.Alloc_metrics.search_length ~allocator in
+        let c0 = M.Histogram.count h and s0 = M.Histogram.sum h in
+        ignore (run_cell ~allocator);
+        let dc = M.Histogram.count h - c0 and ds = M.Histogram.sum h - s0 in
+        check_bool ("recorded searches: " ^ allocator) true (dc > 0);
+        float_of_int ds /. float_of_int dc
+      in
+      let firstfit = mean "firstfit" in
+      let bestfit = mean "bestfit" in
+      let quickfit = mean "quickfit" in
+      let bsd = mean "bsd" in
+      Alcotest.(check (float 0.0001)) "bsd is constant-time" 1.0 bsd;
+      check_bool "quickfit stays near constant" true (quickfit < 2.);
+      check_bool "firstfit walks further than quickfit" true
+        (firstfit > quickfit);
+      check_bool "exhaustive bestfit dwarfs quickfit" true
+        (bestfit >= 3. *. quickfit);
+      (* Size-class outcome counters moved too. *)
+      check_bool "quickfit size-class outcomes recorded" true
+        (M.Counter.value
+           (Allocators.Alloc_metrics.sizeclass ~allocator:"quickfit"
+              ~outcome:"hit")
+         > 0))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter labels" `Quick test_counter_labels;
+          Alcotest.test_case "registry rejects" `Quick test_registry_rejects;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "shards merge" `Quick test_shards_merge;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_export;
+          Alcotest.test_case "json" `Quick test_json_export;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_span_disabled;
+          Alcotest.test_case "records and exports" `Quick test_span_records;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+          Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "windows per-event" `Quick test_windows_per_event;
+          Alcotest.test_case "windows batch" `Quick test_windows_batch;
+          Alcotest.test_case "windows rejects" `Quick test_windows_rejects;
+          Alcotest.test_case "series csv" `Quick test_series;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "telemetry does not perturb" `Quick
+            test_telemetry_does_not_perturb;
+          Alcotest.test_case "search-length contrast" `Quick
+            test_search_length_contrast;
+        ] );
+    ]
