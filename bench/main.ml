@@ -177,13 +177,16 @@ let substrate_tests =
           (Cachesim.Cache.access_block cache ~kind:Memsim.Event.Read
              ~source:Memsim.Event.App ~block:(!counter * 37 land 0xFFFF)))
   in
-  (* One probe serves the whole 32-byte family of the standard sweep —
-     the per-access cost amortized across every member at once, to set
-     against substrate:cache-access (one member per probe). *)
+  (* One probe serves the whole 32-byte LRU family of the standard
+     sweep — the per-access cost amortized across every member at once,
+     to set against substrate:cache-access (one member per probe).  The
+     policy variants are not forest-simulable and get their own
+     substrate:policy-* probes below. *)
   let forest =
     Cachesim.Forest.create
       (List.filter
-         (fun (c : Cachesim.Config.t) -> c.block_bytes = 32)
+         (fun (c : Cachesim.Config.t) ->
+           c.block_bytes = 32 && Cachesim.Policy.is_lru c.policy)
          Core.Runs.standard_configs)
   in
   let fcounter = ref 0 in
@@ -201,8 +204,30 @@ let substrate_tests =
         incr scounter;
         ignore (Vmsim.Lru_stack.access stack (!scounter * 31 land 0x3FF)))
   in
+  (* The replacement-policy victim path: the same access stream against
+     an 8-way cache under each family, setting the pseudo-LRU
+     bookkeeping cost against the LRU stamp scheme. *)
+  let policy_kernel policy =
+    let cache =
+      Cachesim.Cache.create
+        (Cachesim.Config.make ~associativity:8 ~policy (64 * 1024))
+    in
+    let counter = ref 0 in
+    Staged.stage (fun () ->
+        incr counter;
+        ignore
+          (Cachesim.Cache.access_block cache ~kind:Memsim.Event.Read
+             ~source:Memsim.Event.App ~block:(!counter * 37 land 0xFFFF)))
+  in
   [ Test.make ~name:"substrate:cache-access" cache_kernel;
     Test.make ~name:"substrate:forest-access" forest_kernel;
+    Test.make ~name:"substrate:policy-lru-8way" (policy_kernel Cachesim.Policy.Lru);
+    Test.make ~name:"substrate:policy-plru-8way"
+      (policy_kernel Cachesim.Policy.Plru);
+    Test.make ~name:"substrate:policy-qlru-8way"
+      (policy_kernel (Cachesim.Policy.Qlru Cachesim.Policy.qlru_h11_m1));
+    Test.make ~name:"substrate:policy-random-8way"
+      (policy_kernel (Cachesim.Policy.Random 1));
     Test.make ~name:"substrate:lru-stack-access" stack_kernel ]
 
 let run_tests tests =

@@ -17,6 +17,18 @@ let penalty_arg =
   let doc = "Cache miss penalty in cycles (the paper uses 25)." in
   Arg.(value & opt int 25 & info [ "p"; "penalty" ] ~docv:"CYCLES" ~doc)
 
+let cpu_arg =
+  let doc =
+    "Modern CPU hierarchy preset detailed by the tabcpu experiment \
+     (L1/L2/L3 shapes, replacement policies and latencies).  One of "     ^ String.concat ", " (Cachesim.Cpu.keys ())
+    ^ "."
+  in
+  let cpu_conv =
+    Arg.enum (List.map (fun (c : Cachesim.Cpu.t) -> (c.key, c)) Cachesim.Cpu.all)
+  in
+  Arg.(
+    value & opt cpu_conv Cachesim.Cpu.skylake & info [ "cpu" ] ~docv:"CPU" ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for filling the run grid (0 = one per core).  \
@@ -56,16 +68,16 @@ let open_store dir =
     Printf.eprintf "loclab: cannot open store %s: %s\n" dir msg;
     exit 2
 
-let make_ctx ?(jobs = 1) ?store_dir scale penalty =
+let make_ctx ?(jobs = 1) ?store_dir ?cpu scale penalty =
   if scale <= 0. || scale > 4.0 then begin
     Printf.eprintf "loclab: scale must be in (0, 4]\n";
     exit 2
   end;
   let model = Metrics.Cost_model.with_penalty Metrics.Cost_model.paper penalty in
   match store_dir with
-  | None -> Core.Context.create ~scale ~jobs ~model ()
+  | None -> Core.Context.create ~scale ~jobs ~model ?cpu ()
   | Some dir ->
-      Core.Context.create ~scale ~jobs ~store:(open_store dir) ~model ()
+      Core.Context.create ~scale ~jobs ~store:(open_store dir) ~model ?cpu ()
 
 (* Progress and store diagnostics go through Logs; the format reporter
    sends every non-App level to stderr, so table/figure stdout stays
@@ -174,7 +186,11 @@ let list_cmd =
       (fun s ->
         Printf.printf "  %-15s %s\n" s.Allocators.Registry.key
           s.Allocators.Registry.description)
-      Allocators.Registry.all
+      Allocators.Registry.all;
+    print_endline "\nCPU presets (loclab run --cpu <key> tabcpu):";
+    List.iter
+      (fun c -> Format.printf "  @[%a@]@." Cachesim.Cpu.pp c)
+      Cachesim.Cpu.all
   in
   let doc = "List experiments, programs and allocators." in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
@@ -186,7 +202,7 @@ let run_cmd =
     let doc = "Experiment ids (see $(b,loclab list)); e.g. fig2 tab4." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run scale penalty jobs store_dir metrics_out trace_out ids =
+  let run scale penalty cpu jobs store_dir metrics_out trace_out ids =
     (* Validate ids before paying for any simulation. *)
     List.iter
       (fun id ->
@@ -198,7 +214,7 @@ let run_cmd =
             exit 2)
       ids;
     enable_telemetry ~metrics_out ~trace_out;
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir scale penalty in
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir ~cpu scale penalty in
     (* Fill every needed grid cell in parallel before rendering; the
        renderings below then only read the memo. *)
     Core.Experiment.warm ctx ids;
@@ -213,15 +229,15 @@ let run_cmd =
   let doc = "Regenerate the given tables/figures." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg
+      const run $ scale_arg $ penalty_arg $ cpu_arg $ jobs_arg $ store_arg
       $ metrics_out_arg $ trace_out_arg $ ids_arg)
 
 (* ---- all ----------------------------------------------------------- *)
 
 let all_cmd =
-  let run scale penalty jobs store_dir metrics_out trace_out =
+  let run scale penalty cpu jobs store_dir metrics_out trace_out =
     enable_telemetry ~metrics_out ~trace_out;
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir scale penalty in
+    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir ~cpu scale penalty in
     List.iter
       (fun e ->
         let out = render_with_progress ctx e in
@@ -234,13 +250,13 @@ let all_cmd =
   let doc = "Regenerate every table and figure (shares one run grid)." in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg
+      const run $ scale_arg $ penalty_arg $ cpu_arg $ jobs_arg $ store_arg
       $ metrics_out_arg $ trace_out_arg)
 
 (* ---- report --------------------------------------------------------- *)
 
 let report_cmd =
-  let run scale penalty jobs store_dir metrics_out trace_out =
+  let run scale penalty cpu jobs store_dir metrics_out trace_out =
     enable_telemetry ~metrics_out ~trace_out;
     let dir =
       match store_dir with
@@ -251,7 +267,9 @@ let report_cmd =
              or LOCLAB_STORE).\n";
           exit 2
     in
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ~store_dir:dir scale penalty in
+    let ctx =
+      make_ctx ~jobs:(resolve_jobs jobs) ~store_dir:dir ~cpu scale penalty
+    in
     let runs = ctx.Core.Context.runs in
     let wanted =
       List.concat_map (fun e -> e.Core.Experiment.cells) Core.Experiment.all
@@ -290,7 +308,7 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
-      const run $ scale_arg $ penalty_arg $ jobs_arg $ store_arg
+      const run $ scale_arg $ penalty_arg $ cpu_arg $ jobs_arg $ store_arg
       $ metrics_out_arg $ trace_out_arg)
 
 (* ---- store --------------------------------------------------------- *)

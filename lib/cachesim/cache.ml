@@ -1,7 +1,8 @@
 type t = {
   config : Config.t;
   (* tags.((set * assoc) + way) holds the block index resident in that
-     way, most-recently-used first within the set; -1 = invalid. *)
+     way; -1 = invalid.  Way positions are physical: replacement order
+     lives in [policy], not in the array layout. *)
   tags : int array;
   (* dirty.(i) mirrors tags.(i): the resident block has been written
      since it was fetched (write-back accounting). *)
@@ -10,6 +11,7 @@ type t = {
   assoc : int;
   block_shift : int;  (* log2 block_bytes: block index = addr lsr shift *)
   seen : (int, unit) Hashtbl.t;  (* blocks ever referenced, for cold misses *)
+  policy : Policy.State.t;  (* per-set replacement state (assoc > 1) *)
   mutable stats : Stats.t;
 }
 
@@ -27,18 +29,21 @@ let create config =
     assoc;
     block_shift = log2 config.Config.block_bytes;
     seen = Hashtbl.create 4096;
+    policy = Policy.State.create config.Config.policy ~num_sets ~assoc;
     stats = Stats.create () }
 
 let config t = t.config
 let stats t = t.stats
 
-(* Touch [block] in its set: return whether it missed, and update LRU
-   order so the block ends up most-recently-used.  A write marks the
-   block dirty; evicting a dirty block counts a writeback. *)
+(* Touch [block] in its set: return whether it missed.  Invalid ways
+   fill leftmost-first; only a full set consults the policy for a
+   victim (the contract the differential oracle shares).  A write marks
+   the block dirty; evicting a dirty block counts a writeback. *)
 let touch t block ~write =
   let set = block land (t.num_sets - 1) in
   let base = set * t.assoc in
   if t.assoc = 1 then
+    (* Direct-mapped fast path: replacement is forced, no policy state. *)
     if t.tags.(base) = block then begin
       if write then t.dirty.(base) <- true;
       false
@@ -51,29 +56,34 @@ let touch t block ~write =
       true
     end
   else begin
-    (* Find the block among the ways; ways are kept in MRU-first order. *)
     let rec find i = if i >= t.assoc then -1
       else if t.tags.(base + i) = block then i
       else find (i + 1)
     in
     let pos = find 0 in
-    let miss = pos < 0 in
-    let was_dirty = if miss then false else t.dirty.(base + pos) in
-    (* Shift everything before the insertion point down one way, then
-       install the block as MRU.  On a miss the LRU way (last) falls out. *)
-    let from = if miss then t.assoc - 1 else pos in
-    if
-      miss
-      && t.tags.(base + from) >= 0
-      && t.dirty.(base + from)
-    then Stats.record_writeback t.stats;
-    for i = from downto 1 do
-      t.tags.(base + i) <- t.tags.(base + i - 1);
-      t.dirty.(base + i) <- t.dirty.(base + i - 1)
-    done;
-    t.tags.(base) <- block;
-    t.dirty.(base) <- (if miss then write else was_dirty || write);
-    miss
+    if pos >= 0 then begin
+      Policy.State.hit t.policy ~set ~way:pos;
+      if write then t.dirty.(base + pos) <- true;
+      false
+    end
+    else begin
+      let rec first_invalid i =
+        if i >= t.assoc then -1
+        else if t.tags.(base + i) < 0 then i
+        else first_invalid (i + 1)
+      in
+      let way =
+        match first_invalid 0 with
+        | -1 -> Policy.State.victim t.policy ~set
+        | w -> w
+      in
+      if t.tags.(base + way) >= 0 && t.dirty.(base + way) then
+        Stats.record_writeback t.stats;
+      t.tags.(base + way) <- block;
+      t.dirty.(base + way) <- write;
+      Policy.State.fill t.policy ~set ~way;
+      true
+    end
   end
 
 let access_block t ~kind ~source ~block =
@@ -109,5 +119,6 @@ let flush t =
     (fun i d -> if d && t.tags.(i) >= 0 then Stats.record_writeback t.stats)
     t.dirty;
   Array.fill t.tags 0 (Array.length t.tags) (-1);
-  Array.fill t.dirty 0 (Array.length t.dirty) false
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Policy.State.reset t.policy
 let reset_stats t = t.stats <- Stats.create ()

@@ -1,10 +1,11 @@
 (** A single simulated data cache.
 
     Write-allocate: both read and write misses bring the block into the
-    cache.  Set-associative caches use true LRU replacement within each
-    set.  Only hit/miss behaviour is modelled (no write-back dirtiness),
-    because the paper's execution-time model charges every miss the same
-    penalty. *)
+    cache.  Set-associative caches replace within each set according to
+    the config's {!Policy.t} (true LRU by default); invalid ways fill
+    leftmost-first and the policy is only consulted once the set is
+    full.  Dirty blocks are tracked so write-backs can be counted on
+    eviction. *)
 
 type t
 

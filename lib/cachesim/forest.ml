@@ -92,7 +92,16 @@ let create configs =
             invalid_arg
               (Printf.sprintf
                  "Cachesim.Forest.create: %s has block size %d, family uses %d"
-                 c.name c.block_bytes first.Config.block_bytes))
+                 c.name c.block_bytes first.Config.block_bytes);
+          (* The one-pass walk leans on LRU inclusion (stamp victims ==
+             MRU-list victims); other policies must go through {!Cache}. *)
+          if not (Policy.is_lru c.policy) then
+            invalid_arg
+              (Printf.sprintf
+                 "Cachesim.Forest.create: %s uses policy %s; forest \
+                  simulation supports lru only"
+                 c.name
+                 (Policy.to_string c.policy)))
         (first :: rest));
   let member config =
     let num_sets = Config.num_sets config in

@@ -1,35 +1,71 @@
-(* Each level is a single-member {!Forest} family: the member code path
-   (inline probe, array counters, cold table consulted only on a miss)
-   is shared with the multi-configuration sweep, and a one-member
-   family's statistics are exactly an independent cache's.  L2 sees
-   only the L1 miss stream, as in the paper's two-level runs. *)
-type t = {
-  l1 : Forest.t;
-  l2 : Forest.t;
-  l1_shift : int;  (* log2 of the L1 block size *)
-  l2_shift : int;
+(* An N-level cache hierarchy: every reference probes level 0; each
+   level sees only the miss stream of the level above, as in the
+   paper's two-level runs (Mogul & Borg) and the modern L1/L2/L3
+   presets of {!Cpu}.
+
+   An LRU level is a single-member {!Forest} family: the member code
+   path (inline probe, array counters, cold table consulted only on a
+   miss) is shared with the multi-configuration sweep, and a one-member
+   family's statistics are exactly an independent cache's.  Non-LRU
+   levels (Tree-PLRU, QLRU, ...) fall outside the forest's inclusion
+   argument and run as plain {!Cache} simulations instead — the two
+   agree bit-for-bit on LRU, which keeps the original two-level results
+   byte-identical. *)
+
+type sim = Forest_sim of Forest.t | Cache_sim of Cache.t
+
+type level = {
+  config : Config.t;
+  sim : sim;
+  shift : int;  (* log2 of the level's block size *)
 }
+
+type t = { levels : level array }
 
 let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
 
-let create ~l1 ~l2 =
-  { l1 = Forest.create [ l1 ];
-    l2 = Forest.create [ l2 ];
-    l1_shift = log2 l1.Config.block_bytes;
-    l2_shift = log2 l2.Config.block_bytes }
+let create_levels configs =
+  if configs = [] then invalid_arg "Cachesim.Hierarchy.create_levels: no levels";
+  let level (config : Config.t) =
+    { config;
+      sim =
+        (if Policy.is_lru config.policy then Forest_sim (Forest.create [ config ])
+         else Cache_sim (Cache.create config));
+      shift = log2 config.block_bytes }
+  in
+  { levels = Array.of_list (List.map level configs) }
+
+let create ~l1 ~l2 = create_levels [ l1; l2 ]
+
+(* Probe one level with a block index already translated to its block
+   size; true = miss. *)
+let probe level ~kind ~source ~ks ~block =
+  match level.sim with
+  | Forest_sim f -> Forest.access_block_ks f ~ks ~block > 0
+  | Cache_sim c -> Cache.access_block c ~kind ~source ~block
 
 let access t (e : Memsim.Event.t) =
   let ks = Forest.ks_index ~kind:e.kind ~source:e.source in
-  let first = e.addr lsr t.l1_shift in
-  let last = (e.addr + e.size - 1) lsr t.l1_shift in
+  let kind = e.kind and source = e.source in
+  let top = t.levels.(0) in
+  let n = Array.length t.levels in
+  let first = e.addr lsr top.shift in
+  let last = (e.addr + e.size - 1) lsr top.shift in
   for block = first to last do
-    if Forest.access_block_ks t.l1 ~ks ~block > 0 then
-      (* Translate the L1 block to the (possibly larger) L2 block. *)
-      ignore
-        (Forest.access_block_ks t.l2 ~ks
-           ~block:((block lsl t.l1_shift) lsr t.l2_shift))
+    if probe top ~kind ~source ~ks ~block then begin
+      (* Propagate down the miss path, translating the level-0 block to
+         each level's (possibly larger) block, until some level hits. *)
+      let base = block lsl top.shift in
+      let i = ref 1 in
+      let missing = ref true in
+      while !missing && !i < n do
+        let level = t.levels.(!i) in
+        missing := probe level ~kind ~source ~ks ~block:(base lsr level.shift);
+        incr i
+      done
+    end
   done
 
 let sink t =
@@ -40,9 +76,35 @@ let sink t =
         access_event (Array.unsafe_get buf i)
       done)
 
-let l1_stats t = Forest.member_stats t.l1 0
-let l2_stats t = Forest.member_stats t.l2 0
+let num_levels t = Array.length t.levels
+let level_config t i = t.levels.(i).config
+
+let level_stats t i =
+  match t.levels.(i).sim with
+  | Forest_sim f -> Forest.member_stats f 0
+  | Cache_sim c -> Cache.stats c
+
+let results t =
+  Array.to_list t.levels
+  |> List.mapi (fun i level -> (level.config, level_stats t i))
+
+let l1_stats t = level_stats t 0
+let l2_stats t = level_stats t 1
+
+let stalls t ~penalties =
+  if Array.length penalties <> Array.length t.levels then
+    invalid_arg
+      (Printf.sprintf
+         "Cachesim.Hierarchy.stalls: %d penalties for %d levels"
+         (Array.length penalties) (Array.length t.levels));
+  let total = ref 0 in
+  for i = 0 to Array.length t.levels - 1 do
+    total := !total + ((level_stats t i).Stats.misses * penalties.(i))
+  done;
+  !total
 
 let stall_cycles t ~l1_penalty ~l2_penalty =
-  let s1 = l1_stats t and s2 = l2_stats t in
+  if Array.length t.levels < 2 then
+    invalid_arg "Cachesim.Hierarchy.stall_cycles: fewer than two levels";
+  let s1 = level_stats t 0 and s2 = level_stats t 1 in
   (s1.Stats.misses * l1_penalty) + (s2.Stats.misses * l2_penalty)

@@ -1,15 +1,21 @@
-(* A set of cache configurations fed from one trace.  Configurations
-   are partitioned by block size into {!Forest} families: within a
-   family the direct-mapped members cost one inclusion walk per
-   reference, set-associative members are probed individually, and the
-   access profile and cold-miss table are shared family-wide.
-   Per-configuration statistics are bit-identical to simulating every
-   configuration independently. *)
+(* A set of cache configurations fed from one trace.  LRU
+   configurations are partitioned by block size into {!Forest}
+   families: within a family the direct-mapped members cost one
+   inclusion walk per reference, set-associative members are probed
+   individually, and the access profile and cold-miss table are shared
+   family-wide.  Non-LRU configurations fall outside the inclusion
+   property the forest relies on, so each one is simulated by its own
+   {!Cache} fed the same stream.  Per-configuration statistics are
+   bit-identical to simulating every configuration independently. *)
+
+type slot =
+  | In_forest of int * int  (* forest index, member index within it *)
+  | Standalone of int  (* index into [singles] *)
 
 type t = {
-  slots : (Config.t * (int * int)) array;
-      (* creation order; (forest index, member index within it) *)
+  slots : (Config.t * slot) array;  (* creation order *)
   forests : Forest.t array;
+  singles : Cache.t array;  (* non-LRU fallbacks *)
 }
 
 let create configs =
@@ -17,20 +23,30 @@ let create configs =
   (* One family per block size, in first-seen order. *)
   let families : (int, Config.t list ref) Hashtbl.t = Hashtbl.create 4 in
   let family_order = ref [] in
+  let singles_rev = ref [] in
+  let num_singles = ref 0 in
   let slots_rev = ref [] in
   List.iter
     (fun (c : Config.t) ->
-      let members =
-        match Hashtbl.find_opt families c.block_bytes with
-        | Some r -> r
-        | None ->
-            let r = ref [] in
-            Hashtbl.add families c.block_bytes r;
-            family_order := c.block_bytes :: !family_order;
-            r
-      in
-      members := c :: !members;
-      slots_rev := (c, (c.block_bytes, List.length !members - 1)) :: !slots_rev)
+      if Policy.is_lru c.policy then begin
+        let members =
+          match Hashtbl.find_opt families c.block_bytes with
+          | Some r -> r
+          | None ->
+              let r = ref [] in
+              Hashtbl.add families c.block_bytes r;
+              family_order := c.block_bytes :: !family_order;
+              r
+        in
+        members := c :: !members;
+        slots_rev :=
+          (c, `Forest (c.block_bytes, List.length !members - 1)) :: !slots_rev
+      end
+      else begin
+        singles_rev := Cache.create c :: !singles_rev;
+        slots_rev := (c, `Single !num_singles) :: !slots_rev;
+        incr num_singles
+      end)
     configs;
   let family_order = List.rev !family_order in
   let forests =
@@ -47,18 +63,26 @@ let create configs =
   let slots =
     Array.of_list
       (List.rev_map
-         (fun (c, (bb, member)) -> (c, (Hashtbl.find forest_index bb, member)))
+         (fun (c, where) ->
+           match where with
+           | `Forest (bb, member) ->
+               (c, In_forest (Hashtbl.find forest_index bb, member))
+           | `Single i -> (c, Standalone i))
          !slots_rev)
   in
-  { slots; forests }
+  { slots; forests; singles = Array.of_list (List.rev !singles_rev) }
 
 let access t e =
   for i = 0 to Array.length t.forests - 1 do
     Forest.access t.forests.(i) e
+  done;
+  for i = 0 to Array.length t.singles - 1 do
+    Cache.access t.singles.(i) e
   done
 
 let sink t =
   let forests = t.forests in
+  let singles = t.singles in
   let emit = access t in
   Memsim.Sink.make ~emit
     ~emit_batch:(fun buf len ->
@@ -70,10 +94,15 @@ let sink t =
           Forest.access_range_ks
             (Array.unsafe_get forests j)
             ~ks ~addr:e.addr ~size:e.size
+        done;
+        for j = 0 to Array.length singles - 1 do
+          Cache.access (Array.unsafe_get singles j) e
         done
       done)
 
-let stats_of t (f, m) = Forest.member_stats t.forests.(f) m
+let stats_of t = function
+  | In_forest (f, m) -> Forest.member_stats t.forests.(f) m
+  | Standalone i -> Cache.stats t.singles.(i)
 
 let results t =
   Array.to_list t.slots |> List.map (fun (c, slot) -> (c, stats_of t slot))

@@ -1,0 +1,260 @@
+(* Replacement policies as a first-class dimension of the simulator.
+
+   The paper's caches are direct-mapped, where replacement is forced;
+   modern hierarchies (Nehalem through Coffee Lake) use pseudo-LRU
+   families whose miss behaviour differs measurably from true LRU.
+   The variants here follow the reverse-engineered descriptions used
+   by nanoBench/cachetrace-style tools:
+
+   - [Lru]: true least-recently-used (the paper's set-associative
+     discussion, and the only policy the one-pass {!Forest} supports).
+   - [Fifo]: evict the oldest *fill*; hits do not refresh.
+   - [Random seed]: uniform victim from a deterministic xorshift32
+     stream — same seed, same simulation, bit for bit.
+   - [Plru]: tree pseudo-LRU — one bit per internal node of a binary
+     tree over the ways, each access points its path away from the
+     accessed way (Intel L1/L2 through Ivy Bridge, most L1s since).
+   - [Qlru]: quad-age LRU — 2-bit age per line; a hit rejuvenates to
+     [hit_age], a fill inserts at [insert_age], the victim is the
+     leftmost line of age 3, ageing everyone when none exists (the
+     Skylake-era L2/L3 variants; H00/H11 x M0/M1 presets below).
+   - [Mru]: bit-PLRU — one MRU bit per line, set on access; when all
+     bits saturate the others reset; victim is the leftmost clear bit.
+
+   Every policy is pinned to an executable naive oracle
+   ([test/oracle.ml]) by a qcheck differential suite; the shared
+   victim-side contract both implementations follow is:
+
+   - invalid ways fill leftmost-first, before any replacement;
+   - [victim] is consulted only when the set is full;
+   - [Random] draws exactly one xorshift32 value per victim request,
+     in access order, and takes it modulo the associativity. *)
+
+type qlru = { hit_age : int; insert_age : int }
+
+type t =
+  | Lru
+  | Fifo
+  | Random of int
+  | Plru
+  | Qlru of qlru
+  | Mru
+
+let qlru_h00_m1 = { hit_age = 0; insert_age = 1 }
+let qlru_h11_m1 = { hit_age = 1; insert_age = 1 }
+let qlru_h00_m0 = { hit_age = 0; insert_age = 0 }
+
+let is_lru = function Lru -> true | _ -> false
+
+let to_string = function
+  | Lru -> "lru"
+  | Fifo -> "fifo"
+  | Random seed -> Printf.sprintf "random:%d" seed
+  | Plru -> "plru"
+  | Qlru { hit_age; insert_age } ->
+      Printf.sprintf "qlru-h%d-m%d" hit_age insert_age
+  | Mru -> "mru"
+
+let of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unknown policy %S (expected lru, fifo, random:SEED, plru, \
+          qlru-hH-mM, or mru)"
+         s)
+  in
+  match s with
+  | "lru" -> Ok Lru
+  | "fifo" -> Ok Fifo
+  | "plru" -> Ok Plru
+  | "mru" -> Ok Mru
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "random" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some seed -> Ok (Random seed)
+          | None -> fail ())
+      | _ ->
+          (* qlru-hH-mM with single-digit ages 0..3 *)
+          if
+            String.length s = 10
+            && String.sub s 0 6 = "qlru-h"
+            && s.[7] = '-' && s.[8] = 'm'
+          then
+            match
+              (int_of_string_opt (String.make 1 s.[6]),
+               int_of_string_opt (String.make 1 s.[9]))
+            with
+            | Some h, Some m when h >= 0 && h <= 3 && m >= 0 && m <= 3 ->
+                Ok (Qlru { hit_age = h; insert_age = m })
+            | _ -> fail ()
+          else fail ())
+
+let equal (a : t) b = a = b
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Per-set replacement state                                          *)
+(* ------------------------------------------------------------------ *)
+
+module State = struct
+  type policy = t
+
+  (* One representation per policy, flat over [num_sets * assoc] where
+     per-way memory is needed, one packed int per set for the bit
+     policies (associativity is a power of two <= 62, so tree bits and
+     MRU masks both fit one immediate int). *)
+  type t =
+    | S_lru of { stamps : int array; mutable tick : int; assoc : int }
+    | S_fifo of { stamps : int array; mutable tick : int; assoc : int }
+    | S_random of { mutable rng : int; assoc : int }
+    | S_plru of { bits : int array; assoc : int }
+    | S_qlru of {
+        ages : int array;
+        assoc : int;
+        hit_age : int;
+        insert_age : int;
+      }
+    | S_mru of { bits : int array; assoc : int; full : int }
+
+  let seed_rng seed =
+    (* xorshift32 state must be non-zero; fold the seed into 32 bits
+       and force a bit on. *)
+    let s = seed land 0xFFFFFFFF in
+    if s = 0 then 1 else s
+
+  let create (policy : policy) ~num_sets ~assoc =
+    match policy with
+    | Lru -> S_lru { stamps = Array.make (num_sets * assoc) 0; tick = 0; assoc }
+    | Fifo ->
+        S_fifo { stamps = Array.make (num_sets * assoc) 0; tick = 0; assoc }
+    | Random seed -> S_random { rng = seed_rng seed; assoc }
+    | Plru -> S_plru { bits = Array.make num_sets 0; assoc }
+    | Qlru { hit_age; insert_age } ->
+        S_qlru
+          { ages = Array.make (num_sets * assoc) 0; assoc; hit_age; insert_age }
+    | Mru ->
+        S_mru { bits = Array.make num_sets 0; assoc; full = (1 lsl assoc) - 1 }
+
+  (* Tree-PLRU over a heap-indexed complete binary tree: node [n] has
+     children [2n+1] (ways below the midpoint) and [2n+2] (above).  A
+     set bit means "the victim is in the right subtree".  Touching a
+     way flips every node on its path to point at the *other* subtree. *)
+  let plru_touch bits set assoc way =
+    let b = ref bits.(set) in
+    let node = ref 0 and lo = ref 0 and hi = ref assoc in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if way < mid then begin
+        b := !b lor (1 lsl !node);
+        hi := mid;
+        node := (2 * !node) + 1
+      end
+      else begin
+        b := !b land lnot (1 lsl !node);
+        lo := mid;
+        node := (2 * !node) + 2
+      end
+    done;
+    bits.(set) <- !b
+
+  let plru_victim bits set assoc =
+    let b = bits.(set) in
+    let node = ref 0 and lo = ref 0 and hi = ref assoc in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if b land (1 lsl !node) <> 0 then begin
+        lo := mid;
+        node := (2 * !node) + 2
+      end
+      else begin
+        hi := mid;
+        node := (2 * !node) + 1
+      end
+    done;
+    !lo
+
+  let mru_touch bits set full way =
+    let m = bits.(set) lor (1 lsl way) in
+    bits.(set) <- (if m = full then 1 lsl way else m)
+
+  let hit t ~set ~way =
+    match t with
+    | S_lru s ->
+        s.tick <- s.tick + 1;
+        s.stamps.((set * s.assoc) + way) <- s.tick
+    | S_fifo _ -> ()
+    | S_random _ -> ()
+    | S_plru s -> plru_touch s.bits set s.assoc way
+    | S_qlru s -> s.ages.((set * s.assoc) + way) <- s.hit_age
+    | S_mru s -> mru_touch s.bits set s.full way
+
+  let fill t ~set ~way =
+    match t with
+    | S_lru s ->
+        s.tick <- s.tick + 1;
+        s.stamps.((set * s.assoc) + way) <- s.tick
+    | S_fifo s ->
+        s.tick <- s.tick + 1;
+        s.stamps.((set * s.assoc) + way) <- s.tick
+    | S_random _ -> ()
+    | S_plru s -> plru_touch s.bits set s.assoc way
+    | S_qlru s -> s.ages.((set * s.assoc) + way) <- s.insert_age
+    | S_mru s -> mru_touch s.bits set s.full way
+
+  let min_stamp_way stamps base assoc =
+    let rec go w best besti =
+      if w >= assoc then besti
+      else
+        let s = stamps.(base + w) in
+        if s < best then go (w + 1) s w else go (w + 1) best besti
+    in
+    go 1 stamps.(base) 0
+
+  let victim t ~set =
+    match t with
+    | S_lru s -> min_stamp_way s.stamps (set * s.assoc) s.assoc
+    | S_fifo s -> min_stamp_way s.stamps (set * s.assoc) s.assoc
+    | S_random s ->
+        let x = s.rng in
+        let x = x lxor (x lsl 13) land 0xFFFFFFFF in
+        let x = x lxor (x lsr 17) in
+        let x = x lxor (x lsl 5) land 0xFFFFFFFF in
+        s.rng <- x;
+        x mod s.assoc
+    | S_plru s -> plru_victim s.bits set s.assoc
+    | S_qlru s ->
+        let base = set * s.assoc in
+        let rec max_age w acc =
+          if w >= s.assoc then acc else max_age (w + 1) (max acc s.ages.(base + w))
+        in
+        let m = max_age 0 0 in
+        if m < 3 then
+          (* Age the whole set until someone reaches 3. *)
+          for w = 0 to s.assoc - 1 do
+            s.ages.(base + w) <- s.ages.(base + w) + (3 - m)
+          done;
+        let rec leftmost w =
+          if w >= s.assoc - 1 then w
+          else if s.ages.(base + w) = 3 then w
+          else leftmost (w + 1)
+        in
+        leftmost 0
+    | S_mru s ->
+        let b = s.bits.(set) in
+        let rec leftmost w =
+          if w >= s.assoc - 1 then w
+          else if b land (1 lsl w) = 0 then w
+          else leftmost (w + 1)
+        in
+        leftmost 0
+
+  let reset t =
+    match t with
+    | S_lru s -> Array.fill s.stamps 0 (Array.length s.stamps) 0
+    | S_fifo s -> Array.fill s.stamps 0 (Array.length s.stamps) 0
+    | S_random _ -> ()
+    | S_plru s -> Array.fill s.bits 0 (Array.length s.bits) 0
+    | S_qlru s -> Array.fill s.ages 0 (Array.length s.ages) 0
+    | S_mru s -> Array.fill s.bits 0 (Array.length s.bits) 0
+end

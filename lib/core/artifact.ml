@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 type meta = {
   program : string;
@@ -27,13 +27,12 @@ type t = {
   summary : summary;
   alloc_stats : Allocators.Alloc_stats.t;
   caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
-  l1 : Cachesim.Stats.t;
-  l2 : Cachesim.Stats.t;
+  hierarchy : (Cachesim.Config.t * Cachesim.Stats.t) list;
   fault_curve : Vmsim.Fault_curve.t;
 }
 
 let of_run ~program ~allocator ~scale ~trace_checksum
-    ~(result : Workload.Driver.result) ~caches ~l1 ~l2 ~fault_curve =
+    ~(result : Workload.Driver.result) ~caches ~hierarchy ~fault_curve =
   { meta =
       { program;
         allocator;
@@ -54,9 +53,20 @@ let of_run ~program ~allocator ~scale ~trace_checksum
         max_live_bytes = result.max_live_bytes };
     alloc_stats = result.alloc_stats;
     caches;
-    l1;
-    l2;
+    hierarchy;
     fault_curve }
+
+(* Levels are positional: 0 = closest to the processor. *)
+let level t i =
+  match List.nth_opt t.hierarchy i with
+  | Some (_, s) -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Artifact.level: level %d of a %d-level hierarchy" i
+           (List.length t.hierarchy))
+
+let l1 t = level t 0
+let l2 t = level t 1
 
 (* ---- content addressing -------------------------------------------- *)
 
@@ -213,14 +223,20 @@ let write_config w (c : Cachesim.Config.t) =
   W.string w c.name;
   W.int w c.size_bytes;
   W.int w c.block_bytes;
-  W.int w c.associativity
+  W.int w c.associativity;
+  W.string w (Cachesim.Policy.to_string c.policy)
 
 let read_config r : Cachesim.Config.t =
   let name = R.string r in
   let size_bytes = R.int r in
   let block_bytes = R.int r in
   let associativity = R.int r in
-  Cachesim.Config.make ~name ~block_bytes ~associativity size_bytes
+  let policy =
+    match Cachesim.Policy.of_string (R.string r) with
+    | Ok p -> p
+    | Error e -> raise (Store.Codec.Error e)
+  in
+  Cachesim.Config.make ~name ~block_bytes ~associativity ~policy size_bytes
 
 let write_curve w (c : Vmsim.Fault_curve.t) =
   W.int w c.page_bytes;
@@ -245,8 +261,11 @@ let encode t =
       write_config w config;
       write_cache_stats w stats)
     t.caches;
-  write_cache_stats w t.l1;
-  write_cache_stats w t.l2;
+  W.list w
+    (fun (config, stats) ->
+      write_config w config;
+      write_cache_stats w stats)
+    t.hierarchy;
   write_curve w t.fault_curve;
   W.contents w
 
@@ -267,11 +286,15 @@ let decode payload =
             let stats = read_cache_stats r in
             (config, stats))
       in
-      let l1 = read_cache_stats r in
-      let l2 = read_cache_stats r in
+      let hierarchy =
+        R.list r (fun r ->
+            let config = read_config r in
+            let stats = read_cache_stats r in
+            (config, stats))
+      in
       let fault_curve = read_curve r in
       if not (R.at_end r) then Error "trailing bytes after artifact"
-      else Ok { meta; summary; alloc_stats; caches; l1; l2; fault_curve }
+      else Ok { meta; summary; alloc_stats; caches; hierarchy; fault_curve }
     end
   with
   | result -> result
@@ -383,10 +406,23 @@ let to_json t =
                       ("size_bytes", Int c.size_bytes);
                       ("block_bytes", Int c.block_bytes);
                       ("associativity", Int c.associativity);
+                      ( "policy",
+                        String (Cachesim.Policy.to_string c.policy) );
                       ("stats", stats_json s) ])
                 t.caches) );
-         ("l1", stats_json t.l1);
-         ("l2", stats_json t.l2);
+         ( "hierarchy",
+           List
+             (List.map
+                (fun ((c : Cachesim.Config.t), s) ->
+                  Obj
+                    [ ("name", String c.name);
+                      ("size_bytes", Int c.size_bytes);
+                      ("block_bytes", Int c.block_bytes);
+                      ("associativity", Int c.associativity);
+                      ( "policy",
+                        String (Cachesim.Policy.to_string c.policy) );
+                      ("stats", stats_json s) ])
+                t.hierarchy) );
          ( "fault_curve",
            Obj
              [ ("page_bytes", Int t.fault_curve.page_bytes);
@@ -399,7 +435,8 @@ let to_json t =
 
 let csv_header =
   [ "program"; "allocator"; "scale"; "seed"; "trace_checksum"; "cache";
-    "cache_bytes"; "block_bytes"; "associativity"; "accesses"; "misses";
+    "cache_bytes"; "block_bytes"; "associativity"; "policy"; "accesses";
+    "misses";
     "miss_rate"; "instructions"; "malloc_instructions"; "free_instructions";
     "data_refs"; "heap_used"; "max_live_bytes"; "malloc_calls"; "free_calls";
     "footprint_bytes" ]
@@ -416,6 +453,7 @@ let to_csv_rows t =
         string_of_int c.size_bytes;
         string_of_int c.block_bytes;
         string_of_int c.associativity;
+        Cachesim.Policy.to_string c.policy;
         string_of_int s.accesses;
         string_of_int s.misses;
         Printf.sprintf "%.6f" (Cachesim.Stats.miss_rate s);

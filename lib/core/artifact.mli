@@ -3,8 +3,8 @@
     An artifact is everything a renderer ever reads about one
     (program, allocator) simulation: the run summary (instruction and
     reference counts, heap growth), allocation statistics, per-config
-    cache statistics, the two-level hierarchy, and the frozen page-fault
-    curve — plus a metadata header naming the inputs that produced it
+    cache statistics, the per-level hierarchy statistics, and the frozen
+    page-fault curve — plus a metadata header naming the inputs that produced it
     (program, allocator, scale, seed, schema version) and the trace
     checksum for drift detection.  {!Figures} and {!Tables} are pure
     functions of artifacts; {!Runs} fills them (from simulation or the
@@ -50,8 +50,10 @@ type t = {
   alloc_stats : Allocators.Alloc_stats.t;
   caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
       (** Every simulated configuration, in simulation order. *)
-  l1 : Cachesim.Stats.t;  (** Hierarchy L1 (16K-dm). *)
-  l2 : Cachesim.Stats.t;  (** Hierarchy L2 (256K-dm behind L1). *)
+  hierarchy : (Cachesim.Config.t * Cachesim.Stats.t) list;
+      (** Hierarchy levels, outermost first (the paper-era default is
+          16K-dm over 256K-dm); each level's config carries its
+          replacement {!Cachesim.Policy.t}. *)
   fault_curve : Vmsim.Fault_curve.t;
 }
 
@@ -62,8 +64,7 @@ val of_run :
   trace_checksum:int ->
   result:Workload.Driver.result ->
   caches:(Cachesim.Config.t * Cachesim.Stats.t) list ->
-  l1:Cachesim.Stats.t ->
-  l2:Cachesim.Stats.t ->
+  hierarchy:(Cachesim.Config.t * Cachesim.Stats.t) list ->
   fault_curve:Vmsim.Fault_curve.t ->
   t
 (** Distil a finished simulation.  [allocator] is the grid key (not the
@@ -101,6 +102,16 @@ val equal : t -> t -> bool
 
 val allocator_fraction : t -> float
 (** Fraction of instructions spent in malloc/free (Figure 1). *)
+
+val level : t -> int -> Cachesim.Stats.t
+(** Statistics of hierarchy level [i] (0 = closest to the processor).
+    @raise Invalid_argument when the artifact has no such level. *)
+
+val l1 : t -> Cachesim.Stats.t
+(** [level t 0]. *)
+
+val l2 : t -> Cachesim.Stats.t
+(** [level t 1]. *)
 
 val cache_stats : t -> name:string -> Cachesim.Stats.t
 (** @raise Invalid_argument if the configuration was not simulated; the

@@ -1,7 +1,12 @@
-type t = { runs : Runs.t; model : Metrics.Cost_model.t }
+type t = {
+  runs : Runs.t;
+  model : Metrics.Cost_model.t;
+  cpu : Cachesim.Cpu.t;
+}
 
-let create ?scale ?jobs ?store ?(model = Metrics.Cost_model.paper) () =
-  { runs = Runs.create ?scale ?jobs ?store (); model }
+let create ?scale ?jobs ?store ?(model = Metrics.Cost_model.paper)
+    ?(cpu = Cachesim.Cpu.skylake) () =
+  { runs = Runs.create ?scale ?jobs ?store (); model; cpu }
 
 let five_programs =
   [ ("espresso", "Espresso"); ("gs-large", "GS"); ("ptc", "PTC");

@@ -3,6 +3,9 @@
 type t = {
   runs : Runs.t;
   model : Metrics.Cost_model.t;
+  cpu : Cachesim.Cpu.t;
+      (** Preset whose hierarchy the modern-CPU experiments detail
+          ([--cpu]; default Skylake). *)
 }
 
 val create :
@@ -10,6 +13,7 @@ val create :
   ?jobs:int ->
   ?store:Store.t ->
   ?model:Metrics.Cost_model.t ->
+  ?cpu:Cachesim.Cpu.t ->
   unit ->
   t
 (** [jobs] (default 1) is the worker-domain bound forwarded to

@@ -103,6 +103,11 @@ let all =
         cross Context.five_programs
           (keys_of [ "gnu-local-tags"; "gnu-local" ]);
       render = Tables.tab6 };
+    { id = "tabcpu";
+      title = "Allocator ranking on modern CPU hierarchies";
+      paper_ref = "extension; Risco-Martin et al. methodology";
+      cells = [];  (* fresh off-grid hierarchy simulations at render time *)
+      render = Tables.tabcpu };
     { id = "abl-coalesce";
       title = "Coalescing ablation (FirstFit)";
       paper_ref = "section 4.1 discussion";

@@ -24,6 +24,14 @@ let standard_configs =
           ~name:(Printf.sprintf "64K-b%d" b)
           ~block_bytes:b (64 * 1024))
       [ 16; 64; 128 ]
+  (* Pseudo-LRU members at the 16K 8-way point: exercised through the
+     Multi per-config fallback (no forest inclusion outside LRU), they
+     let renderers compare replacement policies on the paper's grid. *)
+  @ [ Cachesim.Config.make ~associativity:8 ~policy:Cachesim.Policy.Plru
+        (16 * 1024);
+      Cachesim.Config.make ~associativity:8
+        ~policy:(Cachesim.Policy.Qlru Cachesim.Policy.qlru_h11_m1)
+        (16 * 1024) ]
 
 let create ?(scale = 0.2) ?(jobs = 1) ?store () =
   (* Not an assert: -noassert builds must still reject a zero-step
@@ -71,9 +79,8 @@ let run t ~profile ~allocator =
   let prof = Workload.Programs.find profile in
   let multi = Cachesim.Multi.create standard_configs in
   let hier =
-    Cachesim.Hierarchy.create
-      ~l1:(Cachesim.Config.make (16 * 1024))
-      ~l2:(Cachesim.Config.make (256 * 1024))
+    Cachesim.Hierarchy.create_levels
+      [ Cachesim.Config.make (16 * 1024); Cachesim.Config.make (256 * 1024) ]
   in
   let pages = Vmsim.Page_sim.create () in
   let checksum = Memsim.Sink.Checksum.create () in
@@ -93,8 +100,7 @@ let run t ~profile ~allocator =
     ~trace_checksum:(Memsim.Sink.Checksum.value checksum)
     ~result
     ~caches:(Cachesim.Multi.results multi)
-    ~l1:(Cachesim.Hierarchy.l1_stats hier)
-    ~l2:(Cachesim.Hierarchy.l2_stats hier)
+    ~hierarchy:(Cachesim.Hierarchy.results hier)
     ~fault_curve:(Vmsim.Page_sim.curve pages)
 
 (* ---- persistent store plumbing ------------------------------------- *)

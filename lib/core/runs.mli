@@ -63,5 +63,13 @@ val prefetch : t -> (string * string) list -> unit
     first failure (by position) is re-raised. *)
 
 val standard_configs : Cachesim.Config.t list
-(** Everything simulated per run (the paper sweep plus the
-    associativity and block-size sets). *)
+(** Everything simulated per run: the paper sweep plus the
+    associativity, block-size and replacement-policy sets. *)
+
+val build_allocator :
+  profile_key:string -> allocator:string -> Allocators.Heap.t ->
+  Allocators.Allocator.t
+(** Instantiate a registry allocator on [heap]; ["custom"] is trained
+    on the profile's size histogram (the CustoMalloc workflow).  Used
+    by off-grid experiments (context-switch ablation, modern-CPU
+    ranking) that drive their own simulations. *)

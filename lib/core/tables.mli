@@ -15,3 +15,9 @@ val tab5 : Context.t -> string
 val tab6 : Context.t -> string
 (** Effect of boundary tags on GNU local (emulated 8-byte tags),
     64 K cache. *)
+
+val tabcpu : Context.t -> string
+(** Extension: the paper's allocator ranking re-run on the modern
+    {!Cachesim.Cpu} presets (L1/L2/L3 with tree-PLRU/QLRU policies) —
+    one table ranking every allocator across all presets, plus a
+    per-level detail table for the preset in {!Context.t.cpu}. *)

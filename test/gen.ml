@@ -1,0 +1,68 @@
+(* Shared qcheck generators for the simulator test suites.
+
+   Every suite used to grow its own copy of "random word trace",
+   "random event stream" and "random cache shape"; they live here once,
+   so the policy differential suites, the forest equivalence suite and
+   the trace-file round-trips all draw from the same distributions. *)
+
+open QCheck
+
+let source_of_int = function
+  | 0 -> Memsim.Event.App
+  | 1 -> Memsim.Event.Malloc
+  | _ -> Memsim.Event.Free
+
+(* ---- word traces (addr, size) ---------------------------------------- *)
+
+(* Read-only word-grain traces over a small address window: dense
+   enough to revisit blocks, wide enough to force evictions. *)
+let trace_gen =
+  Gen.(list_size (int_range 1 400) (pair (int_range 0 2047) (int_range 1 8)))
+
+let trace_arb = make trace_gen
+
+(* ---- full reference events ------------------------------------------- *)
+
+(* One event with kind, source, and a byte range that may span several
+   blocks. *)
+let event_gen ?(addr_bound = 4096) ?(max_size = 70) () =
+  Gen.(
+    pair (pair bool (int_range 0 2))
+      (pair (int_range 0 (addr_bound - 1)) (int_range 1 max_size))
+    >|= fun ((write, src), (addr, size)) ->
+    let source = source_of_int src in
+    if write then Memsim.Event.write ~source addr size
+    else Memsim.Event.read ~source addr size)
+
+let events_gen ?(max_events = 400) ?addr_bound ?max_size () =
+  Gen.(list_size (int_range 1 max_events) (event_gen ?addr_bound ?max_size ()))
+
+(* ---- cache shapes ---------------------------------------------------- *)
+
+(* Small caches (a handful of sets and ways) so random traces actually
+   thrash them.  [policies] picks the replacement policy; a [Random]
+   policy should be supplied pre-seeded ([policy_random_gen] draws the
+   seed too). *)
+let config_gen ?(policies = [ Cachesim.Policy.Lru ]) () =
+  Gen.(
+    oneofl [ 16; 32 ] >>= fun bb ->
+    oneofl [ 256; 512; 1024; 2048; 4096 ] >>= fun cap ->
+    oneofl [ 1; 1; 2; 4 ] >>= fun assoc ->
+    oneofl policies >|= fun policy ->
+    Cachesim.Config.make
+      ~name:(Printf.sprintf "%d-%dway" cap assoc)
+      ~block_bytes:bb ~associativity:assoc ~policy cap)
+
+(* A policy-under-test paired with the trace that drives it; the config
+   keeps the policy in its derived name for qcheck's failure output. *)
+let policy_case_gen ~policy_gen =
+  Gen.(
+    policy_gen >>= fun policy ->
+    oneofl [ 16; 32 ] >>= fun bb ->
+    oneofl [ 128; 256; 512; 1024 ] >>= fun cap ->
+    oneofl [ 1; 2; 4; 8 ] >>= fun assoc ->
+    let assoc = min assoc (cap / bb) in
+    let cfg =
+      Cachesim.Config.make ~block_bytes:bb ~associativity:assoc ~policy cap
+    in
+    pair (return cfg) (events_gen ~addr_bound:4096 ~max_size:70 ()))

@@ -1,0 +1,211 @@
+(* A deliberately slow, obviously-correct reference cache simulator.
+
+   This is the executable specification the fast [Cachesim.Cache] is
+   differentially tested against: association-list sets, textbook
+   policy bookkeeping (tag lists for LRU/FIFO, a recursive bool tree
+   for PLRU, per-way age lists for QLRU), everything recomputed from
+   first principles on every access.  It shares only the victim-side
+   CONTRACT with the fast implementation, never its code:
+
+   - invalid ways fill leftmost-first, before any replacement;
+   - the victim is chosen only when the set is full;
+   - Random draws exactly one xorshift32 value per victim request, in
+     access order, and reduces it modulo the associativity
+     (transcribed below from the spec in [Cachesim.Policy]'s docs, not
+     shared with the implementation). *)
+
+open Cachesim
+
+(* One resident line, keyed by its physical way. *)
+type line = { way : int; tag : int; dirty : bool }
+
+(* Textbook per-set policy memory. *)
+type policy_mem =
+  | M_lru of int list array  (* per set: resident tags, MRU first *)
+  | M_fifo of int list array  (* per set: resident tags, oldest first *)
+  | M_random of int ref  (* xorshift32 state, shared by all sets *)
+  | M_plru of bool array array  (* per set: tree bits, length assoc-1 *)
+  | M_qlru of (int * int) list array * int * int
+      (* per set: (way, age) pairs; hit_age; insert_age *)
+  | M_mru of bool array array  (* per set: one MRU bit per way *)
+
+type t = {
+  config : Config.t;
+  num_sets : int;
+  assoc : int;
+  sets : line list array;  (* association list per set, any order *)
+  mem : policy_mem;
+  seen : (int, unit) Hashtbl.t;
+  stats : Stats.t;
+}
+
+let create (config : Config.t) =
+  let num_sets = Config.num_sets config in
+  let assoc = config.associativity in
+  let mem =
+    match config.policy with
+    | Policy.Lru -> M_lru (Array.make num_sets [])
+    | Policy.Fifo -> M_fifo (Array.make num_sets [])
+    | Policy.Random seed ->
+        let s = seed land 0xFFFFFFFF in
+        M_random (ref (if s = 0 then 1 else s))
+    | Policy.Plru -> M_plru (Array.init num_sets (fun _ -> Array.make (assoc - 1) false))
+    | Policy.Qlru { hit_age; insert_age } ->
+        M_qlru (Array.make num_sets [], hit_age, insert_age)
+    | Policy.Mru -> M_mru (Array.init num_sets (fun _ -> Array.make assoc false))
+  in
+  { config;
+    num_sets;
+    assoc;
+    sets = Array.make num_sets [];
+    mem;
+    seen = Hashtbl.create 64;
+    stats = Stats.create () }
+
+let stats t = t.stats
+let config t = t.config
+
+(* Tree-PLRU, textbook recursion over ways [lo, hi): a true bit sends
+   the victim right; touching a way points every bit on its path at
+   the other half. *)
+let rec plru_touch bits node lo hi way =
+  if hi - lo > 1 then begin
+    let mid = (lo + hi) / 2 in
+    if way < mid then begin
+      bits.(node) <- true;
+      plru_touch bits ((2 * node) + 1) lo mid way
+    end
+    else begin
+      bits.(node) <- false;
+      plru_touch bits ((2 * node) + 2) mid hi way
+    end
+  end
+
+let rec plru_victim bits node lo hi =
+  if hi - lo <= 1 then lo
+  else
+    let mid = (lo + hi) / 2 in
+    if bits.(node) then plru_victim bits ((2 * node) + 2) mid hi
+    else plru_victim bits ((2 * node) + 1) lo mid
+
+let qlru_age ages way = try List.assoc way ages with Not_found -> 0
+let qlru_set_age ages way age = (way, age) :: List.remove_assoc way ages
+
+(* Record that [way] of [set] was touched (hit or fresh fill). *)
+let note_touch t ~set ~way ~tag ~filled =
+  match t.mem with
+  | M_lru order ->
+      order.(set) <- tag :: List.filter (fun g -> g <> tag) order.(set)
+  | M_fifo order ->
+      (* Hits do not refresh; only fills append (newest last). *)
+      if filled then
+        order.(set) <- List.filter (fun g -> g <> tag) order.(set) @ [ tag ]
+  | M_random _ -> ()
+  | M_plru bits -> plru_touch bits.(set) 0 0 t.assoc way
+  | M_qlru (ages, hit_age, insert_age) ->
+      ages.(set) <-
+        qlru_set_age ages.(set) way (if filled then insert_age else hit_age)
+  | M_mru bits ->
+      let b = bits.(set) in
+      b.(way) <- true;
+      if Array.for_all (fun x -> x) b then begin
+        Array.fill b 0 t.assoc false;
+        b.(way) <- true
+      end
+
+(* Pick the way to evict from a full [set]. *)
+let victim t ~set =
+  let lines = t.sets.(set) in
+  let way_of_tag tag = (List.find (fun l -> l.tag = tag) lines).way in
+  match t.mem with
+  | M_lru order ->
+      (* Least recently used = last of the MRU-first list. *)
+      way_of_tag (List.nth order.(set) (List.length order.(set) - 1))
+  | M_fifo order -> way_of_tag (List.hd order.(set))
+  | M_random rng ->
+      (* xorshift32, transcribed from the documented spec. *)
+      let x = !rng in
+      let x = x lxor (x lsl 13) land 0xFFFFFFFF in
+      let x = x lxor (x lsr 17) in
+      let x = x lxor (x lsl 5) land 0xFFFFFFFF in
+      rng := x;
+      x mod t.assoc
+  | M_plru bits -> plru_victim bits.(set) 0 0 t.assoc
+  | M_qlru (ages, _, _) ->
+      (* Age the whole set until some line reaches 3 (persistently, as
+         real QLRU hardware does), then evict the leftmost age-3 way. *)
+      let a = ages.(set) in
+      let max_age =
+        List.fold_left (fun m w -> max m (qlru_age a w))
+          0
+          (List.init t.assoc (fun w -> w))
+      in
+      if max_age < 3 then
+        ages.(set) <-
+          List.init t.assoc (fun w -> (w, qlru_age a w + (3 - max_age)));
+      let rec leftmost w =
+        if w >= t.assoc - 1 then w
+        else if qlru_age ages.(set) w = 3 then w
+        else leftmost (w + 1)
+      in
+      leftmost 0
+  | M_mru bits ->
+      let b = bits.(set) in
+      let rec leftmost w =
+        if w >= t.assoc - 1 then w else if not b.(w) then w else leftmost (w + 1)
+      in
+      leftmost 0
+
+let touch_block t ~kind ~source ~block =
+  let set = block mod t.num_sets in
+  let lines = t.sets.(set) in
+  let write = kind = Memsim.Event.Write in
+  let miss =
+    match List.find_opt (fun l -> l.tag = block) lines with
+    | Some l ->
+        if write && not l.dirty then
+          t.sets.(set) <-
+            { l with dirty = true }
+            :: List.filter (fun o -> o.way <> l.way) lines;
+        note_touch t ~set ~way:l.way ~tag:block ~filled:false;
+        false
+    | None ->
+        let occupied = List.map (fun l -> l.way) lines in
+        let way =
+          (* Leftmost invalid way first; replacement only when full. *)
+          match
+            List.find_opt
+              (fun w -> not (List.mem w occupied))
+              (List.init t.assoc (fun w -> w))
+          with
+          | Some w -> w
+          | None -> victim t ~set
+        in
+        (match List.find_opt (fun l -> l.way = way) lines with
+        | Some evicted ->
+            if evicted.dirty then Stats.record_writeback t.stats;
+            (* The evicted tag leaves the recency lists too. *)
+            (match t.mem with
+            | M_lru order ->
+                order.(set) <-
+                  List.filter (fun g -> g <> evicted.tag) order.(set)
+            | M_fifo order ->
+                order.(set) <-
+                  List.filter (fun g -> g <> evicted.tag) order.(set)
+            | _ -> ())
+        | None -> ());
+        t.sets.(set) <-
+          { way; tag = block; dirty = write }
+          :: List.filter (fun l -> l.way <> way) lines;
+        note_touch t ~set ~way ~tag:block ~filled:true;
+        true
+  in
+  let cold = miss && not (Hashtbl.mem t.seen block) in
+  if cold then Hashtbl.replace t.seen block ();
+  Stats.record t.stats ~kind ~source ~miss ~cold
+
+let access t (e : Memsim.Event.t) =
+  let bb = t.config.Config.block_bytes in
+  for block = e.addr / bb to (e.addr + e.size - 1) / bb do
+    touch_block t ~kind:e.kind ~source:e.source ~block
+  done

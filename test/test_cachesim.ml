@@ -6,6 +6,14 @@ open Cachesim
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
+(* Naive substring check, for asserting on error-message contents. *)
+let contains_substring ~needle haystack =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
 (* ------------------------------------------------------------------ *)
 (* Config                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -24,17 +32,60 @@ let test_config_assoc_name () =
   check_int "sets halve" 256 (Config.num_sets c)
 
 let test_config_rejects_bad () =
-  let expect_invalid msg f =
+  (* The message must quote the offending value, not just reject: a
+     bare "invalid config" from deep inside a sweep is undebuggable. *)
+  let expect_invalid msg needles f =
     match f () with
-    | exception Invalid_argument _ -> ()
+    | exception Invalid_argument err ->
+        List.iter
+          (fun needle ->
+            check_bool
+              (Printf.sprintf "%s: message %S mentions %S" msg err needle)
+              true
+              (contains_substring ~needle err))
+          needles
     | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
   in
-  expect_invalid "non-pow2 size" (fun () -> Config.make 10_000);
-  expect_invalid "non-pow2 block" (fun () ->
-      Config.make ~block_bytes:24 16384);
-  expect_invalid "assoc 3" (fun () -> Config.make ~associativity:3 16384);
-  expect_invalid "assoc > blocks" (fun () ->
+  expect_invalid "non-pow2 size" [ "size 10000"; "power of two" ] (fun () ->
+      Config.make 10_000);
+  expect_invalid "non-pow2 block" [ "block size 24"; "power of two" ]
+    (fun () -> Config.make ~block_bytes:24 16384);
+  expect_invalid "block > capacity" [ "block size 64"; "capacity 32" ]
+    (fun () -> Config.make ~block_bytes:64 32);
+  expect_invalid "assoc 3" [ "associativity 3" ] (fun () ->
+      Config.make ~associativity:3 16384);
+  expect_invalid "assoc > blocks" [ "associativity 8"; "4 blocks" ] (fun () ->
       Config.make ~block_bytes:32 ~associativity:8 128)
+
+let test_config_policy_names () =
+  let c = Config.make ~associativity:8 ~policy:Policy.Plru (16 * 1024) in
+  Alcotest.(check string) "plru in derived name" "16K-8way-plru" c.Config.name;
+  let q =
+    Config.make ~associativity:4 ~policy:(Policy.Qlru Policy.qlru_h11_m1)
+      (32 * 1024)
+  in
+  Alcotest.(check string) "qlru in derived name" "32K-4way-qlru-h1-m1"
+    q.Config.name;
+  (* LRU keeps the paper-era label. *)
+  let l = Config.make ~associativity:2 ~policy:Policy.Lru (16 * 1024) in
+  Alcotest.(check string) "lru stays implicit" "16K-2way" l.Config.name
+
+let test_policy_string_roundtrip () =
+  let policies =
+    [ Policy.Lru; Policy.Fifo; Policy.Random 42; Policy.Random 0; Policy.Plru;
+      Policy.Qlru Policy.qlru_h00_m1; Policy.Qlru Policy.qlru_h11_m1;
+      Policy.Qlru Policy.qlru_h00_m0; Policy.Mru ]
+  in
+  List.iter
+    (fun p ->
+      match Policy.of_string (Policy.to_string p) with
+      | Ok p' ->
+          check_bool (Policy.to_string p ^ " round-trips") true
+            (Policy.equal p p')
+      | Error e -> Alcotest.failf "%s: %s" (Policy.to_string p) e)
+    policies;
+  check_bool "garbage rejected" true
+    (match Policy.of_string "nmru" with Error _ -> true | Ok _ -> false)
 
 let test_config_paper_sweep () =
   let names = List.map (fun c -> c.Config.name) Config.paper_direct_mapped in
@@ -266,12 +317,10 @@ module Ref_model = struct
     t.sets.(set) <- truncated
 end
 
-let random_trace_gen =
-  QCheck.Gen.(
-    list_size (int_range 1 400)
-      (pair (int_range 0 2047) (int_range 1 8)))
-
-let trace_arb = QCheck.make random_trace_gen
+(* The word-trace generator lives in the shared testkit now; every
+   suite that wants "random addresses over a small window" draws from
+   the same distribution. *)
+let trace_arb = Testkit.Gen.trace_arb
 
 let cross_validate cfg trace =
   let cache = Cache.create cfg in
@@ -368,14 +417,6 @@ let test_multi_bigger_cache_fewer_misses () =
     (non_increasing rates);
   let largest = List.nth rates (List.length rates - 1) in
   check_bool "largest cache only cold misses" true (largest < 25.)
-
-(* Naive substring check, for asserting on error-message contents. *)
-let contains_substring ~needle haystack =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i =
-    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
-  in
-  nn = 0 || go 0
 
 let test_multi_find () =
   let m = Multi.create Config.paper_direct_mapped in
@@ -631,6 +672,439 @@ let prop_forest_matches_caches =
         (List.mapi (fun i c -> (i, c)) caches))
 
 (* ------------------------------------------------------------------ *)
+(* Replacement policies                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential pinning: for every policy, the fast implementation must
+   produce field-for-field identical Stats.t to the deliberately naive
+   [Testkit.Oracle] over hundreds of random mixed read/write traces.
+   The two share only the victim-side contract, never code. *)
+let policy_differential name policy_gen =
+  QCheck.Test.make ~count:250 ~name
+    (QCheck.make (Testkit.Gen.policy_case_gen ~policy_gen))
+    (fun (cfg, events) ->
+      let cache = Cache.create cfg in
+      let oracle = Testkit.Oracle.create cfg in
+      List.iter
+        (fun e ->
+          Cache.access cache e;
+          Testkit.Oracle.access oracle e)
+        events;
+      Cache.stats cache = Testkit.Oracle.stats oracle)
+
+let prop_lru_matches_oracle =
+  policy_differential "lru matches oracle" QCheck.Gen.(return Policy.Lru)
+
+let prop_fifo_matches_oracle =
+  policy_differential "fifo matches oracle" QCheck.Gen.(return Policy.Fifo)
+
+let prop_random_matches_oracle =
+  (* Seeds across the whole 32-bit range, including 0 (normalised to 1
+     by both sides) and values with high bits set. *)
+  policy_differential "random matches oracle"
+    QCheck.Gen.(
+      oneof
+        [ return 0; int_bound 0xFFFF; int_bound 0xFFFFFFFF ]
+      >|= fun seed -> Policy.Random seed)
+
+let prop_plru_matches_oracle =
+  policy_differential "plru matches oracle" QCheck.Gen.(return Policy.Plru)
+
+let prop_qlru_h00_m1_matches_oracle =
+  policy_differential "qlru-h0-m1 matches oracle"
+    QCheck.Gen.(return (Policy.Qlru Policy.qlru_h00_m1))
+
+let prop_qlru_h11_m1_matches_oracle =
+  policy_differential "qlru-h1-m1 matches oracle"
+    QCheck.Gen.(return (Policy.Qlru Policy.qlru_h11_m1))
+
+let prop_qlru_h00_m0_matches_oracle =
+  policy_differential "qlru-h0-m0 matches oracle"
+    QCheck.Gen.(return (Policy.Qlru Policy.qlru_h00_m0))
+
+let prop_qlru_any_matches_oracle =
+  (* The whole quad-age parameter square, not just the named presets. *)
+  policy_differential "qlru (any ages) matches oracle"
+    QCheck.Gen.(
+      pair (int_bound 3) (int_bound 3) >|= fun (h, m) ->
+      Policy.Qlru { Policy.hit_age = h; insert_age = m })
+
+let prop_mru_matches_oracle =
+  policy_differential "mru matches oracle" QCheck.Gen.(return Policy.Mru)
+
+(* Hand-computed victim sequences.  One set of four 32-byte ways
+   (fully-associative 128-byte cache): block [b] lives at address
+   [b * 32], ways fill left-to-right with blocks 0,1,2,3. *)
+let policy_cache policy =
+  Cache.create (Config.make ~block_bytes:32 ~associativity:4 ~policy 128)
+
+let read_block c b = Cache.access c (Memsim.Event.read (b * 32) 4)
+let write_block c b = Cache.access c (Memsim.Event.write (b * 32) 4)
+
+let check_resident c name expected =
+  List.iter
+    (fun b ->
+      check_bool
+        (Printf.sprintf "%s: block %d resident" name b)
+        true
+        (Cache.contains_block c ~block:b))
+    expected;
+  List.iter
+    (fun b ->
+      if not (List.mem b expected) then
+        check_bool
+          (Printf.sprintf "%s: block %d evicted" name b)
+          false
+          (Cache.contains_block c ~block:b))
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+let test_lru_victim_sequence () =
+  let c = policy_cache Policy.Lru in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  read_block c 0;
+  (* refresh 0: block 1 is now least recent *)
+  read_block c 4;
+  check_resident c "lru" [ 0; 2; 3; 4 ]
+
+let test_fifo_victim_sequence () =
+  let c = policy_cache Policy.Fifo in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  read_block c 0;
+  (* a hit does NOT refresh FIFO order: 0 is still the oldest fill *)
+  read_block c 4;
+  check_resident c "fifo evicts oldest fill despite hit" [ 1; 2; 3; 4 ];
+  read_block c 5;
+  (* next-oldest fill is block 1 *)
+  check_resident c "fifo second victim" [ 2; 3; 4; 5 ]
+
+let test_plru_victim_sequence () =
+  let c = policy_cache Policy.Plru in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  (* Tree bits after the fills point at way 0; hitting way 1 flips the
+     root toward the right half, so the victim walk lands on way 2. *)
+  read_block c 1;
+  read_block c 4;
+  check_resident c "plru first victim" [ 0; 1; 3; 4 ];
+  (* Filling way 2 pointed the root left again: way 0 is next. *)
+  read_block c 5;
+  check_resident c "plru second victim" [ 1; 3; 4; 5 ]
+
+let test_qlru_h11_m1_victim_sequence () =
+  let c = policy_cache (Policy.Qlru Policy.qlru_h11_m1) in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  (* All ages 1; the victim scan ages everyone to 3 (persistently) and
+     takes the leftmost, way 0. *)
+  read_block c 4;
+  check_resident c "qlru-h1-m1 first victim" [ 1; 2; 3; 4 ];
+  (* Hit block 1 -> age 1.  Ways now aged (4:1, 1:1, 2:3, 3:3): the
+     leftmost age-3 way holds block 2, then block 3. *)
+  read_block c 1;
+  read_block c 5;
+  check_resident c "qlru-h1-m1 second victim" [ 1; 3; 4; 5 ];
+  read_block c 6;
+  check_resident c "qlru-h1-m1 third victim" [ 1; 4; 5; 6 ]
+
+let test_qlru_h00_m1_victim_sequence () =
+  let c = policy_cache (Policy.Qlru Policy.qlru_h00_m1) in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  (* Hit block 0 -> age 0 (h=0 protects it); ageing to find a victim
+     adds 2 to everyone, so ways age to (0:2, 1:3, 2:3, 3:3) and the
+     leftmost age-3 way holds block 1. *)
+  read_block c 0;
+  read_block c 4;
+  check_resident c "qlru-h0-m1 protects the hit line" [ 0; 2; 3; 4 ]
+
+let test_mru_victim_sequence () =
+  let c = policy_cache Policy.Mru in
+  (* Filling way 3 saturates the MRU bits; they reset leaving only way
+     3 marked. *)
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  read_block c 0;
+  (* mark way 0 *)
+  read_block c 4;
+  (* leftmost unmarked way holds block 1 *)
+  check_resident c "mru first victim" [ 0; 2; 3; 4 ];
+  read_block c 5;
+  (* way 1 became marked by the fill; next unmarked holds block 2 *)
+  check_resident c "mru second victim" [ 0; 3; 4; 5 ]
+
+let test_random_victim_matches_xorshift () =
+  let seed = 123456 in
+  let c = policy_cache (Policy.Random seed) in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  (* First draw of the documented xorshift32, transcribed here. *)
+  let x = seed land 0xFFFFFFFF in
+  let x = if x = 0 then 1 else x in
+  let x = x lxor (x lsl 13) land 0xFFFFFFFF in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land 0xFFFFFFFF in
+  let victim_block = x mod 4 in
+  (* ways were filled in block order, so way w holds block w *)
+  read_block c 4;
+  check_bool "predicted victim evicted" false
+    (Cache.contains_block c ~block:victim_block);
+  List.iter
+    (fun b ->
+      if b <> victim_block then
+        check_bool
+          (Printf.sprintf "block %d survives" b)
+          true
+          (Cache.contains_block c ~block:b))
+    [ 0; 1; 2; 3; 4 ]
+
+let test_random_same_seed_deterministic () =
+  let cfg =
+    Config.make ~block_bytes:32 ~associativity:4 ~policy:(Policy.Random 99)
+      2048
+  in
+  let a = Cache.create cfg and b = Cache.create cfg in
+  List.iter
+    (fun e ->
+      Cache.access a e;
+      Cache.access b e)
+    (lcg_stream 3000);
+  Alcotest.check stats_testable "same seed, same stats" (Cache.stats a)
+    (Cache.stats b)
+
+let test_random_different_seeds_diverge () =
+  let mk seed =
+    let c =
+      Cache.create
+        (Config.make ~block_bytes:32 ~associativity:4
+           ~policy:(Policy.Random seed) 2048)
+    in
+    List.iter (Cache.access c) (lcg_stream 3000);
+    (Cache.stats c).Stats.misses
+  in
+  check_bool "different seeds pick different victims" true (mk 1 <> mk 2)
+
+let test_policy_flush_resets_state () =
+  (* After a flush the recency state must restart from scratch: the
+     victim sequence replays exactly as on a fresh cache. *)
+  let play c = List.iter (read_block c) [ 0; 1; 2; 3; 1; 4; 5 ] in
+  let a = policy_cache Policy.Plru in
+  play a;
+  Cache.flush a;
+  let before = (Cache.stats a).Stats.misses in
+  play a;
+  let replayed = (Cache.stats a).Stats.misses - before in
+  let fresh = policy_cache Policy.Plru in
+  play fresh;
+  check_int "same misses after flush as from scratch"
+    (Cache.stats fresh).Stats.misses replayed;
+  (* resident sets agree block for block *)
+  List.iter
+    (fun b ->
+      check_bool
+        (Printf.sprintf "block %d residency agrees" b)
+        (Cache.contains_block fresh ~block:b)
+        (Cache.contains_block a ~block:b))
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+(* Satellite: write-back accounting through the policy victim path. *)
+
+let test_wb_policy_dirty_on_write_hit () =
+  (* FIFO write hit: recency untouched, but the line must turn dirty. *)
+  let c = policy_cache Policy.Fifo in
+  List.iter (read_block c) [ 0; 1; 2; 3 ];
+  write_block c 0;
+  check_int "write hit costs no writeback" 0 (Cache.stats c).Stats.writebacks;
+  read_block c 4;
+  (* FIFO evicts block 0 — dirty *)
+  check_int "dirty victim written back exactly once" 1
+    (Cache.stats c).Stats.writebacks;
+  read_block c 5;
+  (* evicts block 1 — clean *)
+  check_int "clean eviction adds no writeback" 1
+    (Cache.stats c).Stats.writebacks
+
+let test_wb_policy_writeback_counted_once () =
+  let c = policy_cache Policy.Fifo in
+  write_block c 0;
+  List.iter (read_block c) [ 1; 2; 3 ];
+  read_block c 4;
+  (* evicts dirty block 0 *)
+  check_int "one writeback at eviction" 1 (Cache.stats c).Stats.writebacks;
+  Cache.flush c;
+  (* every remaining line was filled by a read: nothing more to write *)
+  check_int "flush adds nothing for clean lines" 1
+    (Cache.stats c).Stats.writebacks
+
+let test_wb_plru_dirty_follows_victim () =
+  let c = policy_cache Policy.Plru in
+  write_block c 0;
+  List.iter (read_block c) [ 1; 2; 3 ];
+  (* PLRU victim walk lands on way 0 (dirty block 0). *)
+  read_block c 4;
+  check_int "dirty PLRU victim written back" 1
+    (Cache.stats c).Stats.writebacks;
+  read_block c 1;
+  read_block c 5;
+  (* victim is way 2 (clean block 2) *)
+  check_int "clean PLRU victim free" 1 (Cache.stats c).Stats.writebacks;
+  check_resident c "plru dirty victim order" [ 1; 3; 4; 5 ]
+
+(* Multi must fall back to standalone simulation for non-LRU members
+   while keeping LRU members on the forest fast path — and the split
+   must be invisible in the results. *)
+let test_multi_mixed_policies () =
+  let configs =
+    [ Config.make (16 * 1024);
+      Config.make ~associativity:8 ~policy:Policy.Plru (16 * 1024);
+      Config.make ~associativity:4 ~policy:(Policy.Qlru Policy.qlru_h00_m1)
+        (16 * 1024);
+      Config.make ~associativity:2 ~policy:Policy.Fifo (8 * 1024);
+      Config.make ~associativity:4 ~policy:(Policy.Random 7) (8 * 1024) ]
+  in
+  let multi = Multi.create configs in
+  let batcher = Memsim.Sink.Batcher.create ~capacity:7 (Multi.sink multi) in
+  let bsink = Memsim.Sink.Batcher.sink batcher in
+  let caches = List.map Cache.create configs in
+  List.iter
+    (fun e ->
+      bsink.Memsim.Sink.emit e;
+      List.iter (fun c -> Cache.access c e) caches)
+    (lcg_stream 6000);
+  Memsim.Sink.Batcher.flush batcher;
+  List.iter2
+    (fun c (cfg, stats) ->
+      Alcotest.check stats_testable cfg.Config.name (Cache.stats c) stats)
+    caches (Multi.results multi)
+
+let test_forest_rejects_non_lru () =
+  match
+    Forest.create [ Config.make ~associativity:2 ~policy:Policy.Plru 256 ]
+  with
+  | exception Invalid_argument msg ->
+      check_bool "message names the policy" true
+        (contains_substring ~needle:"plru" msg);
+      check_bool "message states the restriction" true
+        (contains_substring ~needle:"lru only" msg)
+  | _ -> Alcotest.fail "expected Invalid_argument for non-LRU forest"
+
+(* ------------------------------------------------------------------ *)
+(* N-level hierarchies and CPU presets                                *)
+(* ------------------------------------------------------------------ *)
+
+let three_level () =
+  Hierarchy.create_levels
+    [ Config.make ~block_bytes:32 128;
+      Config.make ~block_bytes:32 512;
+      Config.make ~block_bytes:32 4096 ]
+
+let test_hierarchy_three_level_filters () =
+  let h = three_level () in
+  let sink = Hierarchy.sink h in
+  (* Cycle 8 blocks: more than L1's 4, within L2's 16 and L3's 128.
+     L1 thrashes every pass; L2 and L3 cold-miss once per block. *)
+  for _pass = 1 to 10 do
+    for b = 0 to 7 do
+      sink.Memsim.Sink.emit (Memsim.Event.read (b * 32) 4)
+    done
+  done;
+  check_int "3 levels" 3 (Hierarchy.num_levels h);
+  let l1 = Hierarchy.level_stats h 0
+  and l2 = Hierarchy.level_stats h 1
+  and l3 = Hierarchy.level_stats h 2 in
+  check_int "L1 sees everything" 80 l1.Stats.accesses;
+  check_int "L1 thrashes" 80 l1.Stats.misses;
+  check_int "L2 sees only L1 misses" 80 l2.Stats.accesses;
+  check_int "L2 only cold misses" 8 l2.Stats.misses;
+  check_int "L3 sees only L2 misses" 8 l3.Stats.accesses;
+  check_int "L3 only cold misses" 8 l3.Stats.misses
+
+let test_hierarchy_per_level_stalls () =
+  let h = three_level () in
+  Hierarchy.access h (Memsim.Event.read 0 4);
+  (* One access missing all three levels: pays the L2 access, the L3
+     access, and main memory. *)
+  check_int "stalls sum per-level penalties" 250
+    (Hierarchy.stalls h ~penalties:[| 10; 40; 200 |]);
+  (* Wrong arity is a caller bug, loudly. *)
+  check_bool "penalty arity checked" true
+    (match Hierarchy.stalls h ~penalties:[| 10; 40 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* The two-level compat wrapper agrees with the array form. *)
+  let h2 =
+    Hierarchy.create
+      ~l1:(Config.make ~block_bytes:32 128)
+      ~l2:(Config.make ~block_bytes:32 4096)
+  in
+  Hierarchy.access h2 (Memsim.Event.read 0 4);
+  check_int "compat wrapper = array form"
+    (Hierarchy.stalls h2 ~penalties:[| 10; 100 |])
+    (Hierarchy.stall_cycles h2 ~l1_penalty:10 ~l2_penalty:100)
+
+let test_hierarchy_rejects_empty () =
+  check_bool "empty level list rejected" true
+    (match Hierarchy.create_levels [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_hierarchy_access_chain_invariant () =
+  (* For every preset (mixed PLRU/QLRU levels included): level i+1's
+     accesses are exactly level i's misses. *)
+  List.iter
+    (fun (cpu : Cpu.t) ->
+      let h = Cpu.hierarchy cpu in
+      let sink = Hierarchy.sink h in
+      List.iter (fun e -> sink.Memsim.Sink.emit e) (lcg_stream 4000);
+      let stats = List.map snd (Hierarchy.results h) in
+      let rec chain = function
+        | a :: (b : Stats.t) :: rest ->
+            check_int
+              (Printf.sprintf "%s: misses feed the next level" cpu.Cpu.key)
+              a.Stats.misses b.Stats.accesses;
+            chain (b :: rest)
+        | _ -> ()
+      in
+      chain stats)
+    Cpu.all
+
+let test_cpu_presets_well_formed () =
+  check_int "five presets" 5 (List.length Cpu.all);
+  List.iter
+    (fun (cpu : Cpu.t) ->
+      check_int (cpu.Cpu.key ^ ": three levels") 3
+        (List.length cpu.Cpu.levels);
+      check_bool (cpu.Cpu.key ^ ": findable") true
+        ((Cpu.find cpu.Cpu.key).Cpu.key = cpu.Cpu.key);
+      check_int
+        (cpu.Cpu.key ^ ": one penalty per level")
+        (List.length cpu.Cpu.levels)
+        (Array.length (Cpu.miss_penalties cpu));
+      (* Latencies grow monotonically down the hierarchy. *)
+      let lats =
+        List.map (fun (l : Cpu.level) -> l.Cpu.hit_latency) cpu.Cpu.levels
+      in
+      let rec increasing = function
+        | a :: b :: rest -> a < b && increasing (b :: rest)
+        | _ -> true
+      in
+      check_bool (cpu.Cpu.key ^ ": latencies increase") true
+        (increasing (lats @ [ cpu.Cpu.mem_latency ])))
+    Cpu.all;
+  check_bool "unknown key lists candidates" true
+    (match Cpu.find "486" with
+    | exception Invalid_argument msg ->
+        contains_substring ~needle:"skylake" msg
+        && contains_substring ~needle:"486" msg
+    | _ -> false)
+
+let test_cpu_skylake_cost_model () =
+  let cpu = Cpu.skylake in
+  Alcotest.(check (array int))
+    "miss penalties follow next-level latencies" [| 12; 42; 240 |]
+    (Cpu.miss_penalties cpu);
+  let h = Cpu.hierarchy cpu in
+  Hierarchy.access h (Memsim.Event.read 0 4);
+  (* one miss at each level *)
+  check_int "stalls" 294 (Cpu.stall_cycles cpu h);
+  check_int "total = instructions + stalls" 394
+    (Cpu.total_cycles cpu h ~instructions:100)
+
+(* ------------------------------------------------------------------ *)
 (* Stats                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -662,6 +1136,9 @@ let () =
           Alcotest.test_case "assoc name" `Quick test_config_assoc_name;
           Alcotest.test_case "rejects bad" `Quick test_config_rejects_bad;
           Alcotest.test_case "paper sweep" `Quick test_config_paper_sweep;
+          Alcotest.test_case "policy names" `Quick test_config_policy_names;
+          Alcotest.test_case "policy token round-trip" `Quick
+            test_policy_string_roundtrip;
         ] );
       ( "direct-mapped",
         [
@@ -686,6 +1163,12 @@ let () =
             test_wb_read_after_write_keeps_dirty;
           Alcotest.test_case "assoc dirty follows LRU" `Quick
             test_wb_assoc_dirty_follows_lru;
+          Alcotest.test_case "dirty on write hit (FIFO)" `Quick
+            test_wb_policy_dirty_on_write_hit;
+          Alcotest.test_case "writeback counted once" `Quick
+            test_wb_policy_writeback_counted_once;
+          Alcotest.test_case "dirty follows PLRU victim" `Quick
+            test_wb_plru_dirty_follows_victim;
         ]
         @ qsuite [ prop_writebacks_bounded ] );
       ( "set-associative",
@@ -711,6 +1194,8 @@ let () =
           Alcotest.test_case "bigger cache fewer misses" `Quick
             test_multi_bigger_cache_fewer_misses;
           Alcotest.test_case "find" `Quick test_multi_find;
+          Alcotest.test_case "mixed policies fall back standalone" `Quick
+            test_multi_mixed_policies;
         ] );
       ( "forest",
         [
@@ -720,8 +1205,45 @@ let () =
             test_forest_batched_multi_equivalence;
           Alcotest.test_case "create validation" `Quick
             test_forest_create_rejects;
+          Alcotest.test_case "rejects non-LRU policies" `Quick
+            test_forest_rejects_non_lru;
         ]
         @ qsuite [ prop_forest_matches_caches ] );
+      ( "policy",
+        [
+          Alcotest.test_case "lru victim sequence" `Quick
+            test_lru_victim_sequence;
+          Alcotest.test_case "fifo victim sequence" `Quick
+            test_fifo_victim_sequence;
+          Alcotest.test_case "plru victim sequence" `Quick
+            test_plru_victim_sequence;
+          Alcotest.test_case "qlru-h1-m1 victim sequence" `Quick
+            test_qlru_h11_m1_victim_sequence;
+          Alcotest.test_case "qlru-h0-m1 victim sequence" `Quick
+            test_qlru_h00_m1_victim_sequence;
+          Alcotest.test_case "mru victim sequence" `Quick
+            test_mru_victim_sequence;
+          Alcotest.test_case "random victim matches xorshift32" `Quick
+            test_random_victim_matches_xorshift;
+          Alcotest.test_case "random same seed deterministic" `Quick
+            test_random_same_seed_deterministic;
+          Alcotest.test_case "random seeds diverge" `Quick
+            test_random_different_seeds_diverge;
+          Alcotest.test_case "flush resets recency state" `Quick
+            test_policy_flush_resets_state;
+        ]
+        @ qsuite
+            [
+              prop_lru_matches_oracle;
+              prop_fifo_matches_oracle;
+              prop_random_matches_oracle;
+              prop_plru_matches_oracle;
+              prop_qlru_h00_m1_matches_oracle;
+              prop_qlru_h11_m1_matches_oracle;
+              prop_qlru_h00_m0_matches_oracle;
+              prop_qlru_any_matches_oracle;
+              prop_mru_matches_oracle;
+            ] );
       ( "classify",
         [
           Alcotest.test_case "cold" `Quick test_classify_cold;
@@ -737,6 +1259,20 @@ let () =
             test_hierarchy_l2_sees_only_l1_misses;
           Alcotest.test_case "stall cycles" `Quick test_hierarchy_stall_cycles;
           Alcotest.test_case "L2 filters" `Quick test_hierarchy_l2_filters;
+          Alcotest.test_case "three levels filter" `Quick
+            test_hierarchy_three_level_filters;
+          Alcotest.test_case "per-level stalls" `Quick
+            test_hierarchy_per_level_stalls;
+          Alcotest.test_case "rejects empty" `Quick test_hierarchy_rejects_empty;
+          Alcotest.test_case "access chain invariant" `Quick
+            test_hierarchy_access_chain_invariant;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "presets well formed" `Quick
+            test_cpu_presets_well_formed;
+          Alcotest.test_case "skylake cost model" `Quick
+            test_cpu_skylake_cost_model;
         ] );
       ( "stats",
         [

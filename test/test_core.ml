@@ -32,10 +32,10 @@ let test_runs_all_configs_present () =
       check_bool (name ^ " saw traffic") true (s.Cachesim.Stats.accesses > 0))
     Core.Runs.standard_configs;
   check_bool "hierarchy L1 saw traffic" true
-    (d.Core.Artifact.l1.Cachesim.Stats.accesses > 0);
+    ((Core.Artifact.l1 d).Cachesim.Stats.accesses > 0);
   check_bool "L2 sees fewer accesses than L1" true
-    (d.Core.Artifact.l2.Cachesim.Stats.accesses
-    < d.Core.Artifact.l1.Cachesim.Stats.accesses);
+    ((Core.Artifact.l2 d).Cachesim.Stats.accesses
+    < (Core.Artifact.l1 d).Cachesim.Stats.accesses);
   check_bool "pages saw traffic" true
     (d.Core.Artifact.fault_curve.Vmsim.Fault_curve.references > 0)
 
@@ -87,7 +87,7 @@ let test_runs_cross_simulator_consistency () =
      exactly, field by field. *)
   let d = Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd" in
   let sweep = Core.Artifact.cache_stats d ~name:"16K-dm" in
-  let l1 = d.Core.Artifact.l1 in
+  let l1 = Core.Artifact.l1 d in
   let open Cachesim.Stats in
   check_int "accesses" sweep.accesses l1.accesses;
   check_int "misses" sweep.misses l1.misses;
@@ -147,7 +147,7 @@ let test_runs_custom_trained () =
 (* ------------------------------------------------------------------ *)
 
 let test_experiment_registry () =
-  check_int "twenty-three experiments" 23 (List.length Core.Experiment.all);
+  check_int "twenty-four experiments" 24 (List.length Core.Experiment.all);
   List.iter
     (fun id ->
       check_bool (id ^ " findable") true

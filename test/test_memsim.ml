@@ -491,24 +491,15 @@ let test_trace_compactness () =
   Alcotest.(check bool) "under 3 bytes/event" true (len < 30_000)
 
 let prop_trace_roundtrip_random =
+  (* Events come from the shared testkit generator, at full trace-file
+     width (addresses to 10M, sizes to 5000) rather than the cache-suite
+     defaults. *)
   QCheck.Test.make ~name:"trace roundtrip on random events" ~count:100
-    QCheck.(
-      small_list
-        (quad bool (int_bound 2) (int_bound 10_000_000) (int_range 1 5000)))
-    (fun specs ->
-      let events =
-        List.map
-          (fun (w, s, addr, size) ->
-            { Event.kind = (if w then Event.Write else Event.Read);
-              source =
-                (match s with
-                | 0 -> Event.App
-                | 1 -> Event.Malloc
-                | _ -> Event.Free);
-              addr;
-              size })
-          specs
-      in
+    (QCheck.make
+       QCheck.Gen.(
+         small_list
+           (Testkit.Gen.event_gen ~addr_bound:10_000_000 ~max_size:5000 ())))
+    (fun events ->
       let path = tmp_trace "loclab_prop.trace" in
       Trace_file.record_to_file path (fun sink ->
           List.iter sink.Sink.emit events);

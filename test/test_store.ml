@@ -177,7 +177,13 @@ let config_pool =
   [ Cachesim.Config.make (16 * 1024);
     Cachesim.Config.make ~associativity:2 (16 * 1024);
     Cachesim.Config.make ~block_bytes:64 (64 * 1024);
-    Cachesim.Config.make ~name:"odd name \"quoted\"" (32 * 1024) ]
+    Cachesim.Config.make ~name:"odd name \"quoted\"" (32 * 1024);
+    Cachesim.Config.make ~associativity:8 ~policy:Cachesim.Policy.Plru
+      (16 * 1024);
+    Cachesim.Config.make ~associativity:4
+      ~policy:(Cachesim.Policy.Qlru Cachesim.Policy.qlru_h11_m1) (32 * 1024);
+    Cachesim.Config.make ~associativity:2 ~policy:(Cachesim.Policy.Random 42)
+      (8 * 1024) ]
 
 let gen_artifact =
   let open QCheck.Gen in
@@ -194,8 +200,8 @@ let gen_artifact =
   map alloc_stats_of_list (list_repeat 10 nonneg) >>= fun alloc_stats ->
   int_range 1 (List.length config_pool) >>= fun ncfg ->
   list_repeat ncfg stats >>= fun cache_stats ->
-  stats >>= fun l1 ->
-  stats >>= fun l2 ->
+  int_range 1 3 >>= fun nlevels ->
+  list_repeat nlevels stats >>= fun level_stats ->
   oneofl [ 512; 4096; 8192 ] >>= fun page_bytes ->
   nonneg >>= fun references ->
   nonneg >>= fun cold ->
@@ -206,11 +212,17 @@ let gen_artifact =
       (List.filteri (fun i _ -> i < ncfg) config_pool)
       cache_stats
   in
+  let hierarchy =
+    List.map2
+      (fun c s -> (c, s))
+      (List.filteri (fun i _ -> i < nlevels) config_pool)
+      level_stats
+  in
   return
     { Core.Artifact.meta =
         { Core.Artifact.program; allocator; scale; seed;
           schema_version = Core.Artifact.schema_version; trace_checksum };
-      summary; alloc_stats; caches; l1; l2;
+      summary; alloc_stats; caches; hierarchy;
       fault_curve = { Vmsim.Fault_curve.page_bytes; references; cold; hist } }
 
 let prop_artifact_roundtrip =
