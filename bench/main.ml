@@ -121,6 +121,76 @@ let () =
     Core.Experiment.all
 
 (* ------------------------------------------------------------------ *)
+(* Domain-sharded replay scaling                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Capture one grid cell's reference trace once, then replay it through
+   the standard 32-byte LRU forest family under Cachesim.Shard with a
+   growing domain count.  LOCLAB_SCALING_JOBS overrides the job list
+   (comma-separated, default "1,2,4,8").  Every sharded run is checked
+   stat-identical to the sequential one. *)
+let scaling_jobs =
+  let default = [ 1; 2; 4; 8 ] in
+  match Sys.getenv_opt "LOCLAB_SCALING_JOBS" with
+  | None -> default
+  | Some s ->
+      let parsed =
+        String.split_on_char ',' s
+        |> List.filter_map (fun tok ->
+               match int_of_string_opt (String.trim tok) with
+               | Some j when j >= 1 -> Some j
+               | _ -> None)
+      in
+      if parsed = [] then default else parsed
+
+let scaling_cell = "espresso/bsd"
+let scaling_trace_events = ref 0
+let scaling_configs = ref 0
+
+(* (jobs, wall seconds, events/s) in run order. *)
+let scaling_curve : (int * float * float) list ref = ref []
+let scaling_identical = ref true
+
+let () =
+  let trace = Memsim.Trace_buffer.create () in
+  ignore
+    (Workload.Driver.run
+       ~sink:(Memsim.Trace_buffer.sink trace)
+       ~scale ~profile:Workload.Programs.espresso ~allocator:"bsd" ());
+  scaling_trace_events := Memsim.Trace_buffer.length trace;
+  let configs =
+    List.filter
+      (fun (c : Cachesim.Config.t) ->
+        c.block_bytes = 32 && Cachesim.Policy.is_lru c.policy)
+      Core.Runs.standard_configs
+  in
+  scaling_configs := List.length configs;
+  let replay domains =
+    let t0 = Unix.gettimeofday () in
+    let results = Cachesim.Shard.replay ~domains ~configs trace in
+    (Unix.gettimeofday () -. t0, List.map snd results)
+  in
+  (* Untimed sequential run: the stat-identity reference, and a warm-up
+     so the first timed point does not pay one-off allocation costs. *)
+  let _, reference = replay 1 in
+  Printf.printf
+    "sharded replay (%s): %d events x %d configs, set-partitioned\n"
+    scaling_cell !scaling_trace_events !scaling_configs;
+  List.iter
+    (fun j ->
+      let seconds, stats = replay j in
+      let rate = float_of_int !scaling_trace_events /. seconds in
+      let same = stats = reference in
+      if not same then scaling_identical := false;
+      scaling_curve := (j, seconds, rate) :: !scaling_curve;
+      Printf.printf "  jobs=%d  %7.3f s  %8.2f M events/s%s\n" j seconds
+        (rate /. 1e6)
+        (if same then "" else "  [STATS DIVERGE FROM SEQUENTIAL]"))
+    scaling_jobs;
+  scaling_curve := List.rev !scaling_curve;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -265,7 +335,7 @@ let bench_json_path =
 
 (* Bench-json format version: bump when the object shape changes, so CI
    consumers can detect files from another era. *)
-let bench_format = 2
+let bench_format = 3
 
 let git_rev () =
   let read cmd =
@@ -279,6 +349,33 @@ let git_rev () =
   match read "git rev-parse --short HEAD 2>/dev/null" with
   | Some rev -> rev
   | None | (exception Sys_error _) -> "unknown"
+
+(* Some true = uncommitted changes, Some false = clean, None = not a
+   git checkout (or git unavailable). *)
+let git_dirty () =
+  let ic = Unix.open_process_in "git status --porcelain 2>/dev/null" in
+  let b = Buffer.create 64 in
+  (try
+     while true do
+       Buffer.add_channel b ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> Some (Buffer.length b > 0)
+  | _ -> None
+  | exception Unix.Unix_error _ -> None
+
+(* A path under results/ is a recorded baseline: committed alongside
+   the rev it claims to describe, so writing one from a dirty or
+   rev-less tree is refused unless LOCLAB_BENCH_ALLOW_DIRTY=1 opts into
+   recording it with "dirty": true. *)
+let is_recorded_path path =
+  List.mem "results" (String.split_on_char '/' path)
+
+(* Grid throughput of the boxed per-event pipeline at the previously
+   recorded baseline (results/bench-scale0.25.json, jobs=1), the number
+   the packed pipeline is measured against. *)
+let baseline_events_per_sec = 3_996_587.
 
 let iso8601 t =
   let tm = Unix.gmtime t in
@@ -298,12 +395,13 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json path =
+let write_bench_json ~rev ~dirty path =
   let oc = open_out path in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"meta\": {\n";
   Printf.fprintf oc "    \"bench_format\": %d,\n" bench_format;
-  Printf.fprintf oc "    \"git_rev\": \"%s\",\n" (json_escape (git_rev ()));
+  Printf.fprintf oc "    \"git_rev\": \"%s\",\n" (json_escape rev);
+  Printf.fprintf oc "    \"dirty\": %b,\n" dirty;
   Printf.fprintf oc "    \"artifact_schema_version\": %d,\n"
     Core.Artifact.schema_version;
   Printf.fprintf oc "    \"generated_at\": \"%s\",\n"
@@ -315,8 +413,35 @@ let write_bench_json path =
   Printf.fprintf oc "  \"grid\": {\n";
   Printf.fprintf oc "    \"fill_seconds\": %.3f,\n" !fill_seconds;
   Printf.fprintf oc "    \"events\": %d,\n" !grid_events;
-  Printf.fprintf oc "    \"events_per_sec\": %.0f\n"
+  Printf.fprintf oc "    \"events_per_sec\": %.0f,\n"
     (float_of_int !grid_events /. !fill_seconds);
+  Printf.fprintf oc "    \"baseline_events_per_sec\": %.0f,\n"
+    baseline_events_per_sec;
+  Printf.fprintf oc "    \"speedup_vs_baseline\": %.2f\n"
+    (float_of_int !grid_events /. !fill_seconds /. baseline_events_per_sec);
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"scaling\": {\n";
+  Printf.fprintf oc "    \"trace_cell\": \"%s\",\n" (json_escape scaling_cell);
+  Printf.fprintf oc "    \"trace_events\": %d,\n" !scaling_trace_events;
+  Printf.fprintf oc "    \"configs\": %d,\n" !scaling_configs;
+  Printf.fprintf oc "    \"stat_identical\": %b,\n" !scaling_identical;
+  Printf.fprintf oc "    \"curve\": [";
+  let base_seconds =
+    match !scaling_curve with
+    | (_, s, _) :: _ -> s
+    | [] -> 0.
+  in
+  List.iteri
+    (fun i (j, seconds, rate) ->
+      Printf.fprintf oc
+        "%s\n      { \"jobs\": %d, \"seconds\": %.3f, \"events_per_sec\": \
+         %.0f, \"speedup\": %.2f }"
+        (if i = 0 then "" else ",")
+        j seconds rate
+        (if seconds > 0. then base_seconds /. seconds else 0.))
+    !scaling_curve;
+  if !scaling_curve <> [] then Printf.fprintf oc "\n    ";
+  Printf.fprintf oc "]\n";
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"store\": {\n";
   Printf.fprintf oc "    \"cold_fill_seconds\": %.3f,\n" !fill_seconds;
@@ -352,14 +477,38 @@ let () =
       "\nExperiment regeneration (warm grid), one per table/figure:\n";
     run_tests experiment_tests
   end;
-  (match bench_json_path with
-  | None -> ()
-  | Some path ->
-      write_bench_json path;
-      Printf.printf "\nbench json written to %s\n" path);
+  let refused =
+    match bench_json_path with
+    | None -> false
+    | Some path ->
+        let rev = git_rev () in
+        let dirty =
+          match git_dirty () with Some d -> d | None -> true
+        in
+        let unclean = dirty || rev = "unknown" in
+        let allow_dirty =
+          Sys.getenv_opt "LOCLAB_BENCH_ALLOW_DIRTY" = Some "1"
+        in
+        if is_recorded_path path && unclean && not allow_dirty then begin
+          Printf.eprintf
+            "refusing to write recorded bench result %s: %s.\n\
+             Commit first so the result matches a rev, or set \
+             LOCLAB_BENCH_ALLOW_DIRTY=1 to record it with \"dirty\": true.\n"
+            path
+            (if rev = "unknown" then "git revision is unknown"
+             else "the working tree has uncommitted changes");
+          true
+        end
+        else begin
+          write_bench_json ~rev ~dirty:unclean path;
+          Printf.printf "\nbench json written to %s\n" path;
+          false
+        end
+  in
   if store_is_temp then begin
     Array.iter
       (fun f -> Sys.remove (Filename.concat store_dir f))
       (Sys.readdir store_dir);
     Unix.rmdir store_dir
-  end
+  end;
+  if refused then exit 1

@@ -32,6 +32,9 @@ let () =
   let ys = List.init 1000 (fun i -> Allocators.Allocator.malloc alloc (8 + (i mod 4 * 8))) in
   List.iter (Allocators.Allocator.free alloc) ys;
 
+  (* The machine batches its packed trace internally: flush before
+     reading anything downstream of the sink. *)
+  Allocators.Heap.flush_trace heap;
   let stats = Cachesim.Cache.stats cache in
   let cost = Allocators.Heap.cost heap in
   Printf.printf "allocator        : %s\n" (Allocators.Allocator.name alloc);

@@ -22,6 +22,7 @@ let cost t = t.cost
 let heap_region t = t.heap_region
 let static_region t = t.static_region
 let set_sink t sink = Sim_memory.set_sink t.mem sink
+let flush_trace t = Sim_memory.flush t.mem
 
 let with_phase t phase f =
   let saved = Cost.phase t.cost in

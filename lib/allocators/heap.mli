@@ -26,6 +26,10 @@ val heap_region : t -> Memsim.Region.t
 val static_region : t -> Memsim.Region.t
 val set_sink : t -> Memsim.Sink.t -> unit
 
+val flush_trace : t -> unit
+(** Flushes the memory's internal packed event buffer to the sink; call
+    before observing sink-side state (see {!Memsim.Sim_memory.flush}). *)
+
 (** {1 Phased execution} *)
 
 val with_phase : t -> Cost.phase -> (unit -> 'a) -> 'a

@@ -103,7 +103,34 @@ let access t (e : Memsim.Event.t) =
     ignore (access_block t ~kind:e.kind ~source:e.source ~block)
   done
 
-let sink t = Memsim.Sink.of_fn (access t)
+(* Packed hot path: kind/source are decoded once per event from the
+   meta word; no Event.t record is built. *)
+let access_packed t ~addr ~meta =
+  let kind = Memsim.Event.Packed.kind meta in
+  let source = Memsim.Event.Packed.source meta in
+  let first = addr lsr t.block_shift in
+  let last = (addr + (meta lsr 3) - 1) lsr t.block_shift in
+  for block = first to last do
+    ignore (access_block t ~kind ~source ~block)
+  done
+
+let access_packed_batch t (b : Memsim.Event.Batch.t) =
+  let addrs = b.Memsim.Event.Batch.addrs and metas = b.Memsim.Event.Batch.metas in
+  for i = 0 to b.Memsim.Event.Batch.len - 1 do
+    access_packed t ~addr:(Array.unsafe_get addrs i)
+      ~meta:(Array.unsafe_get metas i)
+  done
+
+let sink t =
+  let access_event = access t in
+  { Memsim.Sink.emit = access_event;
+    emit_batch =
+      (fun buf len ->
+        for i = 0 to len - 1 do
+          access_event (Array.unsafe_get buf i)
+        done);
+    emit_packed_batch = access_packed_batch t;
+  }
 
 let contains_block t ~block =
   let set = block land (t.num_sets - 1) in

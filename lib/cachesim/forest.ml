@@ -62,6 +62,16 @@ type t = {
   dm : member array;  (* direct-mapped, ascending number of sets *)
   sa : member array;  (* set-associative, creation order *)
   block_shift : int;
+  (* Set-range sharding (see {!create}'s [?shard]): this instance owns a
+     block iff [lo <= block land part_mask < hi].  [part_mask] is the
+     smallest member's set mask, so every member's sets partition
+     cleanly across shards: blocks of one set always land in one shard,
+     which keeps per-set LRU order, evictions and cold misses identical
+     to the sequential walk.  Unsharded instances own everything
+     (mask = 0, range [0, 1)). *)
+  part_mask : int;
+  part_lo : int;
+  part_hi : int;
   seen : (int, unit) Hashtbl.t;  (* blocks ever referenced, shared *)
   mutable ticks : int;  (* probed block accesses; doubles as the LRU clock *)
   acc : int array;  (* accesses by [ki*3 + si], identical for members *)
@@ -82,7 +92,13 @@ let log2 n =
   let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
 
-let create configs =
+let create ?shard configs =
+  (match shard with
+  | None -> ()
+  | Some (i, n) ->
+      if n < 1 || i < 0 || i >= n then
+        invalid_arg
+          (Printf.sprintf "Cachesim.Forest.create: bad shard (%d, %d)" i n));
   (match configs with
   | [] -> invalid_arg "Cachesim.Forest.create: no configurations"
   | first :: rest ->
@@ -127,10 +143,27 @@ let create configs =
     Array.of_list
       (List.filter (fun m -> m.assoc > 1) (Array.to_list members))
   in
+  let part_mask, part_lo, part_hi =
+    match shard with
+    | None -> (0, 0, 1)
+    | Some (i, n) ->
+        (* Partition on the smallest member's set index: its mask bits
+           are the low bits of every member's mask (all are 2^k - 1), so
+           a contiguous range of small-member set indices is a union of
+           whole sets in every member. *)
+        let mask =
+          Array.fold_left (fun acc m -> min acc m.set_mask) max_int members
+        in
+        let groups = mask + 1 in
+        (mask, groups * i / n, groups * (i + 1) / n)
+  in
   { members;
     dm;
     sa;
     block_shift = log2 (List.hd configs).Config.block_bytes;
+    part_mask;
+    part_lo;
+    part_hi;
     seen = Hashtbl.create 4096;
     ticks = 0;
     acc = Array.make 6 0;
@@ -162,7 +195,9 @@ let mark_run_dirty t =
    [ki*3 + si], resolved once per event.  Returns how many members
    missed. *)
 let rec access_block_ks t ~ks ~block =
-  if block = t.last_block then begin
+  let p = block land t.part_mask in
+  if p < t.part_lo || p >= t.part_hi then 0  (* another shard's block *)
+  else if block = t.last_block then begin
     (* Consecutive repeat: hits every member by construction. *)
     Array.unsafe_set t.acc ks (Array.unsafe_get t.acc ks + 1);
     if ks >= 3 && not t.run_dirty then mark_run_dirty t;
@@ -281,13 +316,49 @@ let access t (e : Memsim.Event.t) =
     ~ks:(ks_index ~kind:e.kind ~source:e.source)
     ~addr:e.addr ~size:e.size
 
+(* The packed hot path: ks, addr and size all come straight out of the
+   two packed ints — no Event.t is materialised. *)
+let access_packed_batch t (b : Memsim.Event.Batch.t) =
+  let addrs = b.Memsim.Event.Batch.addrs and metas = b.Memsim.Event.Batch.metas in
+  for i = 0 to b.Memsim.Event.Batch.len - 1 do
+    let meta = Array.unsafe_get metas i in
+    access_range_ks t
+      ~ks:(Memsim.Event.Packed.ks meta)
+      ~addr:(Array.unsafe_get addrs i)
+      ~size:(meta lsr 3)
+  done
+
 let sink t =
   let access_event = access t in
-  Memsim.Sink.make ~emit:access_event
-    ~emit_batch:(fun buf len ->
-      for i = 0 to len - 1 do
-        access_event (Array.unsafe_get buf i)
-      done)
+  { Memsim.Sink.emit = access_event;
+    emit_batch =
+      (fun buf len ->
+        for i = 0 to len - 1 do
+          access_event (Array.unsafe_get buf i)
+        done);
+    emit_packed_batch = access_packed_batch t;
+  }
+
+let absorb t other =
+  (* Merge another shard's counters into ours.  Only statistics move:
+     tags/stamps stay per-shard (their sets are disjoint by
+     construction, so there is nothing to reconcile). *)
+  if Array.length t.members <> Array.length other.members then
+    invalid_arg "Cachesim.Forest.absorb: member count mismatch";
+  for c = 0 to 5 do
+    t.acc.(c) <- t.acc.(c) + other.acc.(c)
+  done;
+  t.cold_misses <- t.cold_misses + other.cold_misses;
+  Array.iteri
+    (fun i m ->
+      let o = other.members.(i) in
+      if m.config <> o.config then
+        invalid_arg "Cachesim.Forest.absorb: member config mismatch";
+      for c = 0 to 5 do
+        m.miss.(c) <- m.miss.(c) + o.miss.(c)
+      done;
+      m.writebacks <- m.writebacks + o.writebacks)
+    t.members
 
 (* Marginals of the fused [ki*3 + si] layout.  Cells: 0 = read/app,
    1 = read/malloc, 2 = read/free, 3 = write/app, 4 = write/malloc,

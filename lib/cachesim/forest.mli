@@ -20,11 +20,20 @@
 
 type t
 
-val create : Config.t list -> t
+val create : ?shard:int * int -> Config.t list -> t
 (** [create configs] builds the family.
 
-    @raise Invalid_argument if the list is empty or the members
-    disagree on block size. *)
+    [?shard:(i, n)] builds shard [i] of [n]: the instance owns only the
+    blocks whose set index (in the family's smallest member) falls in
+    its contiguous [1/n] range, and silently ignores every other
+    reference.  Because all members' set counts are powers of two, a
+    whole set of {e every} member belongs to exactly one shard, so [n]
+    shards each scanning the full trace and then merged with {!absorb}
+    produce statistics identical to one unsharded instance ([Shard]
+    drives this across domains; identity is pinned by test).
+
+    @raise Invalid_argument if the list is empty, the members disagree
+    on block size, or the shard pair is out of range. *)
 
 val block_bytes : t -> int
 (** The family's shared block size. *)
@@ -55,9 +64,21 @@ val access : t -> Memsim.Event.t -> unit
 (** Feeds one reference event, touching every block the byte range
     spans (addresses must be non-negative). *)
 
+val access_packed_batch : t -> Memsim.Event.Batch.t -> unit
+(** Feeds a packed batch through the hot path without materialising
+    [Event.t] records. *)
+
 val sink : t -> Memsim.Sink.t
-(** The family as a trace consumer; the batch path replays the buffer
-    in order through {!access}. *)
+(** The family as a trace consumer; boxed batches replay the buffer in
+    order through {!access}, packed batches go straight through
+    {!access_packed_batch}. *)
+
+val absorb : t -> t -> unit
+(** [absorb t other] adds [other]'s counters (accesses, misses, cold
+    misses, writebacks) into [t] — the merge step of sharded
+    simulation.  Cache contents are untouched.
+
+    @raise Invalid_argument if the two instances' members differ. *)
 
 val member_config : t -> int -> Config.t
 (** Configuration of the [i]th member, in creation order. *)

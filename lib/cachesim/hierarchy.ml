@@ -46,13 +46,11 @@ let probe level ~kind ~source ~ks ~block =
   | Forest_sim f -> Forest.access_block_ks f ~ks ~block > 0
   | Cache_sim c -> Cache.access_block c ~kind ~source ~block
 
-let access t (e : Memsim.Event.t) =
-  let ks = Forest.ks_index ~kind:e.kind ~source:e.source in
-  let kind = e.kind and source = e.source in
+let access_parts t ~kind ~source ~ks ~addr ~size =
   let top = t.levels.(0) in
   let n = Array.length t.levels in
-  let first = e.addr lsr top.shift in
-  let last = (e.addr + e.size - 1) lsr top.shift in
+  let first = addr lsr top.shift in
+  let last = (addr + size - 1) lsr top.shift in
   for block = first to last do
     if probe top ~kind ~source ~ks ~block then begin
       (* Propagate down the miss path, translating the level-0 block to
@@ -68,13 +66,33 @@ let access t (e : Memsim.Event.t) =
     end
   done
 
+let access t (e : Memsim.Event.t) =
+  access_parts t ~kind:e.kind ~source:e.source
+    ~ks:(Forest.ks_index ~kind:e.kind ~source:e.source)
+    ~addr:e.addr ~size:e.size
+
+let access_packed_batch t (b : Memsim.Event.Batch.t) =
+  let addrs = b.Memsim.Event.Batch.addrs and metas = b.Memsim.Event.Batch.metas in
+  for i = 0 to b.Memsim.Event.Batch.len - 1 do
+    let meta = Array.unsafe_get metas i in
+    access_parts t
+      ~kind:(Memsim.Event.Packed.kind meta)
+      ~source:(Memsim.Event.Packed.source meta)
+      ~ks:(Memsim.Event.Packed.ks meta)
+      ~addr:(Array.unsafe_get addrs i)
+      ~size:(meta lsr 3)
+  done
+
 let sink t =
   let access_event = access t in
-  Memsim.Sink.make ~emit:access_event
-    ~emit_batch:(fun buf len ->
-      for i = 0 to len - 1 do
-        access_event (Array.unsafe_get buf i)
-      done)
+  { Memsim.Sink.emit = access_event;
+    emit_batch =
+      (fun buf len ->
+        for i = 0 to len - 1 do
+          access_event (Array.unsafe_get buf i)
+        done);
+    emit_packed_batch = access_packed_batch t;
+  }
 
 let num_levels t = Array.length t.levels
 let level_config t i = t.levels.(i).config

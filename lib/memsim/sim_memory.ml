@@ -5,21 +5,33 @@
    store/load is an array access instead of a hashtable probe on the
    allocators' hot path.  [touched] marks words ever stored, preserving
    the distinct-word count (reads of untouched words are 0 either
-   way). *)
+   way).
+
+   Trace emission is packed and batched at the source: each access
+   appends (addr, meta) to an internal {!Event.Batch} — two int stores,
+   no [Event.t] record — which is flushed downstream as one
+   [emit_packed_batch] per 256 events.  Anything observing the sink's
+   state must {!flush} first (the workload driver does). *)
 type t = {
   mutable words : int array;
   mutable touched : Bytes.t;
   mutable written : int;  (* distinct words ever stored *)
   mutable sink : Sink.t;
   mutable source : Event.source;
+  mutable src_bits : int;  (* Packed.source_bits of [source], cached *)
+  buf : Event.Batch.t;
 }
+
+let batch_capacity = Event.Batch.default_capacity
 
 let create ?(sink = Sink.null) () =
   { words = Array.make 4096 0;
     touched = Bytes.make 4096 '\000';
     written = 0;
     sink;
-    source = Event.App }
+    source = Event.App;
+    src_bits = 0;
+    buf = Event.Batch.create ~capacity:batch_capacity () }
 
 (* Grow (by doubling) until word index [i] is in range. *)
 let ensure t i =
@@ -37,14 +49,27 @@ let ensure t i =
     t.touched <- touched
   end
 
-let set_sink t sink = t.sink <- sink
+let flush t =
+  if t.buf.Event.Batch.len > 0 then begin
+    t.sink.Sink.emit_packed_batch t.buf;
+    Event.Batch.clear t.buf
+  end
+
+let set_sink t sink =
+  (* Anything already buffered belongs to the old sink's trace. *)
+  flush t;
+  t.sink <- sink
+
 let source t = t.source
-let set_source t src = t.source <- src
+
+let set_source t src =
+  t.source <- src;
+  t.src_bits <- (match src with Event.App -> 0 | Event.Malloc -> 1 | Event.Free -> 2)
 
 let with_source t src f =
   let saved = t.source in
-  t.source <- src;
-  Fun.protect ~finally:(fun () -> t.source <- saved) f
+  set_source t src;
+  Fun.protect ~finally:(fun () -> set_source t saved) f
 
 let check_word_addr a =
   if not (Addr.word_aligned a) then
@@ -62,36 +87,49 @@ let set_word t i v =
 
 let get_word t i = if i < Array.length t.words then Array.unsafe_get t.words i else 0
 
+(* Append one packed event, flushing at the batch grain.  [kmeta] is the
+   meta word sans source bits: size lsl 3 (read) or size lsl 3 lor 4
+   (write). *)
+let emit_packed t addr kmeta =
+  Event.Batch.push t.buf ~addr ~meta:(kmeta lor t.src_bits);
+  (* Flush-on-full after the push: the same 256-event delivery
+     boundaries the driver's Sink.Batcher used to produce. *)
+  if t.buf.Event.Batch.len = batch_capacity then flush t
+
+(* Word-access meta words, precomputed: word_bytes lsl 3 (+ write bit). *)
+let word_read_meta = Addr.word_bytes lsl 3
+let word_write_meta = (Addr.word_bytes lsl 3) lor 4
+
 let load t a =
   check_word_addr a;
-  t.sink.emit { kind = Read; source = t.source; addr = a; size = Addr.word_bytes };
+  emit_packed t a word_read_meta;
   get_word t (Addr.word_index a)
 
 let store t a v =
   check_word_addr a;
-  t.sink.emit { kind = Write; source = t.source; addr = a; size = Addr.word_bytes };
+  emit_packed t a word_write_meta;
   set_word t (Addr.word_index a) v
 
-let ranged t kind a n =
+let ranged t kbit a n =
   assert (n >= 0);
   if n > 0 then begin
     (* Word-grain events, as PIXIE traces are: first piece may be a
        partial word, then whole words. *)
     let w = Addr.word_bytes in
     let first = min n (w - (a land (w - 1))) in
-    t.sink.emit { Event.kind; source = t.source; addr = a; size = first };
+    emit_packed t a ((first lsl 3) lor kbit);
     let pos = ref (a + first) in
     let remaining = ref (n - first) in
     while !remaining > 0 do
       let piece = min w !remaining in
-      t.sink.emit { Event.kind; source = t.source; addr = !pos; size = piece };
+      emit_packed t !pos ((piece lsl 3) lor kbit);
       pos := !pos + piece;
       remaining := !remaining - piece
     done
   end
 
-let read_bytes t a n = ranged t Event.Read a n
-let write_bytes t a n = ranged t Event.Write a n
+let read_bytes t a n = ranged t 0 a n
+let write_bytes t a n = ranged t 4 a n
 
 let peek t a =
   check_word_addr a;

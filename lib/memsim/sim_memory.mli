@@ -8,7 +8,14 @@
 
     Accesses carry the current {e source} ([App], [Malloc] or [Free]);
     allocators set the source on entry to [malloc]/[free] so their
-    metadata traffic is attributed correctly. *)
+    metadata traffic is attributed correctly.
+
+    Events are packed at the source into an internal {!Event.Batch} and
+    delivered downstream as one [emit_packed_batch] per 256 events — no
+    [Event.t] record is allocated on the hot path.  Consequently sink
+    state lags the simulation by up to one batch: call {!flush} before
+    observing counters, checksums or cache statistics fed by this
+    memory's sink.  ({!Workload.Driver} flushes for you.) *)
 
 type t
 
@@ -17,6 +24,10 @@ val create : ?sink:Sink.t -> unit -> t
     The sink can be replaced later with {!set_sink}. *)
 
 val set_sink : t -> Sink.t -> unit
+(** Replaces the sink, first flushing buffered events to the old one. *)
+
+val flush : t -> unit
+(** Delivers any internally buffered events to the sink now. *)
 
 val source : t -> Event.source
 val set_source : t -> Event.source -> unit

@@ -6,14 +6,18 @@
     counters), exactly as the paper drives TYCHO and VMSIM from one
     execution-driven trace.
 
-    Sinks consume events one at a time ([emit]) or a batch at a time
-    ([emit_batch]): a batch delivery must be observationally identical to
-    emitting each of its events in order, and exists only to amortise the
-    per-event closure dispatch on the hot path (one indirect call per
-    batch per consumer instead of one per reference).  [fanout] hands the
-    whole batch to each consumer in turn, so consumers must not rely on
-    being interleaved event-by-event with their siblings — none of the
-    simulators do, as each owns disjoint state. *)
+    Sinks consume events one at a time ([emit]), a boxed batch at a time
+    ([emit_batch]), or — the hot path — a {e packed} batch at a time
+    ([emit_packed_batch], over {!Event.Batch} struct-of-arrays buffers,
+    no per-event allocation).  Any delivery must be observationally
+    identical to emitting each of its events in order; the batch forms
+    exist to amortise per-event closure dispatch and boxing.  [fanout]
+    hands the whole batch to each consumer in turn, so consumers must not
+    rely on being interleaved event-by-event with their siblings — none
+    of the simulators do, as each owns disjoint state.  A packed batch is
+    shared read-only among fanout siblings and is only valid for the
+    duration of the call: consumers must fully consume (or copy) it
+    before returning. *)
 
 type t = {
   emit : Event.t -> unit;
@@ -21,21 +25,36 @@ type t = {
       (** [emit_batch buf len] consumes [buf.(0 .. len-1)], exactly as
           [len] successive [emit]s would.  Entries beyond [len] are
           garbage and must not be read. *)
+  emit_packed_batch : Event.Batch.t -> unit;
+      (** Consumes a packed batch, exactly as emitting each decoded
+          event in order would.  The batch is read-only and owned by the
+          producer; it may be reused the moment this call returns. *)
 }
 
 val null : t
 (** Discards every event. *)
 
 val of_fn : (Event.t -> unit) -> t
-(** Wraps a plain function; batches are consumed by iterating it. *)
+(** Wraps a plain function; batches (boxed and packed) are consumed by
+    decoding and iterating it. *)
 
 val make :
   emit:(Event.t -> unit) -> emit_batch:(Event.t array -> int -> unit) -> t
-(** A sink with a specialised batch path (e.g. an internal tight loop
-    that skips the per-event dispatch). *)
+(** A sink with a specialised boxed-batch path.  Packed deliveries are
+    decoded into a reused scratch array and handed to [emit_batch] as
+    ONE call per packed batch, so batch-grain consumers observe the same
+    delivery boundaries on either path. *)
+
+val make_packed : emit_packed_batch:(Event.Batch.t -> unit) -> t
+(** A natively packed consumer.  Boxed deliveries ([emit]/[emit_batch])
+    are packed into a reused scratch batch and forwarded as one packed
+    delivery each. *)
 
 val emit_batch : t -> Event.t array -> len:int -> unit
 (** [emit_batch t buf ~len] delivers the first [len] events of [buf]. *)
+
+val emit_packed_batch : t -> Event.Batch.t -> unit
+(** Delivers a packed batch. *)
 
 val fanout : t list -> t
 (** [fanout sinks] forwards each event to every sink, in order.  Batches
@@ -43,17 +62,20 @@ val fanout : t list -> t
 
 val filter : (Event.t -> bool) -> t -> t
 (** [filter pred sink] forwards only events satisfying [pred].  Batches
-    stay batches: matching events are compacted into one [emit_batch]
-    delivery downstream (order preserved, empty batches suppressed), so
-    filtering does not degrade a consumer's batch path to per-event
-    dispatch. *)
+    stay batches: matching events are compacted into one batch delivery
+    downstream (order preserved, empty batches suppressed), so filtering
+    does not degrade a consumer's batch path to per-event dispatch.
+    Compaction happens in the filter's own scratch buffers — never in
+    the caller's batch — so sibling fanout consumers sharing the
+    incoming batch are unaffected. *)
 
 (** Buffers events into a preallocated array and flushes them downstream
     with one [emit_batch] call, so a producer that emits word-at-a-time
-    (the simulated machine) costs the downstream fanout one dispatch per
-    batch instead of one per reference.  The driver owns the flush:
-    anything reading downstream state (counters, cache statistics) must
-    [flush] first. *)
+    costs the downstream fanout one dispatch per batch instead of one
+    per reference.  (The simulated machine now batches internally in
+    packed form — see {!Sim_memory} — so this is mainly for external
+    per-event producers.)  The owner must [flush] before anything reads
+    downstream state. *)
 module Batcher : sig
   type batcher
 
@@ -63,8 +85,8 @@ module Batcher : sig
 
   val sink : batcher -> t
   (** The buffering front: stores each event, auto-flushing when the
-      buffer fills.  Batches arriving at the front are passed through
-      (after draining the buffer, to preserve order). *)
+      buffer fills.  Batches (boxed or packed) arriving at the front are
+      passed through (after draining the buffer, to preserve order). *)
 
   val flush : batcher -> unit
   (** Deliver any buffered events downstream now. *)
@@ -77,7 +99,10 @@ module Counter : sig
   type counter
 
   val create : unit -> counter
+
   val sink : counter -> t
+  (** Packed batches are tallied straight from the meta words — no
+      [Event.t] is materialised on the hot path. *)
 
   val total : counter -> int
   (** Number of reference events observed. *)
@@ -98,7 +123,9 @@ end
     artifacts persist it to detect simulation drift: a stored cell whose
     inputs (program, allocator, scale, seed) match but whose trace
     checksum differs from a fresh run exposes a behavioural change that
-    the memoization would otherwise hide. *)
+    the memoization would otherwise hide.  The per-event word this
+    checksum mixes is exactly {!Event.Packed.meta}, so packed and boxed
+    deliveries of the same trace produce bit-identical values. *)
 module Checksum : sig
   type checksum
 
@@ -110,7 +137,9 @@ module Checksum : sig
 end
 
 (** Bounded in-memory recording of a trace, useful in tests and for
-    inspecting short runs. *)
+    inspecting short runs.  Events are retained packed in preallocated
+    int arrays (two stores per event, no list cells); packed batches are
+    absorbed by blitting. *)
 module Recorder : sig
   type recorder
 

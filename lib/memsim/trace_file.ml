@@ -78,6 +78,17 @@ let record_to_file path f =
 let replay ic sink =
   let header = really_input_string ic (String.length magic) in
   if header <> magic then failwith "Trace_file: not a loclab trace";
+  (* Decode straight into a packed batch and deliver at the pipeline's
+     batch grain — order-preserving, one downstream dispatch per 256
+     events instead of one per event. *)
+  let batch = Event.Batch.create () in
+  let cap = Event.Batch.capacity batch in
+  let flush () =
+    if batch.Event.Batch.len > 0 then begin
+      sink.Sink.emit_packed_batch batch;
+      Event.Batch.clear batch
+    end
+  in
   let prev = ref 0 in
   let count = ref 0 in
   let continue = ref true in
@@ -87,8 +98,10 @@ let replay ic sink =
     | Some e ->
         prev := e.Event.addr;
         incr count;
-        sink.Sink.emit e
+        if batch.Event.Batch.len = cap then flush ();
+        Event.Batch.push_event batch e
   done;
+  flush ();
   !count
 
 let replay_file path sink =

@@ -41,7 +41,31 @@ let access t (e : Memsim.Event.t) =
     touch_page t page
   done
 
-let sink t = Memsim.Sink.of_fn (access t)
+(* Packed hot path: only addr and size matter to the page stack, both
+   read straight from the packed ints. *)
+let access_packed_batch t (b : Memsim.Event.Batch.t) =
+  let addrs = b.Memsim.Event.Batch.addrs and metas = b.Memsim.Event.Batch.metas in
+  for i = 0 to b.Memsim.Event.Batch.len - 1 do
+    t.references <- t.references + 1;
+    let addr = Array.unsafe_get addrs i in
+    let size = Array.unsafe_get metas i lsr 3 in
+    let first = addr lsr t.page_shift in
+    let last = (addr + size - 1) lsr t.page_shift in
+    for page = first to last do
+      touch_page t page
+    done
+  done
+
+let sink t =
+  let access_event = access t in
+  { Memsim.Sink.emit = access_event;
+    emit_batch =
+      (fun buf len ->
+        for i = 0 to len - 1 do
+          access_event (Array.unsafe_get buf i)
+        done);
+    emit_packed_batch = access_packed_batch t;
+  }
 
 let references t = t.references
 let distinct_pages t = Lru_stack.distinct t.stack

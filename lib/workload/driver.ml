@@ -120,16 +120,14 @@ let run_with ?(sink = Memsim.Sink.null) ?(scale = 1.0)
   Profile.validate profile;
   let p = profile in
   let counter = Memsim.Sink.Counter.create () in
-  (* Batch the reference stream: the simulated machine emits word-grain
-     events, so buffering them and flushing whole batches through the
-     fanout pays the consumer dispatch once per batch, not once per
-     reference.  Order within the stream is preserved exactly; the
-     flush below runs before any downstream state is read. *)
-  let batcher =
-    Memsim.Sink.Batcher.create
-      (Memsim.Sink.fanout [ Memsim.Sink.Counter.sink counter; sink ])
-  in
-  Heap.set_sink heap (Memsim.Sink.Batcher.sink batcher);
+  (* The simulated machine packs and batches its own reference stream
+     (one packed delivery per 256 word-grain events — see Sim_memory),
+     so the fanout is wired directly: each consumer pays one dispatch
+     per batch, with no boxed Event.t ever materialised.  Order within
+     the stream is preserved exactly; the flush below runs before any
+     downstream state is read. *)
+  Heap.set_sink heap
+    (Memsim.Sink.fanout [ Memsim.Sink.Counter.sink counter; sink ]);
   let mem = Heap.mem heap in
   let rng = Rng.create p.Profile.seed in
   let steps = Profile.scaled_steps p ~scale in
@@ -269,7 +267,7 @@ let run_with ?(sink = Memsim.Sink.null) ?(scale = 1.0)
     (* Private computation. *)
     Heap.charge heap p.Profile.compute_per_step
   done;
-  Memsim.Sink.Batcher.flush batcher;
+  Memsim.Sim_memory.flush mem;
   let cost = Heap.cost heap in
   { profile = p;
     allocator_key = Allocator.name alloc;

@@ -58,6 +58,7 @@ let test_heap_phase_attribution () =
   let a = Heap.sbrk heap 64 in
   Heap.with_phase heap Cost.Malloc (fun () -> Heap.store heap a 1);
   Heap.with_phase heap Cost.Free (fun () -> ignore (Heap.load heap a));
+  Heap.flush_trace heap;
   check_int "malloc events" 1
     (Memsim.Sink.Counter.by_source c Memsim.Event.Malloc);
   check_int "free events" 1
@@ -163,8 +164,10 @@ let test_realloc_copy_traffic () =
   let heap, counter = counted_heap () in
   let alloc = Registry.build "quickfit" heap in
   let a = Allocator.malloc alloc 32 in
+  Heap.flush_trace heap;
   Memsim.Sink.Counter.reset counter;
   let b = Allocator.realloc alloc a 4096 in
+  Heap.flush_trace heap;
   check_bool "moved" true (a <> b);
   (* The copy reads 32 bytes and writes 32 bytes: at least 16 events
      beyond the malloc/free bookkeeping. *)
@@ -297,8 +300,10 @@ let test_freelist_traffic_counted () =
   let heap, counter = counted_heap () in
   let fl = Freelist.create heap in
   let n = Heap.sbrk heap 16 in
+  Heap.flush_trace heap;
   Memsim.Sink.Counter.reset counter;
   Freelist.insert_front fl n;
+  Heap.flush_trace heap;
   check_bool "several references per insert" true
     (Memsim.Sink.Counter.total counter >= 4)
 
@@ -1131,6 +1136,7 @@ let test_all_allocators_emit_attributed_traffic () =
       let b = Allocator.malloc alloc 100 in
       Allocator.free alloc a;
       Allocator.free alloc b;
+      Heap.flush_trace heap;
       check_bool
         (key ^ ": malloc traffic")
         true

@@ -672,6 +672,142 @@ let prop_forest_matches_caches =
         (List.mapi (fun i c -> (i, c)) caches))
 
 (* ------------------------------------------------------------------ *)
+(* Packed deliveries: simulators fed packed batches must equal boxed  *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliver [events] to [sink] as packed batches of [grain] events. *)
+let deliver_packed ?(grain = 7) sink events =
+  let b = Memsim.Event.Batch.create () in
+  let rec go = function
+    | [] ->
+        if Memsim.Event.Batch.length b > 0 then
+          Memsim.Sink.emit_packed_batch sink b
+    | e :: rest ->
+        Memsim.Event.Batch.push_event b e;
+        if Memsim.Event.Batch.length b = grain then begin
+          Memsim.Sink.emit_packed_batch sink b;
+          Memsim.Event.Batch.clear b
+        end;
+        go rest
+  in
+  go events
+
+let events_of_raw raw =
+  List.map
+    (fun ((write, src), (addr, size)) ->
+      let source =
+        match src with
+        | 0 -> Memsim.Event.App
+        | 1 -> Memsim.Event.Malloc
+        | _ -> Memsim.Event.Free
+      in
+      if write then Memsim.Event.write ~source addr size
+      else Memsim.Event.read ~source addr size)
+    raw
+
+let prop_forest_packed_matches_boxed =
+  (* The satellite differential: a forest fed packed batches must land
+     on exactly the per-member statistics of one fed boxed events. *)
+  QCheck.Test.make ~name:"forest packed batches equal boxed events"
+    ~count:300
+    (QCheck.make forest_case_gen)
+    (fun (configs, raw_events) ->
+      let events = events_of_raw raw_events in
+      let boxed = Forest.create configs in
+      List.iter (Forest.access boxed) events;
+      let packed = Forest.create configs in
+      deliver_packed (Forest.sink packed) events;
+      List.for_all
+        (fun i -> Forest.member_stats boxed i = Forest.member_stats packed i)
+        (List.init (List.length configs) Fun.id))
+
+let test_multi_packed_matches_boxed () =
+  (* Multiple families + a non-LRU single: the packed Multi sink must
+     agree with independent per-event caches. *)
+  let configs =
+    Config.paper_direct_mapped
+    @ [ Config.make ~associativity:4 (16 * 1024);
+        Config.make ~name:"64K-b16" ~block_bytes:16 (64 * 1024);
+        Config.make ~name:"8K-plru" ~associativity:4 ~policy:Policy.Plru
+          (8 * 1024) ]
+  in
+  let multi = Multi.create configs in
+  let caches = List.map Cache.create configs in
+  let stream = lcg_stream 6000 in
+  List.iter (fun e -> List.iter (fun c -> Cache.access c e) caches) stream;
+  deliver_packed ~grain:13 (Multi.sink multi) stream;
+  List.iter2
+    (fun c (cfg, stats) ->
+      Alcotest.check stats_testable cfg.Config.name (Cache.stats c) stats)
+    caches (Multi.results multi)
+
+let test_hierarchy_packed_matches_boxed () =
+  let levels =
+    [ Config.make ~name:"L1" (8 * 1024);
+      Config.make ~name:"L2" ~associativity:4 (64 * 1024) ]
+  in
+  let boxed = Hierarchy.create_levels levels in
+  let packed = Hierarchy.create_levels levels in
+  let stream = lcg_stream 6000 in
+  List.iter (Hierarchy.access boxed) stream;
+  deliver_packed ~grain:11 (Hierarchy.sink packed) stream;
+  List.iter2
+    (fun (cfg, a) (_, b) ->
+      Alcotest.check stats_testable cfg.Config.name a b)
+    (Hierarchy.results boxed) (Hierarchy.results packed)
+
+(* ------------------------------------------------------------------ *)
+(* Shard: set-partitioned domain-parallel replay                      *)
+(* ------------------------------------------------------------------ *)
+
+let capture_trace events =
+  let tb = Memsim.Trace_buffer.create ~chunk_capacity:512 () in
+  List.iter
+    (fun e ->
+      Memsim.Trace_buffer.push tb ~addr:e.Memsim.Event.addr
+        ~meta:(Memsim.Event.Packed.meta_of_event e))
+    events;
+  tb
+
+let test_shard_identity () =
+  (* The tentpole's proof obligation: set-partitioned sharding across
+     real domains produces statistics identical to the sequential
+     replay, for every domain count. *)
+  let configs =
+    Config.paper_direct_mapped
+    @ List.map
+        (fun a -> Config.make ~associativity:a (16 * 1024))
+        [ 2; 4; 8 ]
+  in
+  let trace = capture_trace (lcg_stream 20000) in
+  let sequential = Shard.replay ~domains:1 ~configs trace in
+  List.iter
+    (fun domains ->
+      let sharded = Shard.replay ~domains ~configs trace in
+      List.iter2
+        (fun (cfg, a) (_, b) ->
+          Alcotest.check stats_testable
+            (Printf.sprintf "%s @ %d domains" cfg.Config.name domains)
+            a b)
+        sequential sharded)
+    [ 2; 3; 8 ]
+
+let prop_shard_matches_sequential =
+  QCheck.Test.make ~name:"sharded replay equals sequential" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair forest_case_gen (int_range 2 4)))
+    (fun ((configs, raw_events), domains) ->
+      let trace = capture_trace (events_of_raw raw_events) in
+      Shard.replay ~domains:1 ~configs trace
+      = Shard.replay ~domains ~configs trace)
+
+let test_shard_rejects () =
+  let trace = capture_trace (lcg_stream 10) in
+  match Shard.replay ~domains:0 ~configs:[ Config.make 256 ] trace with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for domains = 0"
+
+(* ------------------------------------------------------------------ *)
 (* Replacement policies                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1209,6 +1345,21 @@ let () =
             test_forest_rejects_non_lru;
         ]
         @ qsuite [ prop_forest_matches_caches ] );
+      ( "packed",
+        [
+          Alcotest.test_case "multi packed equals boxed" `Quick
+            test_multi_packed_matches_boxed;
+          Alcotest.test_case "hierarchy packed equals boxed" `Quick
+            test_hierarchy_packed_matches_boxed;
+        ]
+        @ qsuite [ prop_forest_packed_matches_boxed ] );
+      ( "shard",
+        [
+          Alcotest.test_case "sharded stats identical across domains"
+            `Quick test_shard_identity;
+          Alcotest.test_case "rejects zero domains" `Quick test_shard_rejects;
+        ]
+        @ qsuite [ prop_shard_matches_sequential ] );
       ( "policy",
         [
           Alcotest.test_case "lru victim sequence" `Quick

@@ -331,6 +331,7 @@ let test_mem_emits_events () =
   let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
   Sim_memory.store m 0x1000 1;
   ignore (Sim_memory.load m 0x1000);
+  Sim_memory.flush m;
   check_int "two events" 2 (Sink.Counter.total c);
   check_int "one read" 1 (Sink.Counter.reads c);
   check_int "one write" 1 (Sink.Counter.writes c);
@@ -345,6 +346,7 @@ let test_mem_source_attribution () =
       ignore (Sim_memory.load m 0x1000));
   (* with_source restored Malloc *)
   Sim_memory.store m 0x1004 2;
+  Sim_memory.flush m;
   check_int "malloc refs" 2 (Sink.Counter.by_source c Event.Malloc);
   check_int "free refs" 1 (Sink.Counter.by_source c Event.Free)
 
@@ -359,6 +361,7 @@ let test_mem_ranged_word_grain () =
   let r = Sink.Recorder.create () in
   let m = Sim_memory.create ~sink:(Sink.Recorder.sink r) () in
   Sim_memory.write_bytes m 0x1002 10;
+  Sim_memory.flush m;
   (* 0x1002..0x100b: partial word (2B at 0x1002), word at 0x1004,
      word at 0x1008 — 3 events. *)
   let evs = Sink.Recorder.events r in
@@ -372,6 +375,7 @@ let test_mem_ranged_zero () =
   let c = Sink.Counter.create () in
   let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
   Sim_memory.read_bytes m 0x1000 0;
+  Sim_memory.flush m;
   check_int "no events for empty range" 0 (Sink.Counter.total c)
 
 let test_mem_peek_poke_silent () =
@@ -379,6 +383,7 @@ let test_mem_peek_poke_silent () =
   let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
   Sim_memory.poke m 0x1000 99;
   check_int "poke visible to peek" 99 (Sim_memory.peek m 0x1000);
+  Sim_memory.flush m;
   check_int "no events" 0 (Sink.Counter.total c);
   check_int "but visible to load" 99 (Sim_memory.load m 0x1000)
 
@@ -398,6 +403,7 @@ let prop_ranged_covers_exactly =
       let r = Sink.Recorder.create ~capacity:1024 () in
       let m = Sim_memory.create ~sink:(Sink.Recorder.sink r) () in
       Sim_memory.read_bytes m a n;
+      Sim_memory.flush m;
       let evs = Sink.Recorder.events r in
       (* Contiguous, non-overlapping, total size = n, starting at a. *)
       let rec walk pos = function
@@ -508,6 +514,213 @@ let prop_trace_roundtrip_random =
       Sys.remove path;
       n = List.length events && Sink.Recorder.events rec_ = events)
 
+(* ------------------------------------------------------------------ *)
+(* Packed events: codec, batches, and packed-vs-boxed differentials   *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-width event generator: the codec must round-trip the entire
+   kind x source x size x addr domain, not just cache-suite sizes. *)
+let wide_event_gen = Testkit.Gen.event_gen ~addr_bound:1_000_000_000 ~max_size:1_000_000 ()
+
+let prop_packed_roundtrip =
+  QCheck.Test.make ~name:"packed codec roundtrip" ~count:1000
+    (QCheck.make wide_event_gen)
+    (fun e ->
+      let meta = Event.Packed.meta_of_event e in
+      Event.Packed.to_event ~addr:e.Event.addr ~meta = e
+      && Event.Packed.kind meta = e.Event.kind
+      && Event.Packed.source meta = e.Event.source
+      && Event.Packed.size meta = e.Event.size)
+
+let test_packed_meta_layout () =
+  (* The layout is load-bearing: it must equal the word Checksum mixes
+     (size lsl 3 | kind lsl 2 | source). *)
+  check_int "write/free/5" ((5 lsl 3) lor 4 lor 2)
+    (Event.Packed.meta ~kind:Event.Write ~source:Event.Free ~size:5);
+  check_int "read/app/1" (1 lsl 3)
+    (Event.Packed.meta ~kind:Event.Read ~source:Event.App ~size:1);
+  (* ks = ki*3 + si, the 6-cell counter layout. *)
+  let ks kind source =
+    Event.Packed.ks (Event.Packed.meta ~kind ~source ~size:4)
+  in
+  check_int "R/app" 0 (ks Event.Read Event.App);
+  check_int "R/malloc" 1 (ks Event.Read Event.Malloc);
+  check_int "R/free" 2 (ks Event.Read Event.Free);
+  check_int "W/app" 3 (ks Event.Write Event.App);
+  check_int "W/malloc" 4 (ks Event.Write Event.Malloc);
+  check_int "W/free" 5 (ks Event.Write Event.Free)
+
+let test_batch_basics () =
+  let b = Event.Batch.create ~capacity:2 () in
+  check_int "empty" 0 (Event.Batch.length b);
+  let e1 = Event.read 0x1000 4 and e2 = Event.write ~source:Event.Malloc 0x2000 8 in
+  Event.Batch.push_event b e1;
+  Event.Batch.push_event b e2;
+  Event.Batch.push b ~addr:0x3000 ~meta:(Event.Packed.meta ~kind:Event.Read ~source:Event.Free ~size:2);
+  (* grew past capacity 2 *)
+  check_int "three events" 3 (Event.Batch.length b);
+  check_bool "get 0" true (Event.Batch.get b 0 = e1);
+  check_bool "get 1" true (Event.Batch.get b 1 = e2);
+  check_bool "to_list" true
+    (Event.Batch.to_list b = [ e1; e2; Event.read ~source:Event.Free 0x3000 2 ]);
+  let b2 = Event.Batch.create () in
+  Event.Batch.append b2 b;
+  Event.Batch.append b2 b;
+  check_int "append" 6 (Event.Batch.length b2);
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Event.Batch.get: out of bounds") (fun () ->
+      ignore (Event.Batch.get b 3));
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Event.Batch.create: capacity must be >= 1") (fun () ->
+      ignore (Event.Batch.create ~capacity:0 ()))
+
+(* Deliver [events] to [sink] as packed batches of [grain] events. *)
+let deliver_packed ?(grain = 7) sink events =
+  let b = Event.Batch.create () in
+  let rec go = function
+    | [] -> if Event.Batch.length b > 0 then Sink.emit_packed_batch sink b
+    | e :: rest ->
+        Event.Batch.push_event b e;
+        if Event.Batch.length b = grain then begin
+          Sink.emit_packed_batch sink b;
+          Event.Batch.clear b
+        end;
+        go rest
+  in
+  go events
+
+let counter_cells c =
+  Sink.Counter.
+    [ total c; reads c; writes c; bytes c;
+      by_source c Event.App; by_source c Event.Malloc; by_source c Event.Free ]
+
+let prop_packed_counter_checksum_differential =
+  (* The satellite differential: packed deliveries of a random trace
+     must leave Counter and Checksum in exactly the state boxed
+     per-event deliveries do. *)
+  QCheck.Test.make
+    ~name:"packed Counter/Checksum equal boxed on random traces" ~count:300
+    (QCheck.make (Testkit.Gen.events_gen ()))
+    (fun events ->
+      let cb = Sink.Counter.create () and cp = Sink.Counter.create () in
+      let hb = Sink.Checksum.create () and hp = Sink.Checksum.create () in
+      List.iter (Sink.Counter.sink cb).Sink.emit events;
+      List.iter (Sink.Checksum.sink hb).Sink.emit events;
+      deliver_packed (Sink.Counter.sink cp) events;
+      deliver_packed (Sink.Checksum.sink hp) events;
+      counter_cells cb = counter_cells cp
+      && Sink.Checksum.value hb = Sink.Checksum.value hp)
+
+let test_recorder_packed_batch () =
+  (* The packed path blits whole batches and counts the overflow. *)
+  let r = Sink.Recorder.create ~capacity:5 () in
+  let s = Sink.Recorder.sink r in
+  let evs = List.init 8 (fun i -> Event.read (0x1000 + (4 * i)) 4) in
+  deliver_packed ~grain:3 s evs;
+  check_int "kept capacity" 5 (List.length (Sink.Recorder.events r));
+  check_int "dropped counted" 3 (Sink.Recorder.dropped r);
+  check_bool "prefix retained in order" true
+    (Sink.Recorder.events r = List.filteri (fun i _ -> i < 5) evs)
+
+let test_filter_fanout_no_alias () =
+  (* A filter compacts into its own scratch: a sibling consumer of the
+     same shared batch must still see the full, unmodified stream, and
+     the producer's batch must come back untouched. *)
+  let pred (e : Event.t) = e.source = Event.App in
+  let a = Sink.Recorder.create () and b = Sink.Recorder.create () in
+  let fan =
+    Sink.fanout
+      [ Sink.filter pred (Sink.Recorder.sink a); Sink.Recorder.sink b ]
+  in
+  let evs =
+    [ Event.read 0x1000 4;
+      Event.write ~source:Event.Malloc 0x2000 4;
+      Event.read ~source:Event.Free 0x3000 4;
+      Event.write 0x4000 8 ]
+  in
+  let batch = Event.Batch.create () in
+  List.iter (Event.Batch.push_event batch) evs;
+  let before = Event.Batch.copy batch in
+  Sink.emit_packed_batch fan batch;
+  check_bool "filtered side" true
+    (Sink.Recorder.events a = List.filter pred evs);
+  check_bool "sibling sees full stream" true (Sink.Recorder.events b = evs);
+  check_bool "shared batch unmodified" true
+    (Event.Batch.to_list batch = Event.Batch.to_list before);
+  (* Same guarantee on the boxed batch path. *)
+  let a2 = Sink.Recorder.create () and b2 = Sink.Recorder.create () in
+  let fan2 =
+    Sink.fanout
+      [ Sink.filter pred (Sink.Recorder.sink a2); Sink.Recorder.sink b2 ]
+  in
+  let arr = Array.of_list evs in
+  Sink.emit_batch fan2 arr ~len:(Array.length arr);
+  check_bool "boxed: filtered side" true
+    (Sink.Recorder.events a2 = List.filter pred evs);
+  check_bool "boxed: sibling full" true (Sink.Recorder.events b2 = evs);
+  check_bool "boxed: caller array unmodified" true
+    (Array.to_list arr = evs)
+
+let test_make_packed_boxed_shim () =
+  (* make_packed consumers must see boxed deliveries as packed ones. *)
+  let seen = ref [] in
+  let s =
+    Sink.make_packed ~emit_packed_batch:(fun b ->
+        seen := !seen @ Event.Batch.to_list b)
+  in
+  let e1 = Event.read 0x1000 4 and e2 = Event.write 0x2000 8 in
+  s.Sink.emit e1;
+  Sink.emit_batch s [| e2; e1 |] ~len:2;
+  check_bool "boxed deliveries arrive packed" true (!seen = [ e1; e2; e1 ])
+
+let test_trace_buffer_roundtrip () =
+  (* Tiny chunks force rotation; mixed delivery paths must concatenate
+     in order, and replay must reproduce the stream. *)
+  let tb = Trace_buffer.create ~chunk_capacity:4 () in
+  let s = Trace_buffer.sink tb in
+  let evs = List.init 23 (fun i ->
+      if i mod 3 = 0 then Event.write ~source:Event.Malloc (0x1000 + (4 * i)) 4
+      else Event.read (0x1000 + (4 * i)) 4)
+  in
+  (match evs with
+  | e0 :: e1 :: rest ->
+      s.Sink.emit e0;
+      Sink.emit_batch s [| e1 |] ~len:1;
+      deliver_packed ~grain:6 s rest
+  | _ -> assert false);
+  check_int "length" 23 (Trace_buffer.length tb);
+  check_bool "events in order" true (Trace_buffer.events tb = evs);
+  let r = Sink.Recorder.create () in
+  Trace_buffer.replay tb (Sink.Recorder.sink r);
+  check_bool "replay reproduces stream" true (Sink.Recorder.events r = evs);
+  check_bool "chunk sizes" true
+    (Array.for_all (fun c -> Event.Batch.length c <= 4) (Trace_buffer.chunks tb))
+
+let test_mem_internal_batching () =
+  (* Sim_memory batches internally: under one batch nothing is
+     delivered until flush; at the 256-event grain it auto-flushes. *)
+  let c = Sink.Counter.create () in
+  let m = Sim_memory.create ~sink:(Sink.Counter.sink c) () in
+  for i = 0 to 9 do
+    Sim_memory.store m (0x1000 + (4 * i)) i
+  done;
+  check_int "buffered, not yet visible" 0 (Sink.Counter.total c);
+  Sim_memory.flush m;
+  check_int "visible after flush" 10 (Sink.Counter.total c);
+  for i = 0 to 255 do
+    Sim_memory.store m (0x2000 + (4 * i)) i
+  done;
+  check_int "auto-flushed at batch grain" 266 (Sink.Counter.total c);
+  (* set_sink flushes pending events to the OLD sink. *)
+  let old_total = Sink.Counter.total c in
+  Sim_memory.store m 0x9000 1;
+  let c2 = Sink.Counter.create () in
+  Sim_memory.set_sink m (Sink.Counter.sink c2);
+  check_int "pending flushed to old sink" (old_total + 1) (Sink.Counter.total c);
+  Sim_memory.store m 0x9004 1;
+  Sim_memory.flush m;
+  check_int "new sink gets later events" 1 (Sink.Counter.total c2)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -578,4 +791,22 @@ let () =
             test_mem_rejects_unaligned;
         ]
         @ qsuite [ prop_ranged_covers_exactly; prop_store_load_roundtrip ] );
+      ( "packed",
+        [
+          Alcotest.test_case "meta layout" `Quick test_packed_meta_layout;
+          Alcotest.test_case "batch basics" `Quick test_batch_basics;
+          Alcotest.test_case "recorder packed batch" `Quick
+            test_recorder_packed_batch;
+          Alcotest.test_case "filter in fanout does not alias siblings"
+            `Quick test_filter_fanout_no_alias;
+          Alcotest.test_case "make_packed boxed shim" `Quick
+            test_make_packed_boxed_shim;
+          Alcotest.test_case "trace buffer roundtrip" `Quick
+            test_trace_buffer_roundtrip;
+          Alcotest.test_case "sim_memory internal batching" `Quick
+            test_mem_internal_batching;
+        ]
+        @ qsuite
+            [ prop_packed_roundtrip;
+              prop_packed_counter_checksum_differential ] );
     ]

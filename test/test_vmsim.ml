@@ -250,6 +250,37 @@ let test_pagesim_rejects_bad_page_size () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_pagesim_packed_matches_boxed () =
+  (* Packed deliveries must land on the same stack state as boxed. *)
+  let events =
+    List.init 500 (fun i ->
+        Memsim.Event.read ((i * 1321) mod 50_000) (1 + (i mod 70)))
+  in
+  let boxed = Page_sim.create () in
+  List.iter (fun e -> (Page_sim.sink boxed).Memsim.Sink.emit e) events;
+  let packed = Page_sim.create () in
+  let b = Memsim.Event.Batch.create () in
+  List.iter
+    (fun e ->
+      Memsim.Event.Batch.push_event b e;
+      if Memsim.Event.Batch.length b = 9 then begin
+        Memsim.Sink.emit_packed_batch (Page_sim.sink packed) b;
+        Memsim.Event.Batch.clear b
+      end)
+    events;
+  if Memsim.Event.Batch.length b > 0 then
+    Memsim.Sink.emit_packed_batch (Page_sim.sink packed) b;
+  check_int "references" (Page_sim.references boxed) (Page_sim.references packed);
+  check_int "distinct pages" (Page_sim.distinct_pages boxed)
+    (Page_sim.distinct_pages packed);
+  List.iter
+    (fun mb ->
+      check_int
+        (Printf.sprintf "faults at %d" mb)
+        (Page_sim.faults boxed ~memory_bytes:mb)
+        (Page_sim.faults packed ~memory_bytes:mb))
+    [ 4096; 8 * 4096; 64 * 4096 ]
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -296,5 +327,7 @@ let () =
           Alcotest.test_case "curve" `Quick test_pagesim_curve;
           Alcotest.test_case "rejects bad page size" `Quick
             test_pagesim_rejects_bad_page_size;
+          Alcotest.test_case "packed equals boxed" `Quick
+            test_pagesim_packed_matches_boxed;
         ] );
     ]
