@@ -19,7 +19,8 @@
    worker domains used to fill the run grid (default 1; output is
    bit-identical for any value).  LOCLAB_STORE names the store
    directory (default: a throwaway under the system temp dir, removed
-   at exit).  Pass LOCLAB_BENCH=0 to skip part 2 (e.g. in CI). *)
+   at exit).  Pass LOCLAB_BENCH=0 to skip part 2 (e.g. in CI) and
+   LOCLAB_SERVE=0 to skip the serve traffic replay. *)
 
 open Bechamel
 
@@ -189,6 +190,139 @@ let () =
     scaling_jobs;
   scaling_curve := List.rev !scaling_curve;
   print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Serve traffic replay                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay a mixed warm/cold request stream against an in-process
+   loclab serve on a temp unix socket, over the store part 1 just
+   warmed: N concurrent clients, each issuing LOCLAB_SERVE_REQUESTS
+   requests (default 100) — ~95% grid cells (store hits) and ~5%
+   unique tiny-scale cold cells (simulated, write-through).  Per
+   concurrency level the bench records wall time, requests/sec and
+   client-observed p50/p99 latency.  LOCLAB_SERVE_CLIENTS overrides
+   the level list (default "1,2,4"); LOCLAB_SERVE=0 skips the section.
+
+   Single-core caveat: on a 1-core container the levels mostly measure
+   queueing fairness, not parallel speedup — the server still answers
+   warm requests at store-decode speed, which is the point. *)
+let run_serve = Sys.getenv_opt "LOCLAB_SERVE" <> Some "0"
+
+let serve_clients =
+  let default = [ 1; 2; 4 ] in
+  match Sys.getenv_opt "LOCLAB_SERVE_CLIENTS" with
+  | None -> default
+  | Some s ->
+      let parsed =
+        String.split_on_char ',' s
+        |> List.filter_map (fun tok ->
+               match int_of_string_opt (String.trim tok) with
+               | Some c when c >= 1 -> Some c
+               | _ -> None)
+      in
+      if parsed = [] then default else parsed
+
+let serve_requests_per_client =
+  match Sys.getenv_opt "LOCLAB_SERVE_REQUESTS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 100)
+  | None -> 100
+
+(* One cold request per 20: request index 19, 39, ... of each client. *)
+let serve_cold_every = 20
+
+(* (clients, requests, seconds, requests/s, p50 us, p99 us) per level. *)
+let serve_levels : (int * int * float * float * float * float) list ref =
+  ref []
+
+let () =
+  if run_serve then begin
+    let sock =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "loclab-bench-%d.sock" (Unix.getpid ()))
+    in
+    let server =
+      Serve.Server.create ~jobs ~store ~listen:(Serve.Protocol.Unix_path sock)
+        ()
+    in
+    let server_thread = Thread.create (fun () -> Serve.Server.run server) () in
+    let addr = Serve.Server.listen_addr server in
+    let cells =
+      (* The deduplicated grid, warm in the store after part 1. *)
+      let seen = Hashtbl.create 64 in
+      List.concat_map
+        (fun (e : Core.Experiment.t) -> e.Core.Experiment.cells)
+        Core.Experiment.all
+      |> List.filter (fun c ->
+             if Hashtbl.mem seen c then false
+             else begin
+               Hashtbl.replace seen c ();
+               true
+             end)
+      |> Array.of_list
+    in
+    Printf.printf
+      "serve traffic replay (%s): %d warm cells, %d requests/client, 1 cold \
+       in %d\n"
+      (Serve.Protocol.addr_to_string addr)
+      (Array.length cells) serve_requests_per_client serve_cold_every;
+    (* Unique coordinates per cold request, across every level, so a
+       cold cell is never accidentally warmed by an earlier level. *)
+    let cold_uid = Atomic.make 0 in
+    List.iter
+      (fun clients ->
+        let n = clients * serve_requests_per_client in
+        let latencies = Array.make n 0. in
+        let t0 = Unix.gettimeofday () in
+        let client ci =
+          Serve.Client.with_connection addr (fun conn ->
+              for r = 0 to serve_requests_per_client - 1 do
+                let req =
+                  if r mod serve_cold_every = serve_cold_every - 1 then
+                    let k = Atomic.fetch_and_add cold_uid 1 in
+                    Serve.Protocol.Run_cell
+                      { program = "espresso";
+                        allocator = "bsd";
+                        scale = 0.011 +. (0.0001 *. float_of_int k) }
+                  else
+                    let program, allocator =
+                      cells.((ci + r) mod Array.length cells)
+                    in
+                    Serve.Protocol.Run_cell { program; allocator; scale }
+                in
+                let q0 = Unix.gettimeofday () in
+                (match Serve.Client.request conn req with
+                | Ok (Serve.Protocol.Cell_ok _) -> ()
+                | Ok (Serve.Protocol.Error { message; _ }) ->
+                    failwith ("serve replay: server error: " ^ message)
+                | Ok _ -> failwith "serve replay: unexpected response"
+                | Error msg -> failwith ("serve replay: " ^ msg));
+                latencies.((ci * serve_requests_per_client) + r) <-
+                  (Unix.gettimeofday () -. q0) *. 1e6
+              done)
+        in
+        let threads =
+          List.init clients (fun ci -> Thread.create client ci)
+        in
+        List.iter Thread.join threads;
+        let wall = Unix.gettimeofday () -. t0 in
+        Array.sort compare latencies;
+        let pct q =
+          latencies.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5)))
+        in
+        let rps = float_of_int n /. wall in
+        serve_levels := (clients, n, wall, rps, pct 0.5, pct 0.99) :: !serve_levels;
+        Printf.printf
+          "  clients=%d  %4d requests  %6.2f s  %7.1f req/s  p50 %7.0f us  \
+           p99 %8.0f us\n"
+          clients n wall rps (pct 0.5) (pct 0.99))
+      serve_clients;
+    serve_levels := List.rev !serve_levels;
+    Serve.Server.shutdown server;
+    Thread.join server_thread;
+    print_newline ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks                                  *)
@@ -374,8 +508,9 @@ let bench_json_path =
   | None -> Some "loclab-bench.json"
 
 (* Bench-json format version: bump when the object shape changes, so CI
-   consumers can detect files from another era. *)
-let bench_format = 3
+   consumers can detect files from another era.  4 added the "serve"
+   traffic-replay section. *)
+let bench_format = 4
 
 let git_rev () =
   let read cmd =
@@ -495,6 +630,23 @@ let write_bench_json ~rev ~dirty path =
   Printf.fprintf oc "    \"warm_simulated\": %d,\n" !warm_simulated;
   Printf.fprintf oc "    \"speedup\": %.1f\n"
     (!fill_seconds /. !warm_fill_seconds);
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"serve\": {\n";
+  Printf.fprintf oc "    \"enabled\": %b,\n" run_serve;
+  Printf.fprintf oc "    \"requests_per_client\": %d,\n"
+    serve_requests_per_client;
+  Printf.fprintf oc "    \"cold_every\": %d,\n" serve_cold_every;
+  Printf.fprintf oc "    \"levels\": [";
+  List.iteri
+    (fun i (clients, n, seconds, rps, p50, p99) ->
+      Printf.fprintf oc
+        "%s\n      { \"clients\": %d, \"requests\": %d, \"seconds\": %.3f, \
+         \"requests_per_sec\": %.1f, \"p50_us\": %.0f, \"p99_us\": %.0f }"
+        (if i = 0 then "" else ",")
+        clients n seconds rps p50 p99)
+    !serve_levels;
+  if !serve_levels <> [] then Printf.fprintf oc "\n    ";
+  Printf.fprintf oc "]\n";
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"kernels_ns_per_run\": {";
   let kernels = List.rev !kernel_results in

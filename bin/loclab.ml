@@ -5,29 +5,39 @@
 
 open Cmdliner
 
+(* Every shared knob resolves through Core.Context.Options.build with
+   precedence flag > LOCLAB_* environment > default, so run, all,
+   report, probe, profile, serve and the bench agree on semantics.  The
+   flags are therefore all optional here: an absent flag lets the
+   builder consult the environment. *)
+
 let scale_arg =
   let doc =
     "Workload scale (1.0 = the calibrated full runs, ~1:50 of the paper's \
      instruction counts with absolute retained-heap sizes).  Smaller is \
-     faster but noisier; page-fault curves want >= 0.5."
+     faster but noisier; page-fault curves want >= 0.5.  Defaults to \
+     $(b,LOCLAB_SCALE), else 0.25."
   in
-  Arg.(value & opt float 0.25 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+  Arg.(value & opt (some float) None & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
 
 let penalty_arg =
-  let doc = "Cache miss penalty in cycles (the paper uses 25)." in
-  Arg.(value & opt int 25 & info [ "p"; "penalty" ] ~docv:"CYCLES" ~doc)
+  let doc =
+    "Cache miss penalty in cycles.  Defaults to $(b,LOCLAB_PENALTY), else \
+     25 (the paper's value)."
+  in
+  Arg.(value & opt (some int) None & info [ "p"; "penalty" ] ~docv:"CYCLES" ~doc)
 
 let cpu_arg =
   let doc =
     "Modern CPU hierarchy preset detailed by the tabcpu experiment \
      (L1/L2/L3 shapes, replacement policies and latencies).  One of "     ^ String.concat ", " (Cachesim.Cpu.keys ())
-    ^ "."
+    ^ ".  Defaults to $(b,LOCLAB_CPU), else skylake."
   in
   let cpu_conv =
     Arg.enum (List.map (fun (c : Cachesim.Cpu.t) -> (c.key, c)) Cachesim.Cpu.all)
   in
   Arg.(
-    value & opt cpu_conv Cachesim.Cpu.skylake & info [ "cpu" ] ~docv:"CPU" ~doc)
+    value & opt (some cpu_conv) None & info [ "cpu" ] ~docv:"CPU" ~doc)
 
 let jobs_arg =
   let doc =
@@ -35,32 +45,24 @@ let jobs_arg =
      Defaults to $(b,LOCLAB_JOBS), else 1.  Output is bit-identical for \
      every value; jobs only change wall-clock time."
   in
-  Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ] ~docv:"N" ~env:(Cmd.Env.info "LOCLAB_JOBS") ~doc)
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let store_arg =
   let doc =
     "Persistent artifact store directory (created if absent).  Finished \
      grid cells are written through to it and later runs read them back \
      instead of simulating; a warm store renders byte-identically to a \
-     cold one.  Defaults to $(b,LOCLAB_STORE)."
+     cold one.  Defaults to $(b,LOCLAB_STORE); empty means no store."
   in
-  let raw =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "store" ] ~docv:"DIR" ~env:(Cmd.Env.info "LOCLAB_STORE") ~doc)
-  in
-  (* An empty LOCLAB_STORE means "no store", not a store at "". *)
-  Term.(const (function Some "" -> None | d -> d) $ raw)
+  Arg.(
+    value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
 
-let resolve_jobs jobs =
-  if jobs < 0 then begin
-    Printf.eprintf "loclab: jobs must be >= 0\n";
-    exit 2
-  end;
-  if jobs = 0 then Exec.Pool.recommended_jobs () else jobs
+let resolve_options ?scale ?penalty ?jobs ?store_dir ?cpu () =
+  match Core.Context.Options.build ?scale ?penalty ?jobs ?store_dir ?cpu () with
+  | Ok o -> o
+  | Error msg ->
+      Printf.eprintf "loclab: %s\n" msg;
+      exit 2
 
 let open_store dir =
   try Store.open_ dir
@@ -68,16 +70,11 @@ let open_store dir =
     Printf.eprintf "loclab: cannot open store %s: %s\n" dir msg;
     exit 2
 
-let make_ctx ?(jobs = 1) ?store_dir ?cpu scale penalty =
-  if scale <= 0. || scale > 4.0 then begin
-    Printf.eprintf "loclab: scale must be in (0, 4]\n";
+let make_ctx (o : Core.Context.Options.t) =
+  try Core.Context.of_options o
+  with Sys_error msg ->
+    Printf.eprintf "loclab: cannot open store: %s\n" msg;
     exit 2
-  end;
-  let model = Metrics.Cost_model.with_penalty Metrics.Cost_model.paper penalty in
-  match store_dir with
-  | None -> Core.Context.create ~scale ~jobs ~model ?cpu ()
-  | Some dir ->
-      Core.Context.create ~scale ~jobs ~store:(open_store dir) ~model ?cpu ()
 
 (* Progress and store diagnostics go through Logs; the format reporter
    sends every non-App level to stderr, so table/figure stdout stays
@@ -214,7 +211,9 @@ let run_cmd =
             exit 2)
       ids;
     enable_telemetry ~metrics_out ~trace_out;
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir ~cpu scale penalty in
+    let ctx =
+      make_ctx (resolve_options ?scale ?penalty ?jobs ?store_dir ?cpu ())
+    in
     (* Fill every needed grid cell in parallel before rendering; the
        renderings below then only read the memo. *)
     Core.Experiment.warm ctx ids;
@@ -237,7 +236,9 @@ let run_cmd =
 let all_cmd =
   let run scale penalty cpu jobs store_dir metrics_out trace_out =
     enable_telemetry ~metrics_out ~trace_out;
-    let ctx = make_ctx ~jobs:(resolve_jobs jobs) ?store_dir ~cpu scale penalty in
+    let ctx =
+      make_ctx (resolve_options ?scale ?penalty ?jobs ?store_dir ?cpu ())
+    in
     List.iter
       (fun e ->
         let out = render_with_progress ctx e in
@@ -258,8 +259,9 @@ let all_cmd =
 let report_cmd =
   let run scale penalty cpu jobs store_dir metrics_out trace_out =
     enable_telemetry ~metrics_out ~trace_out;
+    let o = resolve_options ?scale ?penalty ?jobs ?store_dir ?cpu () in
     let dir =
-      match store_dir with
+      match o.Core.Context.Options.store_dir with
       | Some dir -> dir
       | None ->
           Printf.eprintf
@@ -267,9 +269,8 @@ let report_cmd =
              or LOCLAB_STORE).\n";
           exit 2
     in
-    let ctx =
-      make_ctx ~jobs:(resolve_jobs jobs) ~store_dir:dir ~cpu scale penalty
-    in
+    let scale = o.Core.Context.Options.scale in
+    let ctx = make_ctx o in
     let runs = ctx.Core.Context.runs in
     let wanted =
       List.concat_map (fun e -> e.Core.Experiment.cells) Core.Experiment.all
@@ -314,7 +315,8 @@ let report_cmd =
 (* ---- store --------------------------------------------------------- *)
 
 let require_store store_dir sub =
-  match store_dir with
+  let o = resolve_options ?store_dir () in
+  match o.Core.Context.Options.store_dir with
   | Some dir -> open_store dir
   | None ->
       Printf.eprintf "loclab store %s: --store DIR or LOCLAB_STORE required.\n"
@@ -507,11 +509,13 @@ let probe_cmd =
       Printf.eprintf "loclab: unknown allocator %S\n" allocator;
       exit 2
     end;
-    let ctx = make_ctx ?store_dir scale penalty in
+    let o = resolve_options ?scale ?penalty ?store_dir () in
+    let ctx = make_ctx o in
     let d = Core.Runs.get ctx.Core.Context.runs ~profile:program ~allocator in
     let s = d.Core.Artifact.summary in
     let st = d.Core.Artifact.alloc_stats in
-    Printf.printf "%s under %s (scale %.2f)\n" program allocator scale;
+    Printf.printf "%s under %s (scale %.2f)\n" program allocator
+      o.Core.Context.Options.scale;
     Printf.printf "  cell digest       %s (schema %d, trace checksum %x)\n"
       (Core.Artifact.digest_of_meta d.Core.Artifact.meta)
       d.Core.Artifact.meta.Core.Artifact.schema_version
@@ -582,6 +586,7 @@ let record_cmd =
     | exception Not_found ->
         Printf.eprintf "loclab: unknown program %S\n" program;
         exit 2);
+    let scale = (resolve_options ?scale ()).Core.Context.Options.scale in
     let result =
       Memsim.Trace_file.record_to_file out (fun sink ->
           Workload.Driver.run ~sink ~scale
@@ -740,10 +745,7 @@ let profile_cmd =
   in
   let run scale penalty program allocs window series_out metrics_out trace_out =
     ignore penalty;
-    if scale <= 0. || scale > 4.0 then begin
-      Printf.eprintf "loclab: scale must be in (0, 4]\n";
-      exit 2
-    end;
+    let scale = (resolve_options ?scale ()).Core.Context.Options.scale in
     if window < 1 then begin
       Printf.eprintf "loclab: window must be >= 1\n";
       exit 2
@@ -816,6 +818,164 @@ let profile_cmd =
       const run $ scale_arg $ penalty_arg $ program_arg $ allocs_arg
       $ window_arg $ series_out_arg $ pmetrics_arg $ ptrace_arg)
 
+(* ---- serve / client -------------------------------------------------- *)
+
+let default_listen = "unix:/tmp/loclab.sock"
+
+let parse_addr s =
+  match Serve.Protocol.addr_of_string s with
+  | Ok addr -> addr
+  | Error msg ->
+      Printf.eprintf "loclab: bad address %S: %s\n" s msg;
+      exit 2
+
+let serve_cmd =
+  let listen_arg =
+    let doc =
+      "Listen address: $(b,unix:PATH), $(b,tcp:HOST:PORT) (port 0 picks a \
+       free one), or a bare socket path."
+    in
+    Arg.(value & opt string default_listen & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let max_pending_arg =
+    let doc =
+      "Per-connection bound on decoded-but-unanswered requests (the \
+       pipelining backpressure limit)."
+    in
+    Arg.(value & opt int 32 & info [ "max-pending" ] ~docv:"N" ~doc)
+  in
+  let run jobs store_dir listen max_pending =
+    let o = resolve_options ?jobs ?store_dir () in
+    let addr = parse_addr listen in
+    let store = Option.map open_store o.Core.Context.Options.store_dir in
+    let server =
+      try
+        Serve.Server.create ~max_pending ~jobs:o.Core.Context.Options.jobs
+          ?store ~listen:addr ()
+      with
+      | Failure msg | Invalid_argument msg ->
+          Printf.eprintf "loclab serve: %s\n" msg;
+          exit 2
+      | Unix.Unix_error (err, _, _) ->
+          Printf.eprintf "loclab serve: cannot listen on %s: %s\n"
+            (Serve.Protocol.addr_to_string addr)
+            (Unix.error_message err);
+          exit 2
+    in
+    (* Ctrl-C / kill -INT drain gracefully: accepted requests finish,
+       replies are written, then the process exits 0.  A second signal
+       during the drain is harmless (shutdown is idempotent). *)
+    let graceful = Sys.Signal_handle (fun _ -> Serve.Server.shutdown server) in
+    Sys.set_signal Sys.sigint graceful;
+    Sys.set_signal Sys.sigterm graceful;
+    Printf.printf "listening on %s\n%!"
+      (Serve.Protocol.addr_to_string (Serve.Server.listen_addr server));
+    Serve.Server.run server
+  in
+  let doc =
+    "Serve simulations over a versioned binary protocol (plus plain HTTP \
+     $(b,GET /metrics) and $(b,GET /health) on the same address).  Cell \
+     requests are answered from the artifact store when warm and \
+     simulated on worker domains — with store write-through — when cold."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ jobs_arg $ store_arg $ listen_arg $ max_pending_arg)
+
+let client_cmd =
+  let connect_arg =
+    let doc = "Server address (as $(b,loclab serve --listen))." in
+    Arg.(
+      value & opt string default_listen & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let out_arg =
+    let doc = "Write the fetched artifact bytes to $(docv) (cell only)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let action_arg =
+    let doc =
+      "$(b,health) | $(b,stats) | $(b,metrics) | $(b,cell) PROGRAM ALLOCATOR \
+       | $(b,experiment) ID"
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ACTION" ~doc)
+  in
+  let run scale connect out action =
+    let o = resolve_options ?scale () in
+    let scale = o.Core.Context.Options.scale in
+    let addr = parse_addr connect in
+    let req =
+      match action with
+      | [ "health" ] -> Serve.Protocol.Health
+      | [ "stats" ] -> Serve.Protocol.Stats
+      | [ "metrics" ] -> Serve.Protocol.Metrics
+      | [ "cell"; program; allocator ] ->
+          Serve.Protocol.Run_cell { program; allocator; scale }
+      | [ "experiment"; id ] -> Serve.Protocol.Run_experiment { id; scale }
+      | _ ->
+          Printf.eprintf
+            "loclab client: expected health | stats | metrics | cell PROGRAM \
+             ALLOCATOR | experiment ID\n";
+          exit 2
+    in
+    let reply =
+      try
+        Serve.Client.with_connection addr (fun c -> Serve.Client.request c req)
+      with Unix.Unix_error (err, _, _) ->
+        Printf.eprintf "loclab client: cannot connect to %s: %s\n"
+          (Serve.Protocol.addr_to_string addr)
+          (Unix.error_message err);
+        exit 1
+    in
+    match reply with
+    | Error msg ->
+        Printf.eprintf "loclab client: %s\n" msg;
+        exit 1
+    | Ok (Serve.Protocol.Error { code; message }) ->
+        Printf.eprintf "loclab client: server error (%s): %s\n"
+          (Serve.Protocol.error_code_to_string code)
+          message;
+        exit 1
+    | Ok (Serve.Protocol.Health_ok { server_version; protocol_version }) ->
+        Printf.printf "ok: %s (protocol %d)\n" server_version protocol_version
+    | Ok (Serve.Protocol.Stats_ok s) ->
+        Printf.printf
+          "uptime        %.1fs\n\
+           connections   %d\n\
+           requests      %d (%d errors, %d in flight)\n\
+           cells         %d warm, %d simulated\n\
+           latency       p50 %.0fus, p99 %.0fus\n"
+          s.Serve.Protocol.uptime_seconds s.Serve.Protocol.connections
+          s.Serve.Protocol.requests s.Serve.Protocol.errors
+          s.Serve.Protocol.inflight s.Serve.Protocol.warm_cells
+          s.Serve.Protocol.simulated_cells s.Serve.Protocol.p50_us
+          s.Serve.Protocol.p99_us
+    | Ok (Serve.Protocol.Metrics_ok text) | Ok (Serve.Protocol.Report_ok text)
+      ->
+        print_string text
+    | Ok (Serve.Protocol.Cell_ok { digest; artifact }) -> (
+        Printf.printf "digest %s\n" digest;
+        (match Core.Artifact.decode_meta artifact with
+        | Ok m ->
+            Printf.printf "cell   %s/%s scale %g seed %d schema %d (%d bytes)\n"
+              m.Core.Artifact.program m.Core.Artifact.allocator
+              m.Core.Artifact.scale m.Core.Artifact.seed
+              m.Core.Artifact.schema_version (String.length artifact)
+        | Error reason ->
+            Printf.eprintf "loclab client: undecodable artifact: %s\n" reason;
+            exit 1);
+        match out with
+        | None -> ()
+        | Some path ->
+            write_file path artifact;
+            Printf.printf "wrote %s\n" path)
+  in
+  let doc =
+    "Query a running $(b,loclab serve): health, stats, a metrics snapshot, \
+     one grid cell (printing its digest, optionally saving the artifact \
+     bytes) or a rendered experiment."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const run $ scale_arg $ connect_arg $ out_arg $ action_arg)
+
 let main =
   let doc =
     "Reproduction of 'Improving the Cache Locality of Memory Allocation' \
@@ -824,7 +984,7 @@ let main =
   let info = Cmd.info "loclab" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; run_cmd; all_cmd; report_cmd; store_cmd; probe_cmd;
-      profile_cmd; record_cmd; replay_cmd ]
+      profile_cmd; record_cmd; replay_cmd; serve_cmd; client_cmd ]
 
 let () =
   setup_logs ();

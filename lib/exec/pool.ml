@@ -68,14 +68,25 @@ let create ~jobs =
   end;
   t
 
+(* [Domain.join] never returns EINTR itself, but a signal arriving while
+   the caller drains (the serve SIGINT path) can surface as EINTR from
+   the underlying futex/condvar wait on some runtimes; retrying keeps a
+   second Ctrl-C during drain from turning shutdown into a crash. *)
+let rec join_retry d =
+  try Domain.join d with Unix.Unix_error (Unix.EINTR, _, _) -> join_retry d
+
 let shutdown t =
+  (* Take the worker list under the mutex so concurrent [shutdown]s
+     (e.g. a signal handler racing the normal exit path) join disjoint
+     sets: the second caller sees [] and returns immediately instead of
+     joining an already-joined domain. *)
   Mutex.lock t.mutex;
   t.stopping <- true;
-  Condition.broadcast t.work_ready;
-  Mutex.unlock t.mutex;
   let workers = t.workers in
   t.workers <- [];
-  List.iter Domain.join workers
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter join_retry workers
 
 let with_pool ~jobs f =
   let t = create ~jobs in
@@ -135,6 +146,58 @@ let map t f xs =
                | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
                | Pending -> assert false)
              results)
+
+(* ---- one-shot futures (the serve request path) --------------------- *)
+
+type 'a state =
+  | Running
+  | Done of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+let async t f =
+  let fut = { fmutex = Mutex.create (); fdone = Condition.create (); state = Running } in
+  let task () =
+    let r =
+      match f () with
+      | v -> Done v
+      | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fmutex;
+    fut.state <- r;
+    Condition.broadcast fut.fdone;
+    Mutex.unlock fut.fmutex
+  in
+  Mutex.lock t.mutex;
+  if t.stopping || t.workers = [] then begin
+    (* No workers (jobs = 1, or shutting down): run on the caller, like
+       [map]'s sequential degradation.  Run it outside the pool lock. *)
+    Mutex.unlock t.mutex;
+    task ()
+  end
+  else begin
+    Queue.add task t.queue;
+    Condition.signal t.work_ready;
+    Mutex.unlock t.mutex
+  end;
+  fut
+
+let await fut =
+  Mutex.lock fut.fmutex;
+  while (match fut.state with Running -> true | Done _ | Raised _ -> false) do
+    Condition.wait fut.fdone fut.fmutex
+  done;
+  let r = fut.state in
+  Mutex.unlock fut.fmutex;
+  match r with
+  | Done v -> v
+  | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Running -> assert false
 
 let default_jobs () =
   match Sys.getenv_opt "LOCLAB_JOBS" with

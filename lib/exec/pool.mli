@@ -39,8 +39,34 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     @raise Invalid_argument if the pool has been {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Joins the worker domains.  Idempotent.  Calling {!map} afterwards
-    raises [Invalid_argument]. *)
+(** Joins the worker domains after they drain the queue.  Idempotent
+    and safe to race: concurrent callers (e.g. a signal handler against
+    the normal exit path) join disjoint worker sets, and an EINTR
+    surfaced by a signal during the join is retried, so a second
+    shutdown — or a second Ctrl-C — during drain never raises.  Calling
+    {!map} or {!async} afterwards degrades as documented there. *)
+
+(** {2 One-shot futures}
+
+    The serve request path: connection handlers park a simulation on
+    the pool and block on the result, so CPU work runs on worker
+    domains while (cheap, I/O-bound) connection threads multiplex. *)
+
+type 'a future
+
+val async : t -> (unit -> 'a) -> 'a future
+(** [async t f] schedules [f] on a worker domain and returns
+    immediately.  On a pool with no workers (jobs = 1, spawn failure,
+    or already shut down) [f] runs on the calling thread before [async]
+    returns — the same sequential degradation as {!map}, so callers
+    need no special case.  Exceptions raised by [f] are captured and
+    re-raised by {!await}. *)
+
+val await : 'a future -> 'a
+(** Blocks until the future completes; returns its value or re-raises
+    its exception (with the original backtrace).  Callable at most
+    from any number of threads; every caller observes the same
+    outcome. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and guarantees

@@ -67,8 +67,12 @@ let make_packed ~emit_packed_batch =
     emit_packed_batch;
   }
 
-let emit_batch t buf ~len = t.emit_batch buf len
 let emit_packed_batch t b = t.emit_packed_batch b
+
+module Compat = struct
+  let emit t e = t.emit e
+  let emit_batch t buf ~len = t.emit_batch buf len
+end
 
 let fanout sinks =
   match sinks with

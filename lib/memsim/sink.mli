@@ -50,11 +50,24 @@ val make_packed : emit_packed_batch:(Event.Batch.t -> unit) -> t
     are packed into a reused scratch batch and forwarded as one packed
     delivery each. *)
 
-val emit_batch : t -> Event.t array -> len:int -> unit
-(** [emit_batch t buf ~len] delivers the first [len] events of [buf]. *)
-
 val emit_packed_batch : t -> Event.Batch.t -> unit
-(** Delivers a packed batch. *)
+(** Delivers a packed batch — the one supported delivery entry point. *)
+
+(** The boxed delivery shims, kept for external producers and the
+    differential tests that pin them against the packed path.  Both
+    must remain observationally identical to packing the same events
+    into an {!Event.Batch.t} and delivering it via
+    {!emit_packed_batch}; new code should do exactly that instead. *)
+module Compat : sig
+  val emit : t -> Event.t -> unit
+  [@@deprecated "pack events into an Event.Batch and use Sink.emit_packed_batch"]
+  (** Delivers one boxed event. *)
+
+  val emit_batch : t -> Event.t array -> len:int -> unit
+  [@@deprecated "pack events into an Event.Batch and use Sink.emit_packed_batch"]
+  (** [emit_batch t buf ~len] delivers the first [len] events of
+      [buf]. *)
+end
 
 val fanout : t list -> t
 (** [fanout sinks] forwards each event to every sink, in order.  Batches

@@ -1,0 +1,46 @@
+type t = { fd : Unix.file_descr }
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let connect addr =
+  let domain, sockaddr =
+    match addr with
+    | Protocol.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Protocol.Tcp (host, port) ->
+        (Unix.PF_INET, Unix.ADDR_INET (resolve_host host, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (* A server dropping the connection mid-request must surface as
+     EPIPE, not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request t req =
+  match
+    Protocol.write_frame t.fd (Protocol.encode_request req);
+    Protocol.read_frame t.fd
+  with
+  | Result.Ok (Some payload) -> (
+      match Protocol.decode_response payload with
+      | Result.Ok resp -> Result.Ok resp
+      | Result.Error e -> Result.Error (Protocol.decode_error_to_string e))
+  | Result.Ok None -> Result.Error "server closed the connection"
+  | Result.Error reason -> Result.Error reason
+  | exception Unix.Unix_error (err, _, _) ->
+      Result.Error (Unix.error_message err)
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

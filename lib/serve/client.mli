@@ -1,0 +1,20 @@
+(** A blocking client for the {!Protocol} service: one connection, one
+    outstanding request at a time (the server supports pipelining; this
+    client simply doesn't need it).  [loclab client], the bench traffic
+    replay and the integration tests all speak through here. *)
+
+type t
+
+val connect : Protocol.addr -> t
+(** Also ignores [SIGPIPE] process-wide, for the same reason the server
+    does.  @raise Unix.Unix_error when the connection fails. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** One round trip.  [Error] covers transport failures and undecodable
+    replies; a server-side failure arrives as [Ok (Error _)] — the
+    typed error response — not as [Error].  Never raises. *)
+
+val with_connection : Protocol.addr -> (t -> 'a) -> 'a
+(** [with_connection addr f] connects, runs [f], and always closes. *)

@@ -1,0 +1,323 @@
+(* The versioned wire protocol of `loclab serve`.
+
+   Requests and responses travel as CRC-guarded length-framed payloads
+   (the same Store.Codec.Frame envelope the artifact store uses on
+   disk, under a serve-specific magic), and the payloads themselves are
+   Store.Codec field sequences beginning with a protocol version.  A
+   frame is therefore self-checking end to end: truncation, garbage and
+   bit flips are detected before any typed decoding runs, and typed
+   decoding itself never raises — every failure is an [Error] the
+   server answers with a typed error response. *)
+
+module Codec = Store.Codec
+
+let version = 1
+let magic = "LOCSRV1\n"
+
+(* Cap a frame well above any artifact or rendered report (the largest
+   real payload is a full experiment rendering, tens of KiB) but low
+   enough that a hostile or corrupt length field cannot make the server
+   allocate unbounded memory. *)
+let max_frame_bytes = 64 * 1024 * 1024
+
+(* ---- addresses ------------------------------------------------------ *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let addr_of_string s =
+  let invalid msg = Result.Error msg in
+  if s = "" then invalid "empty listen address"
+  else
+  match String.index_opt s ':' with
+  | None -> Result.Ok (Unix_path s) (* a bare path serves over AF_UNIX *)
+  | Some i -> (
+      let scheme = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match scheme with
+      | "unix" ->
+          if rest = "" then invalid "unix: address needs a socket path"
+          else Result.Ok (Unix_path rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> invalid "tcp: address must be tcp:HOST:PORT"
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p >= 0 && p <= 0xFFFF ->
+                  Result.Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+              | _ -> invalid (Printf.sprintf "bad tcp port %S" port)))
+      | other ->
+          invalid
+            (Printf.sprintf "unknown address scheme %S (use unix: or tcp:)"
+               other))
+
+(* ---- requests ------------------------------------------------------- *)
+
+type request =
+  | Health
+  | Stats
+  | Metrics
+  | Run_cell of { program : string; allocator : string; scale : float }
+  | Run_experiment of { id : string; scale : float }
+
+let request_kind = function
+  | Health -> "health"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Run_cell _ -> "cell"
+  | Run_experiment _ -> "experiment"
+
+(* ---- responses ------------------------------------------------------ *)
+
+type error_code =
+  | Bad_request  (** Undecodable or ill-typed request payload. *)
+  | Unknown_key  (** Unknown program / allocator / experiment id. *)
+  | Unsupported_version  (** Client spoke a protocol version we don't. *)
+  | Overloaded  (** Server shedding load (shutdown, or queue refusal). *)
+  | Internal  (** The handler itself failed; details in the message. *)
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unknown_key -> "unknown_key"
+  | Unsupported_version -> "unsupported_version"
+  | Overloaded -> "overloaded"
+  | Internal -> "internal"
+
+let error_code_to_int = function
+  | Bad_request -> 1
+  | Unknown_key -> 2
+  | Unsupported_version -> 3
+  | Overloaded -> 4
+  | Internal -> 5
+
+let error_code_of_int = function
+  | 1 -> Some Bad_request
+  | 2 -> Some Unknown_key
+  | 3 -> Some Unsupported_version
+  | 4 -> Some Overloaded
+  | 5 -> Some Internal
+  | _ -> None
+
+type stats = {
+  uptime_seconds : float;
+  connections : int;  (** Currently open protocol connections. *)
+  requests : int;  (** Requests answered since start (any outcome). *)
+  errors : int;  (** Requests answered with an [Error] response. *)
+  warm_cells : int;  (** Cell requests served straight from the store. *)
+  simulated_cells : int;  (** Cell requests that ran a simulation. *)
+  inflight : int;  (** Requests currently executing. *)
+  p50_us : float;  (** Request latency quantile estimates (microseconds), *)
+  p99_us : float;  (** from the serve duration histogram. *)
+}
+
+type response =
+  | Health_ok of { server_version : string; protocol_version : int }
+  | Stats_ok of stats
+  | Metrics_ok of string  (** Prometheus text exposition. *)
+  | Cell_ok of { digest : string; artifact : string }
+      (** [artifact] is the versioned [Core.Artifact] encoding — the
+          exact bytes the store persists for [digest]. *)
+  | Report_ok of string  (** A rendered table/figure, as [loclab run] prints. *)
+  | Error of { code : error_code; message : string }
+
+(* ---- payload codec -------------------------------------------------- *)
+
+type decode_error =
+  | Unsupported of int  (** Well-formed frame from a future protocol. *)
+  | Malformed of string
+
+let decode_error_to_string = function
+  | Unsupported v -> Printf.sprintf "unsupported protocol version %d" v
+  | Malformed msg -> msg
+
+let encode_request req =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w version;
+  (match req with
+  | Health -> Codec.Writer.int w 0
+  | Stats -> Codec.Writer.int w 1
+  | Metrics -> Codec.Writer.int w 2
+  | Run_cell { program; allocator; scale } ->
+      Codec.Writer.int w 3;
+      Codec.Writer.string w program;
+      Codec.Writer.string w allocator;
+      Codec.Writer.float w scale
+  | Run_experiment { id; scale } ->
+      Codec.Writer.int w 4;
+      Codec.Writer.string w id;
+      Codec.Writer.float w scale);
+  Codec.Writer.contents w
+
+(* Shared decode shell: version check, tag dispatch, trailing-byte and
+   truncation detection, never an exception. *)
+let decode_payload what payload read_tagged =
+  let r = Codec.Reader.of_string payload in
+  try
+    let v = Codec.Reader.int r in
+    if v <> version then Result.Error (Unsupported v)
+    else begin
+      let tag = Codec.Reader.int r in
+      match read_tagged r tag with
+      | Some value ->
+          if Codec.Reader.at_end r then Result.Ok value
+          else Result.Error (Malformed (what ^ " has trailing bytes"))
+      | None ->
+          Result.Error (Malformed (Printf.sprintf "unknown %s tag %d" what tag))
+    end
+  with Codec.Error msg -> Result.Error (Malformed msg)
+
+let decode_request payload =
+  decode_payload "request" payload (fun r -> function
+    | 0 -> Some Health
+    | 1 -> Some Stats
+    | 2 -> Some Metrics
+    | 3 ->
+        let program = Codec.Reader.string r in
+        let allocator = Codec.Reader.string r in
+        let scale = Codec.Reader.float r in
+        Some (Run_cell { program; allocator; scale })
+    | 4 ->
+        let id = Codec.Reader.string r in
+        let scale = Codec.Reader.float r in
+        Some (Run_experiment { id; scale })
+    | _ -> None)
+
+let encode_response resp =
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w version;
+  (match resp with
+  | Health_ok { server_version; protocol_version } ->
+      Codec.Writer.int w 0;
+      Codec.Writer.string w server_version;
+      Codec.Writer.int w protocol_version
+  | Stats_ok s ->
+      Codec.Writer.int w 1;
+      Codec.Writer.float w s.uptime_seconds;
+      Codec.Writer.int w s.connections;
+      Codec.Writer.int w s.requests;
+      Codec.Writer.int w s.errors;
+      Codec.Writer.int w s.warm_cells;
+      Codec.Writer.int w s.simulated_cells;
+      Codec.Writer.int w s.inflight;
+      Codec.Writer.float w s.p50_us;
+      Codec.Writer.float w s.p99_us
+  | Metrics_ok text ->
+      Codec.Writer.int w 2;
+      Codec.Writer.string w text
+  | Cell_ok { digest; artifact } ->
+      Codec.Writer.int w 3;
+      Codec.Writer.string w digest;
+      Codec.Writer.string w artifact
+  | Report_ok text ->
+      Codec.Writer.int w 4;
+      Codec.Writer.string w text
+  | Error { code; message } ->
+      Codec.Writer.int w 5;
+      Codec.Writer.int w (error_code_to_int code);
+      Codec.Writer.string w message);
+  Codec.Writer.contents w
+
+let decode_response payload =
+  decode_payload "response" payload (fun r -> function
+    | 0 ->
+        let server_version = Codec.Reader.string r in
+        let protocol_version = Codec.Reader.int r in
+        Some (Health_ok { server_version; protocol_version })
+    | 1 ->
+        let uptime_seconds = Codec.Reader.float r in
+        let connections = Codec.Reader.int r in
+        let requests = Codec.Reader.int r in
+        let errors = Codec.Reader.int r in
+        let warm_cells = Codec.Reader.int r in
+        let simulated_cells = Codec.Reader.int r in
+        let inflight = Codec.Reader.int r in
+        let p50_us = Codec.Reader.float r in
+        let p99_us = Codec.Reader.float r in
+        Some
+          (Stats_ok
+             { uptime_seconds; connections; requests; errors; warm_cells;
+               simulated_cells; inflight; p50_us; p99_us })
+    | 2 -> Some (Metrics_ok (Codec.Reader.string r))
+    | 3 ->
+        let digest = Codec.Reader.string r in
+        let artifact = Codec.Reader.string r in
+        Some (Cell_ok { digest; artifact })
+    | 4 -> Some (Report_ok (Codec.Reader.string r))
+    | 5 -> (
+        let code = Codec.Reader.int r in
+        let message = Codec.Reader.string r in
+        match error_code_of_int code with
+        | Some code -> Some (Error { code; message })
+        | None -> None)
+    | _ -> None)
+
+(* ---- frame I/O ------------------------------------------------------ *)
+
+(* EINTR-safe exact-count socket I/O: a SIGINT aimed at graceful
+   shutdown must never tear a frame in half. *)
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let data = Codec.Frame.frame ~magic payload in
+  write_all fd data 0 (String.length data)
+
+(* Read exactly [len] bytes; [Ok false] on EOF before the first byte,
+   [Error] on EOF mid-buffer. *)
+let read_exact fd buf off len =
+  let rec go off len =
+    if len = 0 then Result.Ok true
+    else
+      match Unix.read fd buf off len with
+      | 0 ->
+          if off = 0 then Result.Ok false
+          else Result.Error "connection closed mid-frame"
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off len
+
+let header_bytes = String.length magic + 8
+
+let read_frame ?(first = "") fd =
+  let hdr = Bytes.create header_bytes in
+  let pre = min (String.length first) header_bytes in
+  Bytes.blit_string first 0 hdr 0 pre;
+  match
+    if pre = header_bytes then Result.Ok true
+    else read_exact fd hdr pre (header_bytes - pre)
+  with
+  | Result.Error _ as e -> e
+  | Result.Ok false -> Result.Ok None
+  | Result.Ok true ->
+      if Bytes.sub_string hdr 0 (String.length magic) <> magic then
+        Result.Error "bad frame magic (not a loclab serve stream)"
+      else
+        let len =
+          Int64.to_int (Bytes.get_int64_le hdr (String.length magic))
+        in
+        if len < 0 || len > max_frame_bytes then
+          Result.Error (Printf.sprintf "unreasonable frame length %d" len)
+        else
+          let rest = Bytes.create (len + 8) in
+          (match read_exact fd rest 0 (len + 8) with
+          | Result.Error _ as e -> e
+          | Result.Ok false -> Result.Error "connection closed mid-frame"
+          | Result.Ok true -> (
+              (* Reassemble and run the shared envelope check so the
+                 CRC semantics are exactly the store's. *)
+              let data = Bytes.to_string hdr ^ Bytes.to_string rest in
+              match Codec.Frame.unframe ~magic data with
+              | Result.Ok payload -> Result.Ok (Some payload)
+              | Result.Error reason -> Result.Error reason))

@@ -1,0 +1,622 @@
+(* The loclab simulation service.
+
+   One accept loop; per connection, a reader thread (frame decode) and
+   a handler thread (execution + replies) joined by a bounded queue —
+   the queue bound is the backpressure: a client that pipelines faster
+   than the server drains simply blocks in the kernel once the queue
+   and socket buffers fill.  Simulation work is parked on the shared
+   Exec.Pool via async/await, so CPU runs on worker domains while the
+   (I/O-bound) connection threads multiplex; identical concurrent cold
+   requests are deduplicated to one simulation by a single-flight table
+   keyed by the cell digest.
+
+   Threads suit the connection layer (blocking reads, shared store and
+   single-flight state under mutexes); domains suit the simulations
+   (compute-bound, no shared state).  The same split the grid prefetch
+   uses, now behind a socket. *)
+
+module Metrics = Telemetry.Metrics
+
+let src = Logs.Src.create "loclab.serve" ~doc:"loclab serve"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ---- metrics -------------------------------------------------------- *)
+
+let m_requests =
+  Metrics.Counter.family ~name:"loclab_serve_requests_total"
+    ~help:"Requests answered, by request kind." ~labels:[ "kind" ] ()
+
+let m_errors =
+  Metrics.Counter.family ~name:"loclab_serve_errors_total"
+    ~help:"Error responses sent, by error code." ~labels:[ "code" ] ()
+
+let m_duration =
+  Metrics.Histogram.family ~name:"loclab_serve_request_duration_us"
+    ~help:"Request handling latency in microseconds." ()
+
+let m_connections =
+  Metrics.Gauge.family ~name:"loclab_serve_connections"
+    ~help:"Open connections." ()
+
+let h_duration = Metrics.Histogram.labels m_duration []
+let g_connections = Metrics.Gauge.labels m_connections []
+
+(* ---- bounded per-connection queue ----------------------------------- *)
+
+type queue_item =
+  | Handle of Protocol.request
+  | Refuse of Protocol.error_code * string
+      (** Reply with a typed error without executing anything. *)
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  q : queue_item Queue.t;
+  qmu : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  max_pending : int;
+  mutable qclosed : bool;  (* reader finished; handler drains and exits *)
+  mutable dead : bool;  (* write side failed; both sides stop *)
+}
+
+let enqueue conn item =
+  Mutex.lock conn.qmu;
+  while Queue.length conn.q >= conn.max_pending && not conn.dead do
+    Condition.wait conn.not_full conn.qmu
+  done;
+  if not conn.dead then begin
+    Queue.add item conn.q;
+    Condition.signal conn.not_empty
+  end;
+  Mutex.unlock conn.qmu
+
+let close_queue conn =
+  Mutex.lock conn.qmu;
+  conn.qclosed <- true;
+  Condition.broadcast conn.not_empty;
+  Mutex.unlock conn.qmu
+
+let dequeue conn =
+  Mutex.lock conn.qmu;
+  while Queue.is_empty conn.q && not conn.qclosed && not conn.dead do
+    Condition.wait conn.not_empty conn.qmu
+  done;
+  let item =
+    if conn.dead || Queue.is_empty conn.q then None
+    else begin
+      let item = Queue.take conn.q in
+      Condition.signal conn.not_full;
+      Some item
+    end
+  in
+  Mutex.unlock conn.qmu;
+  item
+
+let kill_conn conn =
+  Mutex.lock conn.qmu;
+  conn.dead <- true;
+  Condition.broadcast conn.not_empty;
+  Condition.broadcast conn.not_full;
+  Mutex.unlock conn.qmu;
+  (* Wake a reader blocked in [read]. *)
+  try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* ---- server state --------------------------------------------------- *)
+
+type t = {
+  listen_fd : Unix.file_descr;
+  listen_addr : Protocol.addr;  (* resolved: TCP port 0 becomes real *)
+  sock_path : string option;  (* AF_UNIX path to unlink on shutdown *)
+  store : Store.t option;
+  pool : Exec.Pool.t;
+  max_pending : int;
+  server_version : string;
+  started : float;
+  stopping : bool Atomic.t;
+  conns_mu : Mutex.t;
+  mutable conns : (conn * Thread.t) list;
+  mutable next_cid : int;
+  (* single-flight: digest (or experiment key) -> in-progress future *)
+  sf_mu : Mutex.t;
+  sf : (string, (string * bool) Exec.Pool.future) Hashtbl.t;
+  (* stats *)
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  warm : int Atomic.t;
+  simulated : int Atomic.t;
+  inflight : int Atomic.t;
+  open_conns : int Atomic.t;
+}
+
+let default_max_pending = 32
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+(* Unlink a leftover socket file only when nothing answers on it: a
+   stale path from a crashed server must not block restart, but a live
+   sibling server must not be evicted. *)
+let clear_stale_unix_socket path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then
+      failwith (Printf.sprintf "address unix:%s is already being served" path);
+    try Unix.unlink path with Unix.Unix_error _ -> ()
+  end
+
+let create ?(server_version = "loclab/1.0.0")
+    ?(max_pending = default_max_pending) ?(jobs = 1) ?store
+    ~listen:requested () =
+  if max_pending < 1 then
+    invalid_arg "Serve.Server.create: max_pending must be >= 1";
+  (* A dead client mid-write must surface as EPIPE, not kill the
+     process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Metrics.set_enabled Metrics.default true;
+  let listen_fd, listen_addr, sock_path =
+    match requested with
+    | Protocol.Unix_path path ->
+        clear_stale_unix_socket path;
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.bind fd (Unix.ADDR_UNIX path)
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        (fd, requested, Some path)
+    | Protocol.Tcp (host, port) ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt fd Unix.SO_REUSEADDR true;
+           Unix.bind fd (Unix.ADDR_INET (resolve_host host, port))
+         with e -> (try Unix.close fd with _ -> ()); raise e);
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> Protocol.Tcp (host, p)
+          | _ -> requested
+        in
+        (fd, bound, None)
+  in
+  Unix.listen listen_fd 64;
+  { listen_fd;
+    listen_addr;
+    sock_path;
+    store;
+    pool = Exec.Pool.create ~jobs;
+    max_pending;
+    server_version;
+    started = Unix.gettimeofday ();
+    stopping = Atomic.make false;
+    conns_mu = Mutex.create ();
+    conns = [];
+    next_cid = 0;
+    sf_mu = Mutex.create ();
+    sf = Hashtbl.create 16;
+    requests = Atomic.make 0;
+    errors = Atomic.make 0;
+    warm = Atomic.make 0;
+    simulated = Atomic.make 0;
+    inflight = Atomic.make 0;
+    open_conns = Atomic.make 0 }
+
+let listen_addr t = t.listen_addr
+
+let stats t =
+  { Protocol.uptime_seconds = Unix.gettimeofday () -. t.started;
+    connections = Atomic.get t.open_conns;
+    requests = Atomic.get t.requests;
+    errors = Atomic.get t.errors;
+    warm_cells = Atomic.get t.warm;
+    simulated_cells = Atomic.get t.simulated;
+    inflight = Atomic.get t.inflight;
+    p50_us = Metrics.Histogram.quantile h_duration 0.50;
+    p99_us = Metrics.Histogram.quantile h_duration 0.99 }
+
+(* ---- request execution ---------------------------------------------- *)
+
+let check_scale scale =
+  if scale > 0. && scale <= 4.0 then Result.Ok ()
+  else
+    Result.Error
+      (Protocol.Bad_request,
+       Printf.sprintf "scale %g out of range (0, 4]" scale)
+
+(* Deduplicate identical concurrent work: the first arrival schedules
+   the computation on the pool, later arrivals await the same future.
+   The table entry lives exactly as long as the computation, so a
+   completed (or failed) key recomputes freshly next time. *)
+let single_flight t key compute =
+  Mutex.lock t.sf_mu;
+  let fut, mine =
+    match Hashtbl.find_opt t.sf key with
+    | Some fut -> (fut, false)
+    | None ->
+        let fut = Exec.Pool.async t.pool compute in
+        Hashtbl.replace t.sf key fut;
+        (fut, true)
+  in
+  Mutex.unlock t.sf_mu;
+  Fun.protect
+    ~finally:(fun () ->
+      if mine then begin
+        Mutex.lock t.sf_mu;
+        Hashtbl.remove t.sf key;
+        Mutex.unlock t.sf_mu
+      end)
+    (fun () -> Exec.Pool.await fut)
+
+let run_cell t ~program ~allocator ~scale =
+  match check_scale scale with
+  | Result.Error _ as e -> e
+  | Result.Ok () -> (
+      match Workload.Programs.find program with
+      | exception Not_found ->
+          Result.Error
+            (Protocol.Unknown_key, Printf.sprintf "unknown program %S" program)
+      | profile ->
+          let known_allocator =
+            allocator = "custom"
+            || List.exists
+                 (fun (s : Allocators.Registry.spec) -> s.key = allocator)
+                 Allocators.Registry.all
+          in
+          if not known_allocator then
+            Result.Error
+              (Protocol.Unknown_key,
+               Printf.sprintf "unknown allocator %S" allocator)
+          else begin
+            let digest =
+              Core.Artifact.digest ~program ~allocator ~scale
+                ~seed:profile.Workload.Profile.seed
+            in
+            let artifact, was_warm =
+              single_flight t digest (fun () ->
+                  (* Warm path: hand back the store's verified payload
+                     bytes themselves.  Cold path: simulate through
+                     Core.Runs (which writes the same bytes through the
+                     store), then encode — Artifact.encode is exactly
+                     what the store persists, so warm and cold replies
+                     are byte-identical for the same cell. *)
+                  let stored =
+                    match t.store with
+                    | None -> None
+                    | Some store -> (
+                        match Store.find store ~digest with
+                        | Store.Hit payload -> Some payload
+                        | Store.Miss | Store.Corrupt _ -> None)
+                  in
+                  match stored with
+                  | Some payload -> (payload, true)
+                  | None ->
+                      let runs =
+                        Core.Runs.create ~scale ?store:t.store ()
+                      in
+                      let art =
+                        Core.Runs.get runs ~profile:program ~allocator
+                      in
+                      (Core.Artifact.encode art, false))
+            in
+            if was_warm then Atomic.incr t.warm else Atomic.incr t.simulated;
+            Result.Ok (Protocol.Cell_ok { digest; artifact })
+          end)
+
+let run_experiment t ~id ~scale =
+  match check_scale scale with
+  | Result.Error _ as e -> e
+  | Result.Ok () -> (
+      match Core.Experiment.find id with
+      | exception Not_found ->
+          Result.Error
+            (Protocol.Unknown_key, Printf.sprintf "unknown experiment %S" id)
+      | _ ->
+          let key = Printf.sprintf "exp:%s:%h" id scale in
+          let text, _ =
+            single_flight t key (fun () ->
+                (* jobs:1 inside the request: the request itself already
+                   occupies a pool worker, so nesting another fan-out
+                   would oversubscribe the machine. *)
+                let ctx =
+                  Core.Context.create ~scale ~jobs:1 ?store:t.store ()
+                in
+                (Core.Experiment.run ctx id, false))
+          in
+          Result.Ok (Protocol.Report_ok text))
+
+let execute t (req : Protocol.request) : Protocol.response =
+  match
+    match req with
+    | Protocol.Health ->
+        Result.Ok
+          (Protocol.Health_ok
+             { server_version = t.server_version;
+               protocol_version = Protocol.version })
+    | Protocol.Stats -> Result.Ok (Protocol.Stats_ok (stats t))
+    | Protocol.Metrics ->
+        Result.Ok
+          (Protocol.Metrics_ok
+             (Metrics.to_prometheus (Metrics.snapshot Metrics.default)))
+    | Protocol.Run_cell { program; allocator; scale } ->
+        run_cell t ~program ~allocator ~scale
+    | Protocol.Run_experiment { id; scale } -> run_experiment t ~id ~scale
+  with
+  | Result.Ok resp -> resp
+  | Result.Error (code, message) -> Protocol.Error { code; message }
+  | exception e ->
+      Log.err (fun m ->
+          m "request %s failed: %s" (Protocol.request_kind req)
+            (Printexc.to_string e));
+      Protocol.Error
+        { code = Protocol.Internal; message = Printexc.to_string e }
+
+(* ---- connection threads --------------------------------------------- *)
+
+let send_response t conn resp =
+  (match resp with
+  | Protocol.Error { code; _ } ->
+      Atomic.incr t.errors;
+      Metrics.Counter.inc
+        (Metrics.Counter.labels m_errors
+           [ Protocol.error_code_to_string code ])
+  | _ -> ());
+  Atomic.incr t.requests;
+  try Protocol.write_frame conn.fd (Protocol.encode_response resp)
+  with Unix.Unix_error _ | Sys_error _ -> kill_conn conn
+
+let handler_loop t conn =
+  let rec go () =
+    match dequeue conn with
+    | None -> ()
+    | Some item ->
+        let t0 = Unix.gettimeofday () in
+        Atomic.incr t.inflight;
+        let kind, resp =
+          match item with
+          | Refuse (code, message) ->
+              ("refused", Protocol.Error { code; message })
+          | Handle req -> (Protocol.request_kind req, execute t req)
+        in
+        Atomic.decr t.inflight;
+        Metrics.Counter.inc (Metrics.Counter.labels m_requests [ kind ]);
+        Metrics.Histogram.observe h_duration
+          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+        send_response t conn resp;
+        go ()
+  in
+  go ()
+
+let reader_loop t conn ~first =
+  let rec go first =
+    if not conn.dead then
+      match Protocol.read_frame ~first conn.fd with
+      | Result.Ok None -> () (* clean EOF *)
+      | Result.Error reason ->
+          (* A torn or garbage frame leaves the stream unsynchronised:
+             answer with a typed error, then stop reading. *)
+          enqueue conn (Refuse (Protocol.Bad_request, reason))
+      | Result.Ok (Some payload) -> (
+          match Protocol.decode_request payload with
+          | Result.Error (Protocol.Unsupported v) ->
+              (* The frame was sound — only the payload version is
+                 foreign — so the stream is still synchronised and the
+                 connection survives. *)
+              enqueue conn
+                (Refuse
+                   (Protocol.Unsupported_version,
+                    Printf.sprintf
+                      "this server speaks protocol version %d, not %d"
+                      Protocol.version v));
+              go ""
+          | Result.Error (Protocol.Malformed msg) ->
+              enqueue conn (Refuse (Protocol.Bad_request, msg));
+              go ""
+          | Result.Ok req ->
+              if Atomic.get t.stopping then
+                enqueue conn
+                  (Refuse (Protocol.Overloaded, "server is shutting down"))
+                (* and stop: drain what was accepted, refuse the rest *)
+              else begin
+                enqueue conn (Handle req);
+                go ""
+              end)
+  in
+  go first
+
+(* ---- plain-HTTP observability --------------------------------------- *)
+
+(* GET /metrics and GET /health answer plain HTTP on the same port, so
+   a Prometheus scraper or a shell `curl --unix-socket` needs no custom
+   client.  Everything else about the connection stays the binary
+   protocol. *)
+let http_response status body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
+     Content-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status (String.length body) body
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n =
+      try Unix.write_substring fd s pos len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let contains_blank_line s =
+  let n = String.length s in
+  let rec go i =
+    i + 3 < n
+    && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+         && s.[i + 3] = '\n')
+        || go (i + 1))
+  in
+  go 0
+
+let serve_http t conn ~first =
+  (* Drain the request head (bounded) so the client sees our response
+     rather than a reset, then answer by path. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf first;
+  let chunk = Bytes.create 1024 in
+  let rec drain () =
+    if Buffer.length buf < 8192 && not (contains_blank_line (Buffer.contents buf))
+    then
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  let head = Buffer.contents buf in
+  let path =
+    match String.split_on_char ' ' head with
+    | _meth :: path :: _ -> path
+    | _ -> "/"
+  in
+  let resp =
+    match path with
+    | "/metrics" ->
+        Metrics.Counter.inc (Metrics.Counter.labels m_requests [ "http" ]);
+        Atomic.incr t.requests;
+        http_response "200 OK"
+          (Metrics.to_prometheus (Metrics.snapshot Metrics.default))
+    | "/health" ->
+        Metrics.Counter.inc (Metrics.Counter.labels m_requests [ "http" ]);
+        Atomic.incr t.requests;
+        http_response "200 OK" "ok\n"
+    | _ -> http_response "404 Not Found" "only /metrics and /health live here\n"
+  in
+  try write_all conn.fd resp 0 (String.length resp)
+  with Unix.Unix_error _ -> ()
+
+(* ---- connection lifecycle ------------------------------------------- *)
+
+(* Each connection starts as one thread that sniffs the first bytes:
+   "GET " means plain HTTP (answered inline, then close); anything else
+   is treated as the binary protocol — the thread becomes the reader
+   and spawns its handler twin. *)
+let sniff_bytes = 4
+
+let conn_main t conn =
+  let finally () =
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Atomic.decr t.open_conns;
+    Metrics.Gauge.add g_connections (-1);
+    Mutex.lock t.conns_mu;
+    t.conns <- List.filter (fun (c, _) -> c.cid <> conn.cid) t.conns;
+    Mutex.unlock t.conns_mu
+  in
+  Fun.protect ~finally (fun () ->
+      let first = Bytes.create sniff_bytes in
+      let rec sniff off =
+        if off >= sniff_bytes then Some (Bytes.to_string first)
+        else
+          match Unix.read conn.fd first off (sniff_bytes - off) with
+          | 0 -> if off = 0 then None else Some (Bytes.sub_string first 0 off)
+          | n -> sniff (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> sniff off
+      in
+      match sniff 0 with
+      | None -> () (* connected and left *)
+      | Some "GET " -> serve_http t conn ~first:"GET "
+      | Some first ->
+          let handler = Thread.create (fun () -> handler_loop t conn) () in
+          reader_loop t conn ~first;
+          close_queue conn;
+          Thread.join handler)
+
+let accept_conn t fd =
+  let conn =
+    Mutex.lock t.conns_mu;
+    let cid = t.next_cid in
+    t.next_cid <- cid + 1;
+    let conn =
+      { cid;
+        fd;
+        q = Queue.create ();
+        qmu = Mutex.create ();
+        not_full = Condition.create ();
+        not_empty = Condition.create ();
+        max_pending = t.max_pending;
+        qclosed = false;
+        dead = false }
+    in
+    let thread = Thread.create (fun () -> conn_main t conn) () in
+    t.conns <- (conn, thread) :: t.conns;
+    Mutex.unlock t.conns_mu;
+    conn
+  in
+  ignore conn;
+  Atomic.incr t.open_conns;
+  Metrics.Gauge.add g_connections 1
+
+(* ---- accept loop, shutdown ------------------------------------------ *)
+
+let shutdown t =
+  (* Callable from a signal handler: one atomic flip, no locks.  The
+     accept loop polls the flag (and EINTR from the signal itself cuts
+     its select short), notices, and performs the actual teardown. *)
+  Atomic.set t.stopping true
+
+let drain_and_close t =
+  (* Stop reading on every open connection: readers see EOF, handlers
+     drain what was already queued, write the replies, and exit —
+     accepted work completes, nothing new enters. *)
+  Mutex.lock t.conns_mu;
+  let conns = t.conns in
+  Mutex.unlock t.conns_mu;
+  List.iter
+    (fun (conn, _) ->
+      try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+      with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (_, thread) -> Thread.join thread) conns;
+  Exec.Pool.shutdown t.pool;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  match t.sock_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let run t =
+  Log.info (fun m ->
+      m "serving on %s (%d worker domain%s)"
+        (Protocol.addr_to_string t.listen_addr)
+        (Exec.Pool.jobs t.pool)
+        (if Exec.Pool.jobs t.pool = 1 then "" else "s"));
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ -> accept_conn t fd
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                 | Unix.EWOULDBLOCK), _, _) ->
+              ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  Log.info (fun m -> m "shutting down: draining open connections");
+  drain_and_close t;
+  Log.info (fun m ->
+      m "served %d request%s (%d warm, %d simulated, %d error%s)"
+        (Atomic.get t.requests)
+        (if Atomic.get t.requests = 1 then "" else "s")
+        (Atomic.get t.warm) (Atomic.get t.simulated) (Atomic.get t.errors)
+        (if Atomic.get t.errors = 1 then "" else "s"))

@@ -1,0 +1,61 @@
+(** The loclab simulation service: an accept loop answering
+    {!Protocol} requests over AF_UNIX or TCP.
+
+    Per connection, a reader thread decodes frames into a {e bounded}
+    queue drained by a handler thread — the bound is the backpressure:
+    a client pipelining faster than the server drains blocks once the
+    queue (and the kernel socket buffers) fill.  Simulation work is
+    parked on a shared {!Exec.Pool} via [async]/[await], so CPU runs on
+    worker domains while connection threads multiplex I/O; identical
+    concurrent cold requests are collapsed to one simulation by a
+    single-flight table keyed by the cell digest.
+
+    Cell requests are answered from the persistent store when warm (the
+    reply carries the store's verified payload bytes themselves) and
+    simulated — with store write-through — when cold; warm and cold
+    replies for the same cell are byte-identical, because the store
+    persists exactly [Core.Artifact.encode].
+
+    The same port also answers plain [GET /metrics] (Prometheus text)
+    and [GET /health], so a scraper or shell needs no custom client:
+    the first bytes of each connection decide HTTP versus the binary
+    protocol. *)
+
+type t
+
+val create :
+  ?server_version:string ->
+  ?max_pending:int ->
+  ?jobs:int ->
+  ?store:Store.t ->
+  listen:Protocol.addr ->
+  unit ->
+  t
+(** Bind and listen (the socket accepts from the moment [create]
+    returns; {!run} starts answering).  [max_pending] (default 32)
+    bounds each connection's decoded-but-unanswered requests; [jobs]
+    (default 1) sizes the worker-domain pool.  A stale AF_UNIX socket
+    file (nothing answering on it) is replaced; a live one is an error.
+    Enables the default metrics registry and ignores [SIGPIPE]
+    (process-wide).
+    @raise Unix.Unix_error when binding fails,
+    @raise Failure when the unix socket is already being served,
+    @raise Invalid_argument when [max_pending < 1]. *)
+
+val listen_addr : t -> Protocol.addr
+(** The bound address — for [Tcp] with port 0, the real port. *)
+
+val run : t -> unit
+(** Accept and answer until {!shutdown}, then drain: open connections
+    stop reading, already-accepted requests complete and their replies
+    are written, worker domains and connection threads are joined, the
+    listen socket is closed and an AF_UNIX socket file unlinked.
+    Blocks until the drain completes. *)
+
+val shutdown : t -> unit
+(** Ask {!run} to stop.  Idempotent, lock-free and async-signal-safe —
+    wire it directly to SIGINT; a second Ctrl-C during the drain is
+    harmless. *)
+
+val stats : t -> Protocol.stats
+(** The live counters the [Stats] request answers with. *)

@@ -44,6 +44,43 @@ module Writer = struct
     List.iter f l
 end
 
+module Frame = struct
+  (* One self-checking envelope shared by every on-disk and on-wire
+     consumer: the store's cell files and the serve protocol both frame
+     payloads this way, differing only in their magic. *)
+
+  let overhead ~magic = String.length magic + 16
+
+  let frame ~magic payload =
+    let b = Buffer.create (String.length payload + overhead ~magic) in
+    Buffer.add_string b magic;
+    Buffer.add_int64_le b (Int64.of_int (String.length payload));
+    Buffer.add_string b payload;
+    Buffer.add_int64_le b (Int64.of_int (crc32 payload));
+    Buffer.contents b
+
+  let unframe ~magic data =
+    let mlen = String.length magic in
+    let total = String.length data in
+    if total < mlen + 16 then Result.Error "truncated frame"
+    else if String.sub data 0 mlen <> magic then
+      Result.Error "bad magic (not a loclab artifact, or an incompatible frame)"
+    else
+      let len = Int64.to_int (String.get_int64_le data mlen) in
+      if len < 0 || total <> mlen + 8 + len + 8 then
+        Result.Error
+          (Printf.sprintf "bad frame length %d for a %d-byte file" len total)
+      else
+        let payload = String.sub data (mlen + 8) len in
+        let crc = Int64.to_int (String.get_int64_le data (mlen + 8 + len)) in
+        let actual = crc32 payload in
+        if crc <> actual then
+          Result.Error
+            (Printf.sprintf "CRC mismatch (stored %#x, computed %#x)" crc
+               actual)
+        else Result.Ok payload
+end
+
 module Reader = struct
   type t = { data : string; mutable pos : int }
 

@@ -17,6 +17,20 @@ val crc32 : string -> int
 (** CRC-32 (IEEE 802.3, the zlib polynomial) of the whole string, in
     [0, 0xFFFFFFFF]. *)
 
+(** The self-checking payload envelope shared by the store's cell files
+    and the serve wire protocol: [magic | length (8 LE) | payload |
+    crc32(payload) (8 LE)].  Consumers differ only in their magic. *)
+module Frame : sig
+  val overhead : magic:string -> int
+  (** Bytes a frame adds around its payload. *)
+
+  val frame : magic:string -> string -> string
+
+  val unframe : magic:string -> string -> (string, string) result
+  (** [Error reason] on a short buffer, foreign magic, inconsistent
+      length or CRC mismatch; never raises. *)
+end
+
 (** Append-only binary writer. *)
 module Writer : sig
   type t

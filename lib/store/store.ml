@@ -46,32 +46,8 @@ let puts_c =
     ~help:"Artifacts written to the store" ~labels:[] ()
   |> Fun.flip Telemetry.Metrics.Counter.labels []
 
-let frame payload =
-  let b = Buffer.create (String.length payload + 24) in
-  Buffer.add_string b magic;
-  Buffer.add_int64_le b (Int64.of_int (String.length payload));
-  Buffer.add_string b payload;
-  Buffer.add_int64_le b (Int64.of_int (Codec.crc32 payload));
-  Buffer.contents b
-
-let unframe data =
-  let mlen = String.length magic in
-  let total = String.length data in
-  if total < mlen + 16 then Error "truncated frame"
-  else if String.sub data 0 mlen <> magic then
-    Error "bad magic (not a loclab artifact, or an incompatible frame)"
-  else
-    let len = Int64.to_int (String.get_int64_le data mlen) in
-    if len < 0 || total <> mlen + 8 + len + 8 then
-      Error
-        (Printf.sprintf "bad frame length %d for a %d-byte file" len total)
-    else
-      let payload = String.sub data (mlen + 8) len in
-      let crc = Int64.to_int (String.get_int64_le data (mlen + 8 + len)) in
-      let actual = Codec.crc32 payload in
-      if crc <> actual then
-        Error (Printf.sprintf "CRC mismatch (stored %#x, computed %#x)" crc actual)
-      else Ok payload
+let frame payload = Codec.Frame.frame ~magic payload
+let unframe data = Codec.Frame.unframe ~magic data
 
 let read_file file =
   let ic = open_in_bin file in

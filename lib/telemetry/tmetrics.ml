@@ -260,6 +260,35 @@ module Histogram = struct
   let mean h =
     let n = count h in
     if n = 0 then 0. else float_of_int (sum h) /. float_of_int n
+
+  let quantile h q =
+    let q = Float.max 0. (Float.min 1. q) in
+    let n = count h in
+    if n = 0 then 0.
+    else begin
+      (* Rank of the wanted observation, then linear interpolation
+         inside the log-2 bucket that holds it — the standard
+         Prometheus histogram_quantile estimate, so the stats endpoint
+         and a scraping dashboard agree on p50/p99. *)
+      let rank = q *. float_of_int n in
+      let rec go i cumulative =
+        if i > finite_buckets then infinity
+        else
+          let here = merged_slot h i in
+          let cum = cumulative + here in
+          if float_of_int cum >= rank && here > 0 then
+            let hi = bound_of i in
+            if i = 0 then hi
+            else if hi = infinity then bound_of (i - 1)
+            else
+              let lo = bound_of (i - 1) in
+              lo
+              +. (hi -. lo)
+                 *. ((rank -. float_of_int cumulative) /. float_of_int here)
+          else go (i + 1) cum
+      in
+      go 0 0
+    end
 end
 
 (* ---- exporters ----------------------------------------------------- *)

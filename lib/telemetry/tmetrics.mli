@@ -123,4 +123,12 @@ module Histogram : sig
 
   val mean : h -> float
   (** [sum / count]; 0 when empty. *)
+
+  val quantile : h -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([q] clamped to
+      [\[0, 1\]]) from the log-2 buckets, linearly interpolated inside
+      the bucket holding the wanted rank — the same estimate
+      Prometheus' [histogram_quantile] computes, so the serve stats
+      endpoint and a scraping dashboard agree.  0 when empty; the
+      overflow bucket reports its lower bound. *)
 end

@@ -258,6 +258,104 @@ let test_headline_tags_increase_misses () =
   check_bool "tags do not reduce misses" true
     (misses "gnu-local-tags" >= misses "gnu-local")
 
+(* ------------------------------------------------------------------ *)
+(* Options: one resolution path for every subcommand                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated environment: build consults [getenv] only, so these tests
+   are hermetic regardless of the real LOCLAB_* variables. *)
+let env pairs name = List.assoc_opt name pairs
+let no_env _ = None
+
+let build_ok ?getenv ?scale ?penalty ?jobs ?store_dir ?cpu () =
+  match
+    Core.Context.Options.build ?getenv ?scale ?penalty ?jobs ?store_dir ?cpu ()
+  with
+  | Ok o -> o
+  | Error msg -> Alcotest.failf "unexpected build error: %s" msg
+
+let build_err ?getenv ?scale ?penalty ?jobs ?store_dir ?cpu () =
+  match
+    Core.Context.Options.build ?getenv ?scale ?penalty ?jobs ?store_dir ?cpu ()
+  with
+  | Error msg -> msg
+  | Ok _ -> Alcotest.fail "expected build to fail"
+
+let test_options_defaults () =
+  let o = build_ok ~getenv:no_env () in
+  check_bool "defaults" true (o = Core.Context.Options.default);
+  check_bool "no store by default" true (o.Core.Context.Options.store_dir = None)
+
+let test_options_env_beats_default () =
+  let getenv =
+    env
+      [
+        ("LOCLAB_SCALE", "0.5");
+        ("LOCLAB_PENALTY", "40");
+        ("LOCLAB_JOBS", "2");
+        ("LOCLAB_STORE", "/tmp/opt-store");
+        ("LOCLAB_CPU", "haswell");
+      ]
+  in
+  let o = build_ok ~getenv () in
+  Alcotest.(check (float 0.)) "scale from env" 0.5 o.Core.Context.Options.scale;
+  check_int "penalty from env" 40 o.Core.Context.Options.penalty;
+  check_int "jobs from env" 2 o.Core.Context.Options.jobs;
+  check_bool "store from env" true
+    (o.Core.Context.Options.store_dir = Some "/tmp/opt-store");
+  Alcotest.(check string)
+    "cpu from env" "haswell" o.Core.Context.Options.cpu.Cachesim.Cpu.key
+
+let test_options_flag_beats_env () =
+  (* The flag wins outright: the variable is not even read, so a
+     garbage environment cannot break an explicit flag. *)
+  let getenv =
+    env [ ("LOCLAB_SCALE", "garbage"); ("LOCLAB_PENALTY", "also garbage") ]
+  in
+  let o = build_ok ~getenv ~scale:0.1 ~penalty:10 () in
+  Alcotest.(check (float 0.)) "flag scale" 0.1 o.Core.Context.Options.scale;
+  check_int "flag penalty" 10 o.Core.Context.Options.penalty
+
+let test_options_bad_env_names_variable () =
+  List.iter
+    (fun (var, value) ->
+      let msg = build_err ~getenv:(env [ (var, value) ]) () in
+      check_bool
+        (Printf.sprintf "%s=%s error names it" var value)
+        true
+        (contains ~needle:var msg))
+    [
+      ("LOCLAB_SCALE", "garbage");
+      ("LOCLAB_SCALE", "9.0");
+      ("LOCLAB_PENALTY", "-1");
+      ("LOCLAB_PENALTY", "x");
+      ("LOCLAB_JOBS", "nope");
+      ("LOCLAB_CPU", "z80");
+    ]
+
+let test_options_flag_and_env_validated_identically () =
+  (* Out-of-range values fail the same way from either source. *)
+  ignore (build_err ~getenv:no_env ~scale:9.0 ());
+  ignore (build_err ~getenv:(env [ ("LOCLAB_SCALE", "9.0") ]) ());
+  ignore (build_err ~getenv:no_env ~scale:0.0 ());
+  ignore (build_err ~getenv:no_env ~penalty:(-1) ());
+  ignore (build_err ~getenv:(env [ ("LOCLAB_PENALTY", "-1") ]) ());
+  check_bool "both sources validated" true true
+
+let test_options_store_empty_means_none () =
+  let o = build_ok ~getenv:no_env ~store_dir:"" () in
+  check_bool "empty flag = no store" true
+    (o.Core.Context.Options.store_dir = None);
+  let o = build_ok ~getenv:(env [ ("LOCLAB_STORE", "") ]) () in
+  check_bool "empty env = no store" true
+    (o.Core.Context.Options.store_dir = None)
+
+let test_options_jobs_zero_means_per_core () =
+  let o = build_ok ~getenv:no_env ~jobs:0 () in
+  check_bool "jobs 0 resolves >= 1" true (o.Core.Context.Options.jobs >= 1);
+  let o = build_ok ~getenv:(env [ ("LOCLAB_JOBS", "0") ]) () in
+  check_bool "env jobs 0 resolves >= 1" true (o.Core.Context.Options.jobs >= 1)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -290,6 +388,17 @@ let () =
           tc "tab6 tag rows" test_tab6_has_tag_rows;
           tc "deterministic across contexts"
             test_experiments_deterministic_across_contexts;
+        ] );
+      ( "options",
+        [
+          tc "defaults" test_options_defaults;
+          tc "env beats default" test_options_env_beats_default;
+          tc "flag beats env" test_options_flag_beats_env;
+          tc "bad env names the variable" test_options_bad_env_names_variable;
+          tc "flag and env validated identically"
+            test_options_flag_and_env_validated_identically;
+          tc "empty store means none" test_options_store_empty_means_none;
+          tc "jobs 0 means per-core" test_options_jobs_zero_means_per_core;
         ] );
       ( "headline",
         [

@@ -104,6 +104,81 @@ let prop_exceptions_propagate =
       got = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Futures and shutdown                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_async_await_value () =
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let futs = List.init 20 (fun i -> Exec.Pool.async pool (fun () -> i * i)) in
+      Alcotest.(check (list int))
+        "await returns the values"
+        (List.init 20 (fun i -> i * i))
+        (List.map Exec.Pool.await futs))
+
+let test_async_await_exception () =
+  Exec.Pool.with_pool ~jobs:2 (fun pool ->
+      let fut = Exec.Pool.async pool (fun () -> failwith "boom") in
+      check_bool "await re-raises" true
+        (match Exec.Pool.await fut with
+        | exception Failure msg -> msg = "boom"
+        | _ -> false);
+      check_bool "await is repeatable" true
+        (match Exec.Pool.await fut with
+        | exception Failure msg -> msg = "boom"
+        | _ -> false))
+
+let test_async_inline_when_no_workers () =
+  (* jobs=1 spawns no domains: async degrades to run-now, await still
+     hands the value over. *)
+  Exec.Pool.with_pool ~jobs:1 (fun pool ->
+      let ran = ref false in
+      let fut =
+        Exec.Pool.async pool (fun () ->
+            ran := true;
+            41)
+      in
+      check_bool "ran inline before await" true !ran;
+      check_int "await returns" 41 (Exec.Pool.await fut))
+
+let test_async_after_shutdown_runs_inline () =
+  let pool = Exec.Pool.create ~jobs:4 in
+  Exec.Pool.shutdown pool;
+  let fut = Exec.Pool.async pool (fun () -> 7) in
+  check_int "async after shutdown degrades, not raises" 7
+    (Exec.Pool.await fut)
+
+let test_shutdown_drains_queued_work () =
+  (* Futures scheduled before shutdown must complete: shutdown joins
+     workers only after the queue drains. *)
+  let pool = Exec.Pool.create ~jobs:2 in
+  let futs =
+    List.init 50 (fun i ->
+        Exec.Pool.async pool (fun () ->
+            Thread.yield ();
+            i))
+  in
+  Exec.Pool.shutdown pool;
+  Alcotest.(check (list int))
+    "every pre-shutdown task completed"
+    (List.init 50 Fun.id)
+    (List.map Exec.Pool.await futs)
+
+let test_concurrent_shutdown_safe () =
+  (* The signal-handler-vs-exit-path race: many threads calling
+     shutdown at once (one of them mid-drain) must all return without
+     raising.  Repeated a few times to give the race room. *)
+  for _ = 1 to 5 do
+    let pool = Exec.Pool.create ~jobs:4 in
+    ignore (Exec.Pool.async pool (fun () -> Thread.yield ()));
+    let threads =
+      List.init 4 (fun _ -> Thread.create Exec.Pool.shutdown pool)
+    in
+    Exec.Pool.shutdown pool;
+    List.iter Thread.join threads
+  done;
+  check_bool "no shutdown call raised" true true
+
+(* ------------------------------------------------------------------ *)
 (* Differential determinism: jobs must never change the numbers       *)
 (* ------------------------------------------------------------------ *)
 
@@ -155,6 +230,16 @@ let () =
         ] );
       ( "pool-properties",
         [ qt prop_map_matches_list_map; qt prop_exceptions_propagate ] );
+      ( "futures-shutdown",
+        [
+          tc "async/await values" test_async_await_value;
+          tc "async/await exception" test_async_await_exception;
+          tc "async inline when no workers" test_async_inline_when_no_workers;
+          tc "async after shutdown runs inline"
+            test_async_after_shutdown_runs_inline;
+          tc "shutdown drains queued work" test_shutdown_drains_queued_work;
+          tc "concurrent shutdown is safe" test_concurrent_shutdown_safe;
+        ] );
       ( "determinism",
         [
           tc "parallel grid bit-identical" test_parallel_grid_bit_identical;

@@ -3,6 +3,10 @@
 
 open Memsim
 
+(* Several suites here deliberately exercise the deprecated boxed
+   delivery shims (Sink.Compat) to pin them against the packed path. *)
+[@@@alert "-deprecated"]
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 
@@ -141,7 +145,7 @@ let test_sink_filter_batch () =
       ~emit:(fun e -> (Sink.Recorder.sink batched).emit e)
       ~emit_batch:(fun buf len ->
         incr batch_calls;
-        Sink.emit_batch (Sink.Recorder.sink batched) buf ~len)
+        Sink.Compat.emit_batch (Sink.Recorder.sink batched) buf ~len)
   in
   let f = Sink.filter pred downstream in
   let arr = Array.of_list stream in
@@ -654,7 +658,7 @@ let test_filter_fanout_no_alias () =
       [ Sink.filter pred (Sink.Recorder.sink a2); Sink.Recorder.sink b2 ]
   in
   let arr = Array.of_list evs in
-  Sink.emit_batch fan2 arr ~len:(Array.length arr);
+  Sink.Compat.emit_batch fan2 arr ~len:(Array.length arr);
   check_bool "boxed: filtered side" true
     (Sink.Recorder.events a2 = List.filter pred evs);
   check_bool "boxed: sibling full" true (Sink.Recorder.events b2 = evs);
@@ -670,7 +674,7 @@ let test_make_packed_boxed_shim () =
   in
   let e1 = Event.read 0x1000 4 and e2 = Event.write 0x2000 8 in
   s.Sink.emit e1;
-  Sink.emit_batch s [| e2; e1 |] ~len:2;
+  Sink.Compat.emit_batch s [| e2; e1 |] ~len:2;
   check_bool "boxed deliveries arrive packed" true (!seen = [ e1; e2; e1 ])
 
 let test_trace_buffer_roundtrip () =
@@ -685,7 +689,7 @@ let test_trace_buffer_roundtrip () =
   (match evs with
   | e0 :: e1 :: rest ->
       s.Sink.emit e0;
-      Sink.emit_batch s [| e1 |] ~len:1;
+      Sink.Compat.emit_batch s [| e1 |] ~len:1;
       deliver_packed ~grain:6 s rest
   | _ -> assert false);
   check_int "length" 23 (Trace_buffer.length tb);

@@ -1,0 +1,491 @@
+(* The serve wire protocol and the server itself: codec round-trips
+   (unit and property), framing corruption (truncation at every split
+   point, bit flips, bad magic, oversized length claims), version
+   negotiation, and an in-process client/server integration test
+   covering the cold/warm byte-identity contract and typed error
+   replies. *)
+
+[@@@warning "-69"] (* tests poke records partially *)
+
+module P = Serve.Protocol
+module Codec = Store.Codec
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_addr_parse () =
+  let ok s = function
+    | expected -> (
+        match P.addr_of_string s with
+        | Ok a -> check_bool (s ^ " parses") true (a = expected)
+        | Error e -> Alcotest.failf "%s: unexpected error %s" s e)
+  in
+  ok "unix:/tmp/x.sock" (P.Unix_path "/tmp/x.sock");
+  ok "/tmp/bare.sock" (P.Unix_path "/tmp/bare.sock");
+  ok "tcp:localhost:8080" (P.Tcp ("localhost", 8080));
+  ok "tcp::9090" (P.Tcp ("127.0.0.1", 9090));
+  List.iter
+    (fun s ->
+      check_bool (s ^ " rejected") true
+        (match P.addr_of_string s with Error _ -> true | Ok _ -> false))
+    [ "tcp:host:notaport"; "tcp:host:70000"; "tcp:host:-1"; "tcp:host:"; "" ]
+
+let test_addr_round_trip () =
+  List.iter
+    (fun a ->
+      match P.addr_of_string (P.addr_to_string a) with
+      | Ok b -> check_bool "to_string round-trips" true (a = b)
+      | Error e -> Alcotest.failf "round trip failed: %s" e)
+    [ P.Unix_path "/tmp/s.sock"; P.Tcp ("example.org", 80); P.Tcp ("127.0.0.1", 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec: unit round-trips                                    *)
+(* ------------------------------------------------------------------ *)
+
+let req_round_trip r =
+  match P.decode_request (P.encode_request r) with
+  | Ok r' -> check_bool "request round-trips" true (r = r')
+  | Error e -> Alcotest.failf "decode failed: %s" (P.decode_error_to_string e)
+
+let resp_round_trip r =
+  match P.decode_response (P.encode_response r) with
+  | Ok r' -> check_bool "response round-trips" true (r = r')
+  | Error e -> Alcotest.failf "decode failed: %s" (P.decode_error_to_string e)
+
+let sample_stats =
+  {
+    P.uptime_seconds = 12.5;
+    connections = 3;
+    requests = 100;
+    errors = 2;
+    warm_cells = 40;
+    simulated_cells = 9;
+    inflight = 1;
+    p50_us = 130.0;
+    p99_us = 4200.0;
+  }
+
+let test_request_round_trips () =
+  List.iter req_round_trip
+    [
+      P.Health;
+      P.Stats;
+      P.Metrics;
+      P.Run_cell { program = "espresso"; allocator = "bsd"; scale = 0.02 };
+      P.Run_cell { program = ""; allocator = "\x00\xffbin"; scale = 1e-9 };
+      P.Run_experiment { id = "tab4"; scale = 1.0 };
+    ]
+
+let test_response_round_trips () =
+  List.iter resp_round_trip
+    [
+      P.Health_ok { server_version = "loclab/1.0.0"; protocol_version = 1 };
+      P.Stats_ok sample_stats;
+      P.Metrics_ok "# HELP x\nx 1\n";
+      P.Cell_ok { digest = String.make 32 'a'; artifact = "\x01\x02payload" };
+      P.Report_ok "table\n";
+      P.Error { code = P.Bad_request; message = "nope" };
+      P.Error { code = P.Unknown_key; message = "" };
+      P.Error { code = P.Unsupported_version; message = "v9" };
+      P.Error { code = P.Overloaded; message = "draining" };
+      P.Error { code = P.Internal; message = "oops" };
+    ]
+
+let test_decode_rejects_junk () =
+  let malformed = function
+    | Error (P.Malformed _) -> true
+    | Ok _ | Error (P.Unsupported _) -> false
+  in
+  check_bool "empty request payload" true (malformed (P.decode_request ""));
+  check_bool "empty response payload" true (malformed (P.decode_response ""));
+  (* Right version, unknown tag. *)
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w P.version;
+  Codec.Writer.int w 99;
+  check_bool "unknown request tag" true
+    (malformed (P.decode_request (Codec.Writer.contents w)));
+  check_bool "unknown response tag" true
+    (malformed (P.decode_response (Codec.Writer.contents w)));
+  (* A valid message with trailing garbage. *)
+  check_bool "trailing bytes" true
+    (malformed (P.decode_request (P.encode_request P.Health ^ "x")));
+  (* Truncation at every prefix of a payload must stay typed. *)
+  let payload =
+    P.encode_request
+      (P.Run_cell { program = "espresso"; allocator = "bsd"; scale = 0.5 })
+  in
+  for len = 0 to String.length payload - 1 do
+    check_bool
+      (Printf.sprintf "truncated payload at %d" len)
+      true
+      (malformed (P.decode_request (String.sub payload 0 len)))
+  done
+
+let test_version_negotiation () =
+  (* A well-formed frame from the future: version 99, then whatever. *)
+  let w = Codec.Writer.create () in
+  Codec.Writer.int w 99;
+  Codec.Writer.int w 0;
+  let payload = Codec.Writer.contents w in
+  check_bool "future request version" true
+    (match P.decode_request payload with
+    | Error (P.Unsupported 99) -> true
+    | _ -> false);
+  check_bool "future response version" true
+    (match P.decode_response payload with
+    | Error (P.Unsupported 99) -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec: properties                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_scale = QCheck.Gen.map (fun i -> float_of_int i /. 256.) (QCheck.Gen.int_range 1 1024)
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return P.Health;
+        return P.Stats;
+        return P.Metrics;
+        map3
+          (fun program allocator scale -> P.Run_cell { program; allocator; scale })
+          string_small string_small gen_scale;
+        map2 (fun id scale -> P.Run_experiment { id; scale }) string_small gen_scale;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun server_version protocol_version ->
+            P.Health_ok { server_version; protocol_version })
+          string_small small_nat;
+        return (P.Stats_ok sample_stats);
+        map (fun s -> P.Metrics_ok s) string_small;
+        map2 (fun digest artifact -> P.Cell_ok { digest; artifact }) string_small string_small;
+        map (fun s -> P.Report_ok s) string_small;
+        map2
+          (fun code message -> P.Error { code; message })
+          (oneofl
+             [ P.Bad_request; P.Unknown_key; P.Unsupported_version; P.Overloaded; P.Internal ])
+          string_small;
+      ])
+
+let prop_request_round_trip =
+  QCheck.Test.make ~count:200 ~name:"request encode/decode round-trips"
+    (QCheck.make gen_request)
+    (fun r -> P.decode_request (P.encode_request r) = Ok r)
+
+let prop_response_round_trip =
+  QCheck.Test.make ~count:200 ~name:"response encode/decode round-trips"
+    (QCheck.make gen_response)
+    (fun r -> P.decode_response (P.encode_response r) = Ok r)
+
+let prop_garbage_never_raises =
+  (* decode_* must answer arbitrary bytes with a typed error (or, by
+     astronomical luck, a value) — never an exception. *)
+  QCheck.Test.make ~count:500 ~name:"decode never raises on garbage"
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+      (match P.decode_request s with Ok _ | Error _ -> true)
+      && (match P.decode_response s with Ok _ | Error _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Frame I/O over real file descriptors                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed exactly [bytes] to read_frame through a pipe, then EOF. *)
+let read_from_bytes ?first bytes =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let writer =
+    Thread.create
+      (fun () ->
+        let n = String.length bytes in
+        let off = ref 0 in
+        while !off < n do
+          off := !off + Unix.write_substring w bytes !off (n - !off)
+        done;
+        Unix.close w)
+      ()
+  in
+  let result = P.read_frame ?first r in
+  Thread.join writer;
+  Unix.close r;
+  result
+
+let framed payload = Codec.Frame.frame ~magic:P.magic payload
+
+let test_frame_round_trip_over_fd () =
+  let payload = P.encode_request (P.Run_experiment { id = "tab4"; scale = 0.25 }) in
+  match read_from_bytes (framed payload) with
+  | Ok (Some p) -> check_string "payload survives the wire" payload p
+  | Ok None -> Alcotest.fail "unexpected EOF"
+  | Error e -> Alcotest.failf "read_frame: %s" e
+
+let test_frame_sniffed_prefix () =
+  (* The server hands read_frame the bytes its protocol sniff consumed. *)
+  let payload = P.encode_request P.Health in
+  let bytes = framed payload in
+  let first = String.sub bytes 0 4 in
+  let rest = String.sub bytes 4 (String.length bytes - 4) in
+  match read_from_bytes ~first rest with
+  | Ok (Some p) -> check_string "prefix + rest reassemble" payload p
+  | _ -> Alcotest.fail "sniffed read failed"
+
+let test_frame_clean_eof () =
+  check_bool "0 bytes = clean EOF" true (read_from_bytes "" = Ok None)
+
+let test_frame_truncation_every_split () =
+  (* Cutting the stream anywhere after byte 0 is a torn frame: a typed
+     Error, never Ok None and never an exception. *)
+  let bytes = framed (P.encode_request P.Health) in
+  for len = 1 to String.length bytes - 1 do
+    check_bool
+      (Printf.sprintf "truncated at %d/%d" len (String.length bytes))
+      true
+      (match read_from_bytes (String.sub bytes 0 len) with
+      | Error _ -> true
+      | Ok _ -> false)
+  done
+
+let test_frame_bit_flips () =
+  (* Flip one bit in every byte position: magic, length, payload and
+     CRC corruption must all surface as Error. *)
+  let bytes = framed (P.encode_request P.Health) in
+  for i = 0 to String.length bytes - 1 do
+    let b = Bytes.of_string bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+    check_bool
+      (Printf.sprintf "bit flip at %d" i)
+      true
+      (match read_from_bytes (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok _ -> false)
+  done
+
+let test_frame_oversized_length_claim () =
+  (* Header claiming a payload bigger than max_frame_bytes must be
+     rejected from the header alone (no multi-GiB allocation). *)
+  let b = Bytes.create (String.length P.magic + 8) in
+  Bytes.blit_string P.magic 0 b 0 (String.length P.magic);
+  Bytes.set_int64_le b (String.length P.magic)
+    (Int64.of_int (P.max_frame_bytes + 1));
+  check_bool "oversized claim rejected" true
+    (match read_from_bytes (Bytes.to_string b) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_frame_bad_magic () =
+  let bytes = framed (P.encode_request P.Health) in
+  let b = Bytes.of_string bytes in
+  Bytes.blit_string "NOTSRV1\n" 0 b 0 8;
+  check_bool "foreign magic rejected" true
+    (match read_from_bytes (Bytes.to_string b) with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* In-process server/client integration                               *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_paths () =
+  let tag = Printf.sprintf "loclab-test-%d-%d" (Unix.getpid ()) (Random.bits ()) in
+  ( Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock"),
+    Filename.concat (Filename.get_temp_dir_name ()) (tag ^ "-store") )
+
+let with_server f =
+  let sock, store_dir = fresh_paths () in
+  let store = Store.open_ store_dir in
+  let server =
+    Serve.Server.create ~jobs:1 ~store ~listen:(P.Unix_path sock) ()
+  in
+  let runner = Thread.create Serve.Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      Thread.join runner)
+    (fun () -> f ~sock ~store server)
+
+let rpc client req =
+  match Serve.Client.request client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "transport error: %s" e
+
+let test_integration_lifecycle () =
+  with_server (fun ~sock ~store server ->
+      let addr = P.Unix_path sock in
+      Serve.Client.with_connection addr (fun c ->
+          (* Health. *)
+          (match rpc c P.Health with
+          | P.Health_ok { protocol_version; _ } ->
+              check_int "protocol version" P.version protocol_version
+          | r -> Alcotest.failf "health: unexpected %s" (P.encode_response r));
+          (* Cold cell: simulated, written through to the store. *)
+          let cell =
+            P.Run_cell { program = "espresso"; allocator = "bsd"; scale = 0.02 }
+          in
+          let digest, cold_bytes =
+            match rpc c cell with
+            | P.Cell_ok { digest; artifact } -> (digest, artifact)
+            | r -> Alcotest.failf "cold cell: unexpected %s" (P.encode_response r)
+          in
+          (match Core.Artifact.decode_meta cold_bytes with
+          | Ok m ->
+              check_string "meta program" "espresso" m.Core.Artifact.program;
+              check_string "meta allocator" "bsd" m.Core.Artifact.allocator
+          | Error e -> Alcotest.failf "artifact meta: %s" e);
+          (* The reply carries exactly the bytes the store persisted. *)
+          (match Store.find store ~digest with
+          | Store.Hit payload -> check_string "store payload = reply" payload cold_bytes
+          | Store.Miss -> Alcotest.fail "cell not written through"
+          | Store.Corrupt e -> Alcotest.failf "store corrupt: %s" e);
+          (* Warm re-fetch: byte-identical. *)
+          (match rpc c cell with
+          | P.Cell_ok { digest = d2; artifact = warm_bytes } ->
+              check_string "warm digest" digest d2;
+              check_string "warm bytes = cold bytes" cold_bytes warm_bytes
+          | r -> Alcotest.failf "warm cell: unexpected %s" (P.encode_response r));
+          (* Typed errors, connection intact afterwards. *)
+          (match
+             rpc c (P.Run_cell { program = "no-such"; allocator = "bsd"; scale = 0.02 })
+           with
+          | P.Error { code = P.Unknown_key; _ } -> ()
+          | r -> Alcotest.failf "unknown program: unexpected %s" (P.encode_response r));
+          (match
+             rpc c (P.Run_cell { program = "espresso"; allocator = "bsd"; scale = 99.0 })
+           with
+          | P.Error { code = P.Bad_request; _ } -> ()
+          | r -> Alcotest.failf "bad scale: unexpected %s" (P.encode_response r));
+          (* Stats reflect the work. *)
+          match rpc c P.Stats with
+          | P.Stats_ok s ->
+              check_int "one simulated cell" 1 s.P.simulated_cells;
+              check_int "one warm cell" 1 s.P.warm_cells;
+              check_bool "errors counted" true (s.P.errors >= 2)
+          | r -> Alcotest.failf "stats: unexpected %s" (P.encode_response r));
+      (* A future-version request gets a typed reply, not a hangup. *)
+      Serve.Client.with_connection addr (fun _ -> ());
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let w = Codec.Writer.create () in
+      Codec.Writer.int w 99;
+      Codec.Writer.int w 0;
+      P.write_frame fd (Codec.Writer.contents w);
+      (match P.read_frame fd with
+      | Ok (Some payload) -> (
+          match P.decode_response payload with
+          | Ok (P.Error { code = P.Unsupported_version; _ }) -> ()
+          | _ -> Alcotest.fail "expected Unsupported_version reply")
+      | _ -> Alcotest.fail "no reply to future-version request");
+      (* A torn/garbage frame gets Bad_request before the hangup. *)
+      let n =
+        Unix.write_substring fd "garbage that is not a frame at all....." 0 39
+      in
+      check_int "garbage written" 39 n;
+      (match P.read_frame fd with
+      | Ok (Some payload) -> (
+          match P.decode_response payload with
+          | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+          | _ -> Alcotest.fail "expected Bad_request reply")
+      | _ -> Alcotest.fail "no reply to garbage");
+      Unix.close fd;
+      (* Plain HTTP on the same socket. *)
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      let http_req = "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write_substring fd http_req 0 (String.length http_req));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Unix.close fd;
+      let body = Buffer.contents buf in
+      let contains hay needle =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "HTTP 200" true (contains body "200");
+      check_bool "metrics exposition served" true
+        (contains body "loclab_serve_requests_total");
+      (* Server-side stats agree with what we drove through it. *)
+      let s = Serve.Server.stats server in
+      check_bool "requests counted" true (s.P.requests >= 7);
+      check_bool "uptime sane" true (s.P.uptime_seconds >= 0.));
+  (* Graceful shutdown ran in with_server's finally; after it the
+     socket file must be gone. *)
+  ()
+
+let test_shutdown_removes_socket () =
+  let sock_path = ref "" in
+  with_server (fun ~sock ~store:_ _ -> sock_path := sock);
+  check_bool "socket file unlinked on drain" false (Sys.file_exists !sock_path)
+
+let test_stale_socket_replaced_live_refused () =
+  let sock, store_dir = fresh_paths () in
+  (* A dead socket file (nothing listening) must be swept and rebound. *)
+  let dead = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX sock);
+  Unix.close dead;
+  check_bool "stale file exists" true (Sys.file_exists sock);
+  let store = Store.open_ store_dir in
+  let server = Serve.Server.create ~jobs:1 ~store ~listen:(P.Unix_path sock) () in
+  let runner = Thread.create Serve.Server.run server in
+  (* While it is live, a second bind must refuse loudly. *)
+  check_bool "live socket refused" true
+    (match Serve.Server.create ~jobs:1 ~store ~listen:(P.Unix_path sock) () with
+    | exception Failure _ -> true
+    | _ -> false);
+  Serve.Server.shutdown server;
+  Thread.join runner
+
+let tc name f = Alcotest.test_case name `Quick f
+let qt t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Random.self_init ();
+  Alcotest.run "serve"
+    [
+      ("addr", [ tc "parse" test_addr_parse; tc "round trip" test_addr_round_trip ]);
+      ( "codec",
+        [
+          tc "request round-trips" test_request_round_trips;
+          tc "response round-trips" test_response_round_trips;
+          tc "junk rejected" test_decode_rejects_junk;
+          tc "version negotiation" test_version_negotiation;
+          qt prop_request_round_trip;
+          qt prop_response_round_trip;
+          qt prop_garbage_never_raises;
+        ] );
+      ( "framing",
+        [
+          tc "round trip over fd" test_frame_round_trip_over_fd;
+          tc "sniffed prefix" test_frame_sniffed_prefix;
+          tc "clean EOF" test_frame_clean_eof;
+          tc "truncation at every split" test_frame_truncation_every_split;
+          tc "bit flips" test_frame_bit_flips;
+          tc "oversized length claim" test_frame_oversized_length_claim;
+          tc "bad magic" test_frame_bad_magic;
+        ] );
+      ( "server",
+        [
+          tc "lifecycle: cold, warm, errors, http" test_integration_lifecycle;
+          tc "shutdown unlinks the socket" test_shutdown_removes_socket;
+          tc "stale socket swept, live refused" test_stale_socket_replaced_live_refused;
+        ] );
+    ]

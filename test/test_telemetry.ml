@@ -5,6 +5,10 @@
 
 module M = Telemetry.Metrics
 
+(* Several suites here deliberately exercise the deprecated boxed
+   delivery shims (Sink.Compat) to pin them against the packed path. *)
+[@@@alert "-deprecated"]
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
@@ -231,6 +235,43 @@ let test_histogram () =
       check_int "le=1 cumulative" 4 le1
   | _ -> Alcotest.fail "expected one family with one histogram sample"
 
+let test_histogram_quantile () =
+  let reg = M.create () in
+  M.set_enabled reg true;
+  let fam = M.Histogram.family ~registry:reg ~name:"t_quant" ~help:"h" () in
+  let h = M.Histogram.labels fam [] in
+  Alcotest.(check (float 0.)) "empty histogram" 0. (M.Histogram.quantile h 0.5);
+  (* 100 observations of 100: every quantile lands in the (64, 128]
+     bucket, whose interpolated estimates stay inside it. *)
+  for _ = 1 to 100 do
+    M.Histogram.observe h 100
+  done;
+  List.iter
+    (fun q ->
+      let v = M.Histogram.quantile h q in
+      check_bool
+        (Printf.sprintf "q=%g inside the occupied bucket" q)
+        true
+        (v >= 64. && v <= 128.))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* Clamping: out-of-range q behaves as 0/1, never raises. *)
+  Alcotest.(check (float 0.))
+    "q clamped low" (M.Histogram.quantile h 0.) (M.Histogram.quantile h (-3.));
+  Alcotest.(check (float 0.))
+    "q clamped high" (M.Histogram.quantile h 1.) (M.Histogram.quantile h 7.);
+  (* A bimodal stream: the median stays in the low mode's bucket, the
+     p99 reaches the high mode's. *)
+  let fam2 = M.Histogram.family ~registry:reg ~name:"t_quant2" ~help:"h" () in
+  let h2 = M.Histogram.labels fam2 [] in
+  for _ = 1 to 90 do
+    M.Histogram.observe h2 10
+  done;
+  for _ = 1 to 10 do
+    M.Histogram.observe h2 10_000
+  done;
+  check_bool "p50 in the low mode" true (M.Histogram.quantile h2 0.5 <= 16.);
+  check_bool "p99 in the high mode" true (M.Histogram.quantile h2 0.99 > 8192.)
+
 let test_shards_merge () =
   let reg = M.create () in
   M.set_enabled reg true;
@@ -411,15 +452,15 @@ let test_windows_batch () =
   let s = Telemetry.Probe.Windows.sink w in
   (* Batches are indivisible: a 25-event batch crosses two window edges
      but closes only one window, at the batch boundary. *)
-  Memsim.Sink.emit_batch s (Array.init 25 mk_event) ~len:25;
+  Memsim.Sink.Compat.emit_batch s (Array.init 25 mk_event) ~len:25;
   check_bool "one close per delivery" true (List.rev !closes = [ (1, 25) ]);
-  Memsim.Sink.emit_batch s (Array.init 4 mk_event) ~len:4;
+  Memsim.Sink.Compat.emit_batch s (Array.init 4 mk_event) ~len:4;
   check_bool "short batch below edge" true (List.rev !closes = [ (1, 25) ]);
   s.Memsim.Sink.emit (mk_event 0);
   (* 30 seen, last close at 25: not yet 10 past. *)
   check_bool "edge is relative to last close" true
     (List.rev !closes = [ (1, 25) ]);
-  Memsim.Sink.emit_batch s (Array.init 5 mk_event) ~len:5;
+  Memsim.Sink.Compat.emit_batch s (Array.init 5 mk_event) ~len:5;
   check_bool "next close at 35" true (List.rev !closes = [ (1, 25); (2, 35) ])
 
 let test_windows_rejects () =
@@ -526,6 +567,8 @@ let () =
           Alcotest.test_case "registry rejects" `Quick test_registry_rejects;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram quantile" `Quick
+            test_histogram_quantile;
           Alcotest.test_case "shards merge" `Quick test_shards_merge;
         ] );
       ( "export",
