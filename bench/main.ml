@@ -192,6 +192,83 @@ let () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* External-trace ingest throughput                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Encode one grid cell's reference trace as a cachetrace text capture
+   and as the compact binary, measure each reader's parse throughput
+   into a counting sink, then replay the parsed events through the
+   32-byte LRU forest family sharded over 1 and 2 domains — the path
+   `loclab trace import --jobs` takes. *)
+let ingest_jobs = [ 1; 2 ]
+let ingest_events = ref 0
+let ingest_text_bytes = ref 0
+let ingest_binary_bytes = ref 0
+let ingest_text_rate = ref 0.
+let ingest_binary_rate = ref 0.
+
+(* (jobs, wall seconds, events/s) in run order. *)
+let ingest_replay : (int * float * float) list ref = ref []
+
+let () =
+  let buf = Memsim.Trace_buffer.create () in
+  ignore
+    (Workload.Driver.run
+       ~sink:(Memsim.Trace_buffer.sink buf)
+       ~scale ~profile:Workload.Programs.espresso ~allocator:"bsd" ());
+  let encode fmt =
+    Memsim.Trace.write fmt (fun sink -> Memsim.Trace_buffer.replay buf sink)
+  in
+  let text = encode Memsim.Trace.Source.Text in
+  let binary = encode Memsim.Trace.Source.Binary in
+  ingest_text_bytes := String.length text;
+  ingest_binary_bytes := String.length binary;
+  let time_read fmt data =
+    let counter = Memsim.Sink.Counter.create () in
+    let t0 = Unix.gettimeofday () in
+    let n = Memsim.Trace.read fmt data (Memsim.Sink.Counter.sink counter) in
+    (Unix.gettimeofday () -. t0, n)
+  in
+  (* Warm-up parses (one-off allocation costs), then the timed ones. *)
+  let parsed = Memsim.Trace_buffer.create () in
+  ingest_events :=
+    Memsim.Trace.read Memsim.Trace.Source.Text text
+      (Memsim.Trace_buffer.sink parsed);
+  ignore (time_read Memsim.Trace.Source.Binary binary);
+  let text_seconds, _ = time_read Memsim.Trace.Source.Text text in
+  let binary_seconds, _ = time_read Memsim.Trace.Source.Binary binary in
+  let rate seconds =
+    if seconds > 0. then float_of_int !ingest_events /. seconds else 0.
+  in
+  ingest_text_rate := rate text_seconds;
+  ingest_binary_rate := rate binary_seconds;
+  Printf.printf
+    "ingest readers (espresso/bsd): %d events — text %d bytes %.2f M \
+     events/s, binary %d bytes %.2f M events/s\n"
+    !ingest_events !ingest_text_bytes
+    (!ingest_text_rate /. 1e6)
+    !ingest_binary_bytes
+    (!ingest_binary_rate /. 1e6);
+  let configs =
+    List.filter
+      (fun (c : Cachesim.Config.t) ->
+        c.block_bytes = 32 && Cachesim.Policy.is_lru c.policy)
+      Core.Runs.standard_configs
+  in
+  List.iter
+    (fun j ->
+      let t0 = Unix.gettimeofday () in
+      ignore (Cachesim.Shard.replay ~domains:j ~configs parsed);
+      let seconds = Unix.gettimeofday () -. t0 in
+      ingest_replay := (j, seconds, rate seconds) :: !ingest_replay;
+      Printf.printf "  ingest replay jobs=%d  %7.3f s  %8.2f M events/s\n" j
+        seconds
+        (rate seconds /. 1e6))
+    ingest_jobs;
+  ingest_replay := List.rev !ingest_replay;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Serve traffic replay                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -509,8 +586,8 @@ let bench_json_path =
 
 (* Bench-json format version: bump when the object shape changes, so CI
    consumers can detect files from another era.  4 added the "serve"
-   traffic-replay section. *)
-let bench_format = 4
+   traffic-replay section; 5 the "ingest" reader-throughput section. *)
+let bench_format = 5
 
 let git_rev () =
   let read cmd =
@@ -619,6 +696,26 @@ let write_bench_json ~rev ~dirty path =
         (if seconds > 0. then base_seconds /. seconds else 0.))
     !scaling_curve;
   if !scaling_curve <> [] then Printf.fprintf oc "\n    ";
+  Printf.fprintf oc "]\n";
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"ingest\": {\n";
+  Printf.fprintf oc "    \"events\": %d,\n" !ingest_events;
+  Printf.fprintf oc "    \"text_bytes\": %d,\n" !ingest_text_bytes;
+  Printf.fprintf oc "    \"binary_bytes\": %d,\n" !ingest_binary_bytes;
+  Printf.fprintf oc "    \"text_read_events_per_sec\": %.0f,\n"
+    !ingest_text_rate;
+  Printf.fprintf oc "    \"binary_read_events_per_sec\": %.0f,\n"
+    !ingest_binary_rate;
+  Printf.fprintf oc "    \"replay\": [";
+  List.iteri
+    (fun i (j, seconds, rate) ->
+      Printf.fprintf oc
+        "%s\n      { \"jobs\": %d, \"seconds\": %.3f, \"events_per_sec\": \
+         %.0f }"
+        (if i = 0 then "" else ",")
+        j seconds rate)
+    !ingest_replay;
+  if !ingest_replay <> [] then Printf.fprintf oc "\n    ";
   Printf.fprintf oc "]\n";
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"store\": {\n";

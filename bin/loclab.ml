@@ -631,6 +631,135 @@ let replay_cmd =
   let doc = "Replay a recorded trace through the cache and page simulators." in
   Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg)
 
+(* ---- trace ----------------------------------------------------------- *)
+
+let trace_format_conv = Arg.enum Memsim.Trace.Source.all_formats
+
+let trace_file_arg =
+  let doc = "Trace file: recorded binary, framed binary, cachetrace text \
+             ($(b,R 0xADDR) / $(b,W 0xADDR) lines) or per-access CSV." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Input trace format ($(b,binary) | $(b,text) | $(b,csv) | $(b,framed)).  \
+     Sniffed from the file's leading bytes when absent."
+  in
+  Arg.(
+    value
+    & opt (some trace_format_conv) None
+    & info [ "format" ] ~docv:"FORMAT" ~doc)
+
+let slurp_trace path =
+  try Memsim.Trace.slurp path
+  with Sys_error msg ->
+    Printf.eprintf "loclab: cannot read %s: %s\n" path msg;
+    exit 2
+
+let resolve_trace_format format data =
+  match format with
+  | Some f -> f
+  | None -> Memsim.Trace.Source.sniff data
+
+let trace_import_cmd =
+  let run jobs store_dir format file =
+    let ctx = make_ctx (resolve_options ?jobs ?store_dir ()) in
+    let runs = ctx.Core.Context.runs in
+    let data = slurp_trace file in
+    let fmt = resolve_trace_format format data in
+    match Core.Runs.ingest runs ~format:fmt ~data with
+    | exception Failure msg ->
+        Printf.eprintf "loclab: %s\n" msg;
+        exit 2
+    | art ->
+        let m = art.Core.Artifact.meta in
+        Printf.printf "digest %s\n" (Core.Artifact.digest_of_meta m);
+        Printf.printf "cell   %s (%s capture, %s bytes, %s events)\n"
+          m.Core.Artifact.program
+          (Memsim.Trace.Source.format_to_string fmt)
+          (Metrics.Table.fmt_int (String.length data))
+          (Metrics.Table.fmt_int
+             art.Core.Artifact.summary.Core.Artifact.data_refs);
+        grid_summary ctx
+  in
+  let doc =
+    "Import an external trace: simulate it across the standard cache \
+     sweep (or answer from the store when the same event stream was seen \
+     before, under any capture format) and print its cell digest."
+  in
+  Cmd.v (Cmd.info "import" ~doc)
+    Term.(const run $ jobs_arg $ store_arg $ trace_format_arg $ trace_file_arg)
+
+let trace_export_cmd =
+  let to_arg =
+    let doc =
+      "Output trace format ($(b,binary) | $(b,text) | $(b,csv) | \
+       $(b,framed)).  Text and CSV carry kind and address only; binary \
+       and framed are lossless."
+    in
+    Arg.(
+      required
+      & opt (some trace_format_conv) None
+      & info [ "to" ] ~docv:"FORMAT" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file (stdout when absent)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run format target out file =
+    let data = slurp_trace file in
+    let fmt = resolve_trace_format format data in
+    (* A streaming transcode: the reader's packed batches feed the
+       target writer's sink directly. *)
+    match
+      Memsim.Trace.write target (fun sink ->
+          ignore (Memsim.Trace.read fmt data sink))
+    with
+    | exception Failure msg ->
+        Printf.eprintf "loclab: %s\n" msg;
+        exit 2
+    | encoded -> (
+        match out with
+        | None -> print_string encoded
+        | Some path ->
+            write_file path encoded;
+            Printf.printf "wrote %s (%s, %s bytes)\n" path
+              (Memsim.Trace.Source.format_to_string target)
+              (Metrics.Table.fmt_int (String.length encoded)))
+  in
+  let doc = "Transcode a trace between capture formats." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(
+      const run $ trace_format_arg $ to_arg $ out_arg $ trace_file_arg)
+
+let trace_run_cmd =
+  let run jobs store_dir format file =
+    let ctx = make_ctx (resolve_options ?jobs ?store_dir ()) in
+    let source = Memsim.Trace.of_path ?format file in
+    match Core.Experiment.run_source ctx source with
+    | exception Failure msg ->
+        Printf.eprintf "loclab: %s\n" msg;
+        exit 2
+    | report ->
+        print_endline report;
+        grid_summary ctx
+  in
+  let doc =
+    "Import an external trace and render its full per-cell report \
+     (provenance, stream identity, cache sweep, hierarchy, footprint)."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ jobs_arg $ store_arg $ trace_format_arg $ trace_file_arg)
+
+let trace_cmd =
+  let doc =
+    "Work with external reference traces: import (simulate + store), \
+     export (transcode between text, CSV, binary and framed captures) \
+     and run (render the full report)."
+  in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_import_cmd; trace_export_cmd; trace_run_cmd ]
+
 (* ---- profile -------------------------------------------------------- *)
 
 (* One profiled cell: simulate (program, allocator) with every probe on
@@ -888,13 +1017,15 @@ let client_cmd =
       value & opt string default_listen & info [ "connect" ] ~docv:"ADDR" ~doc)
   in
   let out_arg =
-    let doc = "Write the fetched artifact bytes to $(docv) (cell only)." in
+    let doc =
+      "Write the fetched artifact bytes to $(docv) (cell and ingest only)."
+    in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
   let action_arg =
     let doc =
       "$(b,health) | $(b,stats) | $(b,metrics) | $(b,cell) PROGRAM ALLOCATOR \
-       | $(b,experiment) ID"
+       | $(b,experiment) ID | $(b,ingest) FILE [FORMAT]"
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ACTION" ~doc)
   in
@@ -910,10 +1041,23 @@ let client_cmd =
       | [ "cell"; program; allocator ] ->
           Serve.Protocol.Run_cell { program; allocator; scale }
       | [ "experiment"; id ] -> Serve.Protocol.Run_experiment { id; scale }
+      | "ingest" :: file :: rest ->
+          let trace = slurp_trace file in
+          let format =
+            match rest with
+            | [] ->
+                Memsim.Trace.Source.format_to_string
+                  (Memsim.Trace.Source.sniff trace)
+            | [ f ] -> f
+            | _ ->
+                Printf.eprintf "loclab client: ingest takes FILE [FORMAT]\n";
+                exit 2
+          in
+          Serve.Protocol.Ingest { format; trace }
       | _ ->
           Printf.eprintf
             "loclab client: expected health | stats | metrics | cell PROGRAM \
-             ALLOCATOR | experiment ID\n";
+             ALLOCATOR | experiment ID | ingest FILE [FORMAT]\n";
           exit 2
     in
     let reply =
@@ -971,7 +1115,7 @@ let client_cmd =
   let doc =
     "Query a running $(b,loclab serve): health, stats, a metrics snapshot, \
      one grid cell (printing its digest, optionally saving the artifact \
-     bytes) or a rendered experiment."
+     bytes), a rendered experiment, or an external trace ingestion."
   in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(const run $ scale_arg $ connect_arg $ out_arg $ action_arg)
@@ -984,7 +1128,7 @@ let main =
   let info = Cmd.info "loclab" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; run_cmd; all_cmd; report_cmd; store_cmd; probe_cmd;
-      profile_cmd; record_cmd; replay_cmd; serve_cmd; client_cmd ]
+      profile_cmd; record_cmd; replay_cmd; trace_cmd; serve_cmd; client_cmd ]
 
 let () =
   setup_logs ();

@@ -1,0 +1,139 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* CRC-32 (IEEE 802.3), table-driven; the stdlib has no checksum and we
+   take no new dependencies, so the table is computed once at load. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 1024
+  let contents = Buffer.contents
+  let int t v = Buffer.add_int64_le t (Int64.of_int v)
+  let float t v = Buffer.add_int64_le t (Int64.bits_of_float v)
+  let bool t v = Buffer.add_char t (if v then '\001' else '\000')
+
+  let string t s =
+    int t (String.length s);
+    Buffer.add_string t s
+
+  let int_array t a =
+    int t (Array.length a);
+    Array.iter (int t) a
+
+  let list t f l =
+    int t (List.length l);
+    List.iter f l
+end
+
+module Frame = struct
+  (* One self-checking envelope shared by every on-disk and on-wire
+     consumer: the store's cell files and the serve protocol both frame
+     payloads this way, differing only in their magic. *)
+
+  let overhead ~magic = String.length magic + 16
+
+  let frame ~magic payload =
+    let b = Buffer.create (String.length payload + overhead ~magic) in
+    Buffer.add_string b magic;
+    Buffer.add_int64_le b (Int64.of_int (String.length payload));
+    Buffer.add_string b payload;
+    Buffer.add_int64_le b (Int64.of_int (crc32 payload));
+    Buffer.contents b
+
+  let unframe ~magic data =
+    let mlen = String.length magic in
+    let total = String.length data in
+    if total < mlen + 16 then Result.Error "truncated frame"
+    else if String.sub data 0 mlen <> magic then
+      Result.Error "bad magic (not a loclab artifact, or an incompatible frame)"
+    else
+      let len = Int64.to_int (String.get_int64_le data mlen) in
+      if len < 0 || total <> mlen + 8 + len + 8 then
+        Result.Error
+          (Printf.sprintf "bad frame length %d for a %d-byte file" len total)
+      else
+        let payload = String.sub data (mlen + 8) len in
+        let crc = Int64.to_int (String.get_int64_le data (mlen + 8 + len)) in
+        let actual = crc32 payload in
+        if crc <> actual then
+          Result.Error
+            (Printf.sprintf "CRC mismatch (stored %#x, computed %#x)" crc
+               actual)
+        else Result.Ok payload
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let need t n =
+    if n < 0 || t.pos + n > String.length t.data then
+      fail "truncated payload: need %d bytes at offset %d of %d" n t.pos
+        (String.length t.data)
+
+  let int t =
+    need t 8;
+    let v = Int64.to_int (String.get_int64_le t.data t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let float t =
+    need t 8;
+    let v = Int64.float_of_bits (String.get_int64_le t.data t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let bool t =
+    need t 1;
+    let c = t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    match c with
+    | '\000' -> false
+    | '\001' -> true
+    | c -> fail "bad bool byte %#x at offset %d" (Char.code c) (t.pos - 1)
+
+  let string t =
+    let n = int t in
+    need t n;
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let length_prefix t what =
+    let n = int t in
+    (* Each element takes at least one byte, so a length beyond the
+       remaining bytes is corruption — reject it before allocating. *)
+    if n < 0 || n > String.length t.data - t.pos then
+      fail "bad %s length %d at offset %d" what n (t.pos - 8);
+    n
+
+  let int_array t =
+    let n = length_prefix t "array" in
+    Array.init n (fun _ -> int t)
+
+  let list t f =
+    let n = length_prefix t "list" in
+    List.init n (fun _ -> f t)
+
+  let at_end t = t.pos = String.length t.data
+end

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 type meta = {
   program : string;
@@ -8,6 +8,15 @@ type meta = {
   schema_version : int;
   trace_checksum : int;
 }
+
+type provenance = {
+  source_format : string;
+  source_bytes : int;
+  source_checksum : int;
+}
+
+let synthetic_provenance =
+  { source_format = "synthetic"; source_bytes = 0; source_checksum = 0 }
 
 type summary = {
   steps_run : int;
@@ -24,6 +33,7 @@ type summary = {
 
 type t = {
   meta : meta;
+  provenance : provenance;
   summary : summary;
   alloc_stats : Allocators.Alloc_stats.t;
   caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
@@ -31,8 +41,9 @@ type t = {
   fault_curve : Vmsim.Fault_curve.t;
 }
 
-let of_run ~program ~allocator ~scale ~trace_checksum
-    ~(result : Workload.Driver.result) ~caches ~hierarchy ~fault_curve =
+let of_run ?(provenance = synthetic_provenance) ~program ~allocator ~scale
+    ~trace_checksum ~(result : Workload.Driver.result) ~caches ~hierarchy
+    ~fault_curve () =
   { meta =
       { program;
         allocator;
@@ -40,6 +51,7 @@ let of_run ~program ~allocator ~scale ~trace_checksum
         seed = result.Workload.Driver.profile.Workload.Profile.seed;
         schema_version;
         trace_checksum };
+    provenance;
     summary =
       { steps_run = result.steps_run;
         instructions = result.instructions;
@@ -104,6 +116,21 @@ let read_meta r =
   let schema_version = R.int r in
   let trace_checksum = R.int r in
   { program; allocator; scale; seed; schema_version; trace_checksum }
+
+(* Provenance joined the body in schema 3 (right after the frozen meta
+   header), recording where the cell's reference trace came from:
+   "synthetic" for workload models, a trace format name for ingested
+   external captures (with the capture's byte length and CRC-32). *)
+let write_provenance w (p : provenance) =
+  W.string w p.source_format;
+  W.int w p.source_bytes;
+  W.int w p.source_checksum
+
+let read_provenance r =
+  let source_format = R.string r in
+  let source_bytes = R.int r in
+  let source_checksum = R.int r in
+  { source_format; source_bytes; source_checksum }
 
 let write_summary w (s : summary) =
   W.int w s.steps_run;
@@ -254,6 +281,7 @@ let read_curve r : Vmsim.Fault_curve.t =
 let encode t =
   let w = W.create () in
   write_meta w t.meta;
+  write_provenance w t.provenance;
   write_summary w t.summary;
   write_alloc_stats w t.alloc_stats;
   W.list w
@@ -278,6 +306,7 @@ let decode payload =
         (Printf.sprintf "schema version %d (this build reads %d)"
            meta.schema_version schema_version)
     else begin
+      let provenance = read_provenance r in
       let summary = read_summary r in
       let alloc_stats = read_alloc_stats r in
       let caches =
@@ -294,7 +323,10 @@ let decode payload =
       in
       let fault_curve = read_curve r in
       if not (R.at_end r) then Error "trailing bytes after artifact"
-      else Ok { meta; summary; alloc_stats; caches; hierarchy; fault_curve }
+      else
+        Ok
+          { meta; provenance; summary; alloc_stats; caches; hierarchy;
+            fault_curve }
     end
   with
   | result -> result
@@ -375,6 +407,11 @@ let to_json t =
                ("schema_version", Int t.meta.schema_version);
                ("trace_checksum", Int t.meta.trace_checksum);
                ("digest", String (digest_of_meta t.meta)) ] );
+         ( "provenance",
+           Obj
+             [ ("source_format", String t.provenance.source_format);
+               ("source_bytes", Int t.provenance.source_bytes);
+               ("source_checksum", Int t.provenance.source_checksum) ] );
          ( "summary",
            Obj
              [ ("steps_run", Int t.summary.steps_run);

@@ -31,6 +31,19 @@ type meta = {
       (** {!Memsim.Sink.Checksum} over the cell's full reference trace. *)
 }
 
+(** Where the cell's reference trace came from (schema 3+).  Synthetic
+    workload cells carry [{source_format = "synthetic"; 0; 0}];
+    ingested external traces record the capture's format name, byte
+    length and CRC-32, so an artifact is auditable back to the exact
+    bytes that produced it. *)
+type provenance = {
+  source_format : string;  (** ["synthetic"], or a trace format name. *)
+  source_bytes : int;  (** Byte length of the imported capture. *)
+  source_checksum : int;  (** CRC-32 of the imported capture's bytes. *)
+}
+
+val synthetic_provenance : provenance
+
 type summary = {
   steps_run : int;
   instructions : int;
@@ -46,6 +59,7 @@ type summary = {
 
 type t = {
   meta : meta;
+  provenance : provenance;
   summary : summary;
   alloc_stats : Allocators.Alloc_stats.t;
   caches : (Cachesim.Config.t * Cachesim.Stats.t) list;
@@ -58,6 +72,7 @@ type t = {
 }
 
 val of_run :
+  ?provenance:provenance ->
   program:string ->
   allocator:string ->
   scale:float ->
@@ -66,10 +81,11 @@ val of_run :
   caches:(Cachesim.Config.t * Cachesim.Stats.t) list ->
   hierarchy:(Cachesim.Config.t * Cachesim.Stats.t) list ->
   fault_curve:Vmsim.Fault_curve.t ->
+  unit ->
   t
 (** Distil a finished simulation.  [allocator] is the grid key (not the
     allocator's display name); the seed is taken from the result's
-    profile. *)
+    profile.  [provenance] defaults to {!synthetic_provenance}. *)
 
 (** {1 Content addressing} *)
 

@@ -183,6 +183,11 @@ let run ctx id =
   Runs.prefetch ctx.Context.runs e.cells;
   e.render ctx
 
+let run_source ctx source =
+  Telemetry.Span.with_span ~cat:"experiment"
+    (Memsim.Trace.Source.to_string source)
+  @@ fun () -> Ingest.report (Runs.get_source ctx.Context.runs source)
+
 let run_all ctx =
   warm_all ctx;
   List.map

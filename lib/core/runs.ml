@@ -74,14 +74,15 @@ let cell_memo_c = Telemetry.Metrics.Counter.labels cells_f [ "memo" ]
 let cell_store_c = Telemetry.Metrics.Counter.labels cells_f [ "store" ]
 let cell_sim_c = Telemetry.Metrics.Counter.labels cells_f [ "simulated" ]
 
+let paper_hierarchy () =
+  Cachesim.Hierarchy.create_levels
+    [ Cachesim.Config.make (16 * 1024); Cachesim.Config.make (256 * 1024) ]
+
 let run t ~profile ~allocator =
   Telemetry.Span.with_span ~cat:"cell" (profile ^ "/" ^ allocator) @@ fun () ->
   let prof = Workload.Programs.find profile in
   let multi = Cachesim.Multi.create standard_configs in
-  let hier =
-    Cachesim.Hierarchy.create_levels
-      [ Cachesim.Config.make (16 * 1024); Cachesim.Config.make (256 * 1024) ]
-  in
+  let hier = paper_hierarchy () in
   let pages = Vmsim.Page_sim.create () in
   let checksum = Memsim.Sink.Checksum.create () in
   let sink =
@@ -102,6 +103,7 @@ let run t ~profile ~allocator =
     ~caches:(Cachesim.Multi.results multi)
     ~hierarchy:(Cachesim.Hierarchy.results hier)
     ~fault_curve:(Vmsim.Page_sim.curve pages)
+    ()
 
 (* ---- persistent store plumbing ------------------------------------- *)
 
@@ -230,3 +232,188 @@ let prefetch t cells =
           write_through t art;
           Hashtbl.replace t.memo key art)
         pending artifacts
+
+(* ---- external trace ingestion --------------------------------------- *)
+
+(* An ingested trace is a grid cell like any other, just with external
+   coordinates: its identity is the order-sensitive checksum of its
+   event stream (so the same accesses imported as text, CSV or binary
+   land on the same cell), its "program" is [trace:<ident>], its
+   allocator key is ["external"], and its scale is fixed at 1 (there is
+   no workload to scale).  That keeps the whole store/memo/warm-serve
+   machinery untouched. *)
+
+let external_allocator = "external"
+let external_scale = 1.0
+
+let trace_ident ~format ~data =
+  let checksum = Memsim.Sink.Checksum.create () in
+  let events =
+    Memsim.Trace.read format data (Memsim.Sink.Checksum.sink checksum)
+  in
+  (events, Memsim.Sink.Checksum.value checksum)
+
+let trace_program ~ident = Printf.sprintf "trace:%x" ident
+
+let trace_digest ~ident =
+  Artifact.digest ~program:(trace_program ~ident)
+    ~allocator:external_allocator ~scale:external_scale ~seed:ident
+
+(* Validated store lookup for an external cell; mirrors
+   [load_from_store], degrading every failure to re-simulation. *)
+let load_external t ~program ~ident =
+  match t.store with
+  | None -> None
+  | Some store -> (
+      match Store.find store ~digest:(trace_digest ~ident) with
+      | Store.Miss | Store.Corrupt _ -> None (* Corrupt logged by Store *)
+      | Store.Hit payload -> (
+          match Artifact.decode payload with
+          | Error reason ->
+              Log.warn (fun m ->
+                  m "trace cell %s: undecodable artifact (%s); re-simulating"
+                    program reason);
+              None
+          | Ok art ->
+              let m = art.Artifact.meta in
+              if
+                m.Artifact.program <> program
+                || m.Artifact.allocator <> external_allocator
+                || m.Artifact.trace_checksum <> ident
+              then begin
+                Log.warn (fun mf ->
+                    mf
+                      "trace cell %s: stored metadata names (%s, %s) — digest \
+                       drift; re-simulating"
+                      program m.Artifact.program m.Artifact.allocator);
+                None
+              end
+              else Some art))
+
+(* Simulate a captured external trace under the full standard sweep.
+   The 32-byte LRU forest family goes through [Cachesim.Shard.replay]
+   (set-range sharded across up to [jobs] domains, stats identical to
+   sequential); the remaining configurations plus the hierarchy and the
+   page simulator consume one sequential packed replay.  Results are
+   stitched back into [standard_configs] order, so an external artifact
+   has the same cache list shape as a synthetic one. *)
+let simulate_trace t ~program ~provenance ~events ~ident ~counter buffer =
+  Telemetry.Span.with_span ~cat:"ingest" program @@ fun () ->
+  let family_block =
+    (List.hd standard_configs).Cachesim.Config.block_bytes
+  in
+  let shardable, rest =
+    List.partition
+      (fun (c : Cachesim.Config.t) ->
+        c.Cachesim.Config.block_bytes = family_block
+        && Cachesim.Policy.is_lru c.Cachesim.Config.policy)
+      standard_configs
+  in
+  let sharded =
+    Cachesim.Shard.replay ~domains:t.jobs ~configs:shardable buffer
+  in
+  let multi = Cachesim.Multi.create rest in
+  let hier = paper_hierarchy () in
+  let pages = Vmsim.Page_sim.create () in
+  Memsim.Trace_buffer.replay buffer
+    (Memsim.Sink.fanout
+       [ Cachesim.Multi.sink multi;
+         Cachesim.Hierarchy.sink hier;
+         Vmsim.Page_sim.sink pages ]);
+  let pool = sharded @ Cachesim.Multi.results multi in
+  let caches =
+    List.map
+      (fun (c : Cachesim.Config.t) ->
+        match
+          List.find_opt
+            (fun ((c' : Cachesim.Config.t), _) ->
+              c'.Cachesim.Config.name = c.Cachesim.Config.name)
+            pool
+        with
+        | Some cell -> cell
+        | None -> assert false)
+      standard_configs
+  in
+  let by_source = Memsim.Sink.Counter.by_source counter in
+  { Artifact.meta =
+      { Artifact.program;
+        allocator = external_allocator;
+        scale = external_scale;
+        seed = ident;
+        schema_version = Artifact.schema_version;
+        trace_checksum = ident };
+    provenance;
+    summary =
+      (* There is no simulated machine behind an imported trace, so the
+         instruction/heap fields are zero; the reference counts are
+         real. *)
+      { Artifact.steps_run = 0;
+        instructions = 0;
+        app_instructions = 0;
+        malloc_instructions = 0;
+        free_instructions = 0;
+        data_refs = events;
+        app_refs = by_source Memsim.Event.App;
+        allocator_refs =
+          by_source Memsim.Event.Malloc + by_source Memsim.Event.Free;
+        heap_used = 0;
+        max_live_bytes = 0 };
+    alloc_stats = Allocators.Alloc_stats.create ();
+    caches;
+    hierarchy = Cachesim.Hierarchy.results hier;
+    fault_curve = Vmsim.Page_sim.curve pages }
+
+let ingest t ~format ~data =
+  let provenance =
+    { Artifact.source_format = Memsim.Trace.Source.format_to_string format;
+      source_bytes = String.length data;
+      source_checksum = Store.Codec.crc32 data }
+  in
+  (* One capture pass: buffer the packed events for (possibly sharded)
+     replay, checksum the stream for identity, and tally per-source
+     counts for the summary. *)
+  let buffer = Memsim.Trace_buffer.create () in
+  let checksum = Memsim.Sink.Checksum.create () in
+  let counter = Memsim.Sink.Counter.create () in
+  let events =
+    Memsim.Trace.read format data
+      (Memsim.Sink.fanout
+         [ Memsim.Trace_buffer.sink buffer;
+           Memsim.Sink.Checksum.sink checksum;
+           Memsim.Sink.Counter.sink counter ])
+  in
+  let ident = Memsim.Sink.Checksum.value checksum in
+  let program = trace_program ~ident in
+  let key = (program, external_allocator) in
+  match Hashtbl.find_opt t.memo key with
+  | Some a ->
+      Telemetry.Metrics.Counter.inc cell_memo_c;
+      a
+  | None -> (
+      match load_external t ~program ~ident with
+      | Some a ->
+          t.store_hits <- t.store_hits + 1;
+          Telemetry.Metrics.Counter.inc cell_store_c;
+          Log.debug (fun m -> m "trace cell %s: store hit" program);
+          Hashtbl.replace t.memo key a;
+          a
+      | None ->
+          let a =
+            simulate_trace t ~program ~provenance ~events ~ident ~counter
+              buffer
+          in
+          t.simulated <- t.simulated + 1;
+          Telemetry.Metrics.Counter.inc cell_sim_c;
+          Log.debug (fun m -> m "trace cell %s: simulated" program);
+          write_through t a;
+          Hashtbl.replace t.memo key a;
+          a)
+
+let get_source t (source : Memsim.Trace.Source.t) =
+  match source with
+  | Memsim.Trace.Source.Synthetic { program; allocator } ->
+      get t ~profile:program ~allocator
+  | _ ->
+      let format = Option.get (Memsim.Trace.Source.format_of source) in
+      let path = Option.get (Memsim.Trace.Source.path_of source) in
+      ingest t ~format ~data:(Memsim.Trace.slurp path)

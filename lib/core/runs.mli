@@ -62,6 +62,39 @@ val prefetch : t -> (string * string) list -> unit
     unknown key), no simulated cell of the batch is merged and the
     first failure (by position) is re-raised. *)
 
+(** {1 External trace ingestion}
+
+    An ingested trace becomes a grid cell with external coordinates:
+    program [trace:<ident>], allocator ["external"], scale 1, where
+    [ident] is the order-sensitive {!Memsim.Sink.Checksum} of the event
+    stream.  Identity is therefore the {e events}, not the encoding —
+    the same accesses imported as text, CSV or binary land on the same
+    cell and warm-serve each other. *)
+
+val ingest : t -> format:Memsim.Trace.Source.format -> data:string -> Artifact.t
+(** Decode the capture [data], simulate it under the full standard
+    sweep (the 32-byte LRU family set-range-sharded across up to
+    {!jobs} domains via {!Cachesim.Shard.replay}, everything else on a
+    sequential packed replay — results bit-identical to [jobs = 1]),
+    and memoize/write through exactly like {!get}.  The artifact's
+    provenance records the capture's format, byte length and CRC-32.
+    @raise Failure on malformed trace data. *)
+
+val get_source : t -> Memsim.Trace.Source.t -> Artifact.t
+(** [Synthetic] sources go through {!get}; file-backed sources are
+    slurped and {!ingest}ed. *)
+
+val trace_ident : format:Memsim.Trace.Source.format -> data:string -> int * int
+(** [(events, checksum)] of the capture's event stream — the cheap
+    one-pass identity used to probe the store before committing to a
+    full ingest.  @raise Failure on malformed trace data. *)
+
+val trace_digest : ident:int -> string
+(** Store digest of the external cell identified by [ident]. *)
+
+val external_allocator : string
+(** The allocator key external cells carry (["external"]). *)
+
 val standard_configs : Cachesim.Config.t list
 (** Everything simulated per run: the paper sweep plus the
     associativity, block-size and replacement-policy sets. *)

@@ -10,13 +10,19 @@ let encode_source = function
   | Event.Malloc -> 1
   | Event.Free -> 2
 
-let decode_source = function
-  | 0 -> Event.App
-  | 1 -> Event.Malloc
-  | 2 -> Event.Free
-  | s -> failwith (Printf.sprintf "Trace_file: bad source %d" s)
+(* Decode failures carry the byte offset of the event's flags byte and
+   the byte itself in hex, so damage in a multi-MB trace can be located
+   directly with dd/xxd instead of re-reading the whole file. *)
+let corrupt off flags fmt =
+  Printf.ksprintf
+    (fun s ->
+      failwith (Printf.sprintf "Trace_file: byte %d (flags 0x%02x): %s" off flags s))
+    fmt
 
-let write_varint oc v =
+(* Writers emit through a [put]-one-byte callback so the same encoder
+   serves channels (record_to_file) and in-memory buffers
+   (record_to_string). *)
+let write_varint put v =
   assert (v >= 0);
   let v = ref v in
   let continue = ref true in
@@ -24,60 +30,79 @@ let write_varint oc v =
     let byte = !v land 0x7f in
     v := !v lsr 7;
     if !v = 0 then begin
-      output_byte oc byte;
+      put byte;
       continue := false
     end
-    else output_byte oc (byte lor 0x80)
+    else put (byte lor 0x80)
   done
 
-let read_varint ic =
+let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
+let unzigzag v = if v land 1 = 0 then v lsr 1 else -((v + 1) lsr 1)
+
+let write_event put prev_addr (e : Event.t) =
+  let kind_bit = match e.kind with Event.Read -> 0 | Event.Write -> 1 in
+  let size_field = if e.size >= 1 && e.size <= 30 then e.size else 31 in
+  let flags = kind_bit lor (encode_source e.source lsl 1) lor (size_field lsl 3) in
+  put flags;
+  if size_field = 31 then write_varint put e.size;
+  write_varint put (zigzag (e.addr - prev_addr))
+
+let recording_sink put =
+  let prev = ref 0 in
+  Sink.of_fn (fun e ->
+      write_event put !prev e;
+      prev := e.Event.addr)
+
+let record_to_file path f =
+  let oc = open_out_bin path in
+  output_string oc magic;
+  let sink = recording_sink (output_byte oc) in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f sink)
+
+let record_to_string f =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  f (recording_sink (fun byte -> Buffer.add_char b (Char.unsafe_chr byte)));
+  Buffer.contents b
+
+(* Readers run over a cursor so channels and in-memory strings share
+   one decoder; [pos] reports absolute byte offsets for diagnostics. *)
+type cursor = {
+  input_byte : unit -> int;  (* raises End_of_file when exhausted *)
+  pos : unit -> int;
+}
+
+let read_varint cur =
   let rec go shift acc =
-    let byte = input_byte ic in
+    let byte = cur.input_byte () in
     let acc = acc lor ((byte land 0x7f) lsl shift) in
     if byte land 0x80 <> 0 then go (shift + 7) acc else acc
   in
   go 0 0
 
-let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
-let unzigzag v = if v land 1 = 0 then v lsr 1 else -((v + 1) lsr 1)
-
-let write_event oc prev_addr (e : Event.t) =
-  let kind_bit = match e.kind with Event.Read -> 0 | Event.Write -> 1 in
-  let size_field = if e.size >= 1 && e.size <= 30 then e.size else 31 in
-  let flags = kind_bit lor (encode_source e.source lsl 1) lor (size_field lsl 3) in
-  output_byte oc flags;
-  if size_field = 31 then write_varint oc e.size;
-  write_varint oc (zigzag (e.addr - prev_addr))
-
 (* [None] on clean end-of-trace; a truncated event is corruption. *)
-let read_event ic prev_addr =
-  match input_byte ic with
+let read_event cur prev_addr =
+  let off = cur.pos () in
+  match cur.input_byte () with
   | exception End_of_file -> None
   | flags -> (
       try
         let kind = if flags land 1 = 0 then Event.Read else Event.Write in
-        let source = decode_source ((flags lsr 1) land 3) in
+        let source =
+          match (flags lsr 1) land 3 with
+          | 0 -> Event.App
+          | 1 -> Event.Malloc
+          | 2 -> Event.Free
+          | s -> corrupt off flags "bad source %d" s
+        in
         let size_field = flags lsr 3 in
-        let size = if size_field = 31 then read_varint ic else size_field in
-        if size < 1 then failwith "Trace_file: corrupt size";
-        let addr = prev_addr + unzigzag (read_varint ic) in
+        let size = if size_field = 31 then read_varint cur else size_field in
+        if size < 1 then corrupt off flags "corrupt size %d" size;
+        let addr = prev_addr + unzigzag (read_varint cur) in
         Some { Event.kind; source; addr; size }
-      with End_of_file -> failwith "Trace_file: truncated event")
+      with End_of_file -> corrupt off flags "truncated event")
 
-let record_to_file path f =
-  let oc = open_out_bin path in
-  output_string oc magic;
-  let prev = ref 0 in
-  let sink =
-    Sink.of_fn (fun e ->
-        write_event oc !prev e;
-        prev := e.Event.addr)
-  in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f sink)
-
-let replay ic sink =
-  let header = really_input_string ic (String.length magic) in
-  if header <> magic then failwith "Trace_file: not a loclab trace";
+let replay_cursor cur sink =
   (* Decode straight into a packed batch and deliver at the pipeline's
      batch grain — order-preserving, one downstream dispatch per 256
      events instead of one per event. *)
@@ -93,7 +118,7 @@ let replay ic sink =
   let count = ref 0 in
   let continue = ref true in
   while !continue do
-    match read_event ic !prev with
+    match read_event cur !prev with
     | None -> continue := false
     | Some e ->
         prev := e.Event.addr;
@@ -103,6 +128,32 @@ let replay ic sink =
   done;
   flush ();
   !count
+
+let replay ic sink =
+  let header =
+    try really_input_string ic (String.length magic)
+    with End_of_file -> failwith "Trace_file: truncated header"
+  in
+  if header <> magic then failwith "Trace_file: not a loclab trace";
+  replay_cursor
+    { input_byte = (fun () -> input_byte ic); pos = (fun () -> pos_in ic) }
+    sink
+
+let replay_string data sink =
+  let mlen = String.length magic in
+  if String.length data < mlen || String.sub data 0 mlen <> magic then
+    failwith "Trace_file: not a loclab trace";
+  let pos = ref mlen in
+  let len = String.length data in
+  let input_byte () =
+    if !pos >= len then raise End_of_file
+    else begin
+      let c = Char.code (String.unsafe_get data !pos) in
+      incr pos;
+      c
+    end
+  in
+  replay_cursor { input_byte; pos = (fun () -> !pos) } sink
 
 let replay_file path sink =
   let ic = open_in_bin path in

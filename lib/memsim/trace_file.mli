@@ -10,7 +10,12 @@
     Encoding: a magic header, then one flags byte per event (kind,
     source, small sizes inline) followed by the zigzag-LEB128 delta of
     the address from the previous event.  Address locality makes
-    typical traces ~2–3 bytes per reference. *)
+    typical traces ~2–3 bytes per reference.
+
+    Decode failures name the byte offset of the offending event's flags
+    byte and dump the byte in hex (e.g. ["Trace_file: byte 17 (flags
+    0x3a): truncated event"]), so corruption in a multi-MB trace can be
+    located without bisecting the file. *)
 
 val magic : string
 (** File header ("LOCLAB1\n"). *)
@@ -20,8 +25,18 @@ val record_to_file : string -> (Sink.t -> 'a) -> 'a
     event it receives to [path], closing the file afterwards (also on
     exceptions). *)
 
+val record_to_string : (Sink.t -> unit) -> string
+(** In-memory [record_to_file]: runs the callback with a recording sink
+    and returns the complete encoded trace (magic header included). *)
+
 val replay : in_channel -> Sink.t -> int
-(** Streams a recorded trace into a sink; returns the number of events.
-    @raise Failure on a corrupt or foreign file. *)
+(** Streams a recorded trace into a sink as packed batches; returns the
+    number of events.
+    @raise Failure on a corrupt or foreign file, with the byte offset
+    and flags byte of the damaged event in the message. *)
+
+val replay_string : string -> Sink.t -> int
+(** [replay] over an in-memory encoded trace (as produced by
+    {!record_to_string}, or a file slurped whole). *)
 
 val replay_file : string -> Sink.t -> int

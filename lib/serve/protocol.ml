@@ -64,6 +64,7 @@ type request =
   | Metrics
   | Run_cell of { program : string; allocator : string; scale : float }
   | Run_experiment of { id : string; scale : float }
+  | Ingest of { format : string; trace : string }
 
 let request_kind = function
   | Health -> "health"
@@ -71,6 +72,7 @@ let request_kind = function
   | Metrics -> "metrics"
   | Run_cell _ -> "cell"
   | Run_experiment _ -> "experiment"
+  | Ingest _ -> "ingest"
 
 (* ---- responses ------------------------------------------------------ *)
 
@@ -150,7 +152,11 @@ let encode_request req =
   | Run_experiment { id; scale } ->
       Codec.Writer.int w 4;
       Codec.Writer.string w id;
-      Codec.Writer.float w scale);
+      Codec.Writer.float w scale
+  | Ingest { format; trace } ->
+      Codec.Writer.int w 5;
+      Codec.Writer.string w format;
+      Codec.Writer.string w trace);
   Codec.Writer.contents w
 
 (* Shared decode shell: version check, tag dispatch, trailing-byte and
@@ -185,6 +191,10 @@ let decode_request payload =
         let id = Codec.Reader.string r in
         let scale = Codec.Reader.float r in
         Some (Run_experiment { id; scale })
+    | 5 ->
+        let format = Codec.Reader.string r in
+        let trace = Codec.Reader.string r in
+        Some (Ingest { format; trace })
     | _ -> None)
 
 let encode_response resp =

@@ -53,6 +53,11 @@ type request =
           (and written through) when cold. *)
   | Run_experiment of { id : string; scale : float }
       (** Render one experiment table/figure by id. *)
+  | Ingest of { format : string; trace : string }
+      (** Simulate an external trace capture ([trace] is the raw file
+          bytes, [format] one of [Memsim.Trace.Source.all_formats]):
+          answered from the store when the same event stream was seen
+          before, simulated (and written through) when cold. *)
 
 val request_kind : request -> string
 (** Stable lowercase kind name (the metrics label). *)

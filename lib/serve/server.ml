@@ -332,6 +332,42 @@ let run_experiment t ~id ~scale =
           in
           Result.Ok (Protocol.Report_ok text))
 
+let run_ingest t ~format ~trace =
+  match Memsim.Trace.Source.format_of_string format with
+  | Result.Error msg -> Result.Error (Protocol.Bad_request, msg)
+  | Result.Ok fmt -> (
+      (* Parse once up front so a malformed capture is a typed
+         Bad_request, not an Internal from inside the single-flight. *)
+      match Core.Runs.trace_ident ~format:fmt ~data:trace with
+      | exception Failure msg -> Result.Error (Protocol.Bad_request, msg)
+      | _events, ident ->
+          let digest = Core.Runs.trace_digest ~ident in
+          let artifact, was_warm =
+            single_flight t digest (fun () ->
+                (* Same warm/cold contract as run_cell: the store's
+                   verified bytes when the event stream was seen before
+                   (under any capture format), a fresh simulation
+                   written through otherwise. *)
+                let stored =
+                  match t.store with
+                  | None -> None
+                  | Some store -> (
+                      match Store.find store ~digest with
+                      | Store.Hit payload -> Some payload
+                      | Store.Miss | Store.Corrupt _ -> None)
+                in
+                match stored with
+                | Some payload -> (payload, true)
+                | None ->
+                    (* jobs:1 inside the request: the request already
+                       occupies a pool worker (see run_experiment). *)
+                    let runs = Core.Runs.create ?store:t.store () in
+                    let art = Core.Runs.ingest runs ~format:fmt ~data:trace in
+                    (Core.Artifact.encode art, false))
+          in
+          if was_warm then Atomic.incr t.warm else Atomic.incr t.simulated;
+          Result.Ok (Protocol.Cell_ok { digest; artifact }))
+
 let execute t (req : Protocol.request) : Protocol.response =
   match
     match req with
@@ -348,6 +384,7 @@ let execute t (req : Protocol.request) : Protocol.response =
     | Protocol.Run_cell { program; allocator; scale } ->
         run_cell t ~program ~allocator ~scale
     | Protocol.Run_experiment { id; scale } -> run_experiment t ~id ~scale
+    | Protocol.Ingest { format; trace } -> run_ingest t ~format ~trace
   with
   | Result.Ok resp -> resp
   | Result.Error (code, message) -> Protocol.Error { code; message }

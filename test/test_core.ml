@@ -143,6 +143,116 @@ let test_runs_custom_trained () =
     < 0.15)
 
 (* ------------------------------------------------------------------ *)
+(* External trace ingestion                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A small synthetic capture with enough reuse to touch several cache
+   sets: two interleaved strides over 64 blocks. *)
+let sample_text =
+  let b = Buffer.create 16_384 in
+  for i = 0 to 999 do
+    Printf.bprintf b "%s 0x%x\n"
+      (if i mod 3 = 0 then "W" else "R")
+      (0x4000 + (32 * (i mod 64)) + (i mod 2 * 0x10000))
+  done;
+  Buffer.contents b
+
+let test_ingest_artifact_shape () =
+  let runs = Core.Runs.create () in
+  let art =
+    Core.Runs.ingest runs ~format:Memsim.Trace.Source.Text ~data:sample_text
+  in
+  let m = art.Core.Artifact.meta in
+  check_bool "external allocator" true
+    (m.Core.Artifact.allocator = Core.Runs.external_allocator);
+  check_bool "program names the stream ident" true
+    (m.Core.Artifact.program
+    = Printf.sprintf "trace:%x" m.Core.Artifact.trace_checksum);
+  check_int "every access counted" 1000
+    art.Core.Artifact.summary.Core.Artifact.data_refs;
+  check_int "text events are App refs" 1000
+    art.Core.Artifact.summary.Core.Artifact.app_refs;
+  check_bool "provenance recorded" true
+    (art.Core.Artifact.provenance.Core.Artifact.source_format = "text"
+    && art.Core.Artifact.provenance.Core.Artifact.source_bytes
+       = String.length sample_text);
+  let events, ident =
+    Core.Runs.trace_ident ~format:Memsim.Trace.Source.Text ~data:sample_text
+  in
+  check_int "ident pass counts the same events" 1000 events;
+  Alcotest.(check string)
+    "digest matches trace_digest"
+    (Core.Runs.trace_digest ~ident)
+    (Core.Artifact.digest_of_meta m);
+  (* Every standard configuration and the hierarchy saw the traffic. *)
+  List.iter
+    (fun cfg ->
+      let s =
+        Core.Artifact.cache_stats art ~name:cfg.Cachesim.Config.name
+      in
+      check_int (cfg.Cachesim.Config.name ^ " accesses") 1000
+        s.Cachesim.Stats.accesses)
+    Core.Runs.standard_configs;
+  check_int "L1 accesses" 1000 (Core.Artifact.l1 art).Cachesim.Stats.accesses
+
+let test_ingest_jobs_identical () =
+  (* Sharded replay is a wall-clock knob only: the artifact bytes are
+     identical for any domain count. *)
+  let art jobs =
+    Core.Artifact.encode
+      (Core.Runs.ingest (Core.Runs.create ~jobs ())
+         ~format:Memsim.Trace.Source.Text ~data:sample_text)
+  in
+  Alcotest.(check string) "jobs=1 = jobs=2 encoding" (art 1) (art 2)
+
+let test_ingest_format_identity_memoized () =
+  (* The same event stream through a different capture format lands on
+     the same cell: the second ingest is a memo hit, not a re-run. *)
+  let runs = Core.Runs.create () in
+  let a =
+    Core.Runs.ingest runs ~format:Memsim.Trace.Source.Text ~data:sample_text
+  in
+  let csv =
+    Memsim.Trace.write Memsim.Trace.Source.Csv (fun sink ->
+        ignore (Memsim.Trace.read Memsim.Trace.Source.Text sample_text sink))
+  in
+  let sim0 = Core.Runs.simulated runs in
+  let b = Core.Runs.ingest runs ~format:Memsim.Trace.Source.Csv ~data:csv in
+  check_bool "memo hit" true (a == b);
+  check_int "no extra simulation" sim0 (Core.Runs.simulated runs)
+
+let test_ingest_malformed_raises () =
+  check_bool "malformed trace raises Failure" true
+    (match
+       Core.Runs.ingest (Core.Runs.create ())
+         ~format:Memsim.Trace.Source.Text ~data:"R 0x10\nbogus\n"
+     with
+    | exception Failure msg -> contains ~needle:"line 2" msg
+    | _ -> false)
+
+let test_get_source_synthetic_is_grid_cell () =
+  let via_source =
+    Core.Runs.get_source ctx.Core.Context.runs
+      (Memsim.Trace.Source.Synthetic { program = "make"; allocator = "bsd" })
+  in
+  let direct =
+    Core.Runs.get ctx.Core.Context.runs ~profile:"make" ~allocator:"bsd"
+  in
+  check_bool "same memoized artifact" true (via_source == direct)
+
+let test_ingest_report_renders () =
+  let art =
+    Core.Runs.ingest (Core.Runs.create ())
+      ~format:Memsim.Trace.Source.Text ~data:sample_text
+  in
+  let out = Core.Ingest.report art in
+  List.iter
+    (fun needle ->
+      check_bool ("report has " ^ needle) true (contains ~needle out))
+    [ "External trace cell"; "text capture"; "16K-dm"; "256K-dm";
+      Core.Artifact.digest_of_meta art.Core.Artifact.meta ]
+
+(* ------------------------------------------------------------------ *)
 (* Experiments                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -375,6 +485,17 @@ let () =
           tc "unknown keys" test_runs_unknown_keys;
           tc "cache_stats unknown name" test_runs_cache_stats_unknown;
           tc "custom trained" test_runs_custom_trained;
+        ] );
+      ( "ingest",
+        [
+          tc "artifact shape" test_ingest_artifact_shape;
+          tc "jobs identical" test_ingest_jobs_identical;
+          tc "format identity memoized"
+            test_ingest_format_identity_memoized;
+          tc "malformed raises" test_ingest_malformed_raises;
+          tc "synthetic source is the grid cell"
+            test_get_source_synthetic_is_grid_cell;
+          tc "report renders" test_ingest_report_renders;
         ] );
       ( "experiments",
         [

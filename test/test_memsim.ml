@@ -145,7 +145,8 @@ let test_sink_filter_batch () =
       ~emit:(fun e -> (Sink.Recorder.sink batched).emit e)
       ~emit_batch:(fun buf len ->
         incr batch_calls;
-        Sink.Compat.emit_batch (Sink.Recorder.sink batched) buf ~len)
+        Sink.emit_packed_batch (Sink.Recorder.sink batched)
+          (Event.Batch.of_events buf len))
   in
   let f = Sink.filter pred downstream in
   let arr = Array.of_list stream in
@@ -518,6 +519,190 @@ let prop_trace_roundtrip_random =
       Sys.remove path;
       n = List.length events && Sink.Recorder.events rec_ = events)
 
+(* Corrupt binary traces must be reported with the byte offset and the
+   offending flags byte, so a bad capture is debuggable with a hex
+   dump.  The first event's flags byte sits right after the 8-byte
+   magic, at offset 8. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let failure_of f =
+  match f () with
+  | exception Failure msg -> msg
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_trace_corrupt_offset () =
+  let base =
+    Trace_file.record_to_string (fun sink ->
+        sink.Sink.emit (Event.read 0x1000 4);
+        sink.Sink.emit (Event.write 0x2000 8))
+  in
+  let with_byte off c =
+    let b = Bytes.of_string base in
+    Bytes.set b off (Char.chr c);
+    Bytes.to_string b
+  in
+  (* Size bits zeroed: flags 0x00 at offset 8. *)
+  let msg =
+    failure_of (fun () -> Trace_file.replay_string (with_byte 8 0x00) Sink.null)
+  in
+  Alcotest.(check bool) "corrupt size names byte 8" true
+    (contains msg "byte 8" && contains msg "0x00");
+  (* Both source bits set (source 3) with a valid inline size. *)
+  let msg =
+    failure_of (fun () -> Trace_file.replay_string (with_byte 8 0x0e) Sink.null)
+  in
+  Alcotest.(check bool) "bad source names byte 8 and flags" true
+    (contains msg "byte 8" && contains msg "0x0e")
+
+let test_trace_truncated_offset () =
+  (* Keep the magic plus the first event's flags byte only: the address
+     varint is missing, and the error must point at the event start. *)
+  let base =
+    Trace_file.record_to_string (fun sink ->
+        sink.Sink.emit (Event.read 0x123456 4))
+  in
+  let msg =
+    failure_of (fun () ->
+        Trace_file.replay_string (String.sub base 0 9) Sink.null)
+  in
+  Alcotest.(check bool) "truncation names byte 8" true (contains msg "byte 8")
+
+(* ------------------------------------------------------------------ *)
+(* Trace sources: text / CSV / framed readers and writers             *)
+(* ------------------------------------------------------------------ *)
+
+let read_events fmt data =
+  let rec_ = Sink.Recorder.create ~capacity:100_000 () in
+  let n = Trace.read fmt data (Sink.Recorder.sink rec_) in
+  (n, Sink.Recorder.events rec_)
+
+let test_text_empty () =
+  let n, events = read_events Trace.Source.Text "" in
+  Alcotest.(check int) "no events" 0 n;
+  Alcotest.(check bool) "empty stream" true (events = []);
+  let n, _ = read_events Trace.Source.Text "\n  \n\r\n" in
+  Alcotest.(check int) "blank lines skipped" 0 n
+
+let test_text_crlf_mixed_case () =
+  let n, events =
+    read_events Trace.Source.Text "r 0x10\r\nW 0x20\r\nR 30\nw 0X40\n"
+  in
+  Alcotest.(check int) "count" 4 n;
+  Alcotest.(check bool) "normalised to size-1 App accesses" true
+    (events
+    = [ Event.read 0x10 1; Event.write 0x20 1; Event.read 0x30 1;
+        Event.write 0x40 1 ])
+
+let test_text_wide_address () =
+  (* Addresses past 2^32 must survive; cachetrace captures from 64-bit
+     processes routinely carry them. *)
+  let n, events = read_events Trace.Source.Text "R 0x1deadbeef0\n" in
+  Alcotest.(check int) "count" 1 n;
+  Alcotest.(check bool) "64-bit address" true
+    (events = [ Event.read 0x1deadbeef0 1 ])
+
+let test_text_errors_locate_line () =
+  let msg =
+    failure_of (fun () -> read_events Trace.Source.Text "R 0x10\nbogus\n")
+  in
+  Alcotest.(check bool) "bad op names line 2" true (contains msg "line 2");
+  let msg =
+    failure_of (fun () -> read_events Trace.Source.Text "R 0x10\nW\n")
+  in
+  Alcotest.(check bool) "missing address names line 2" true
+    (contains msg "line 2");
+  let msg =
+    failure_of (fun () ->
+        read_events Trace.Source.Text "R 0xffffffffffffffffff\n")
+  in
+  Alcotest.(check bool) "overflow detected" true (contains msg "overflow")
+
+let test_csv_roundtrip () =
+  let csv = "index,op,address\n0,R,0x1000\n1,W,0x2000\n" in
+  let n, events = read_events Trace.Source.Csv csv in
+  Alcotest.(check int) "count" 2 n;
+  Alcotest.(check bool) "events" true
+    (events = [ Event.read 0x1000 1; Event.write 0x2000 1 ]);
+  let out =
+    Trace.write Trace.Source.Csv (fun sink ->
+        ignore (Trace.read Trace.Source.Csv csv sink))
+  in
+  Alcotest.(check string) "csv write reproduces the capture" csv out;
+  let msg =
+    failure_of (fun () -> read_events Trace.Source.Csv "0,R,0x1000\n")
+  in
+  Alcotest.(check bool) "missing header rejected" true
+    (contains msg "header")
+
+let test_framed_roundtrip () =
+  (* Framed is lossless: sizes and sources survive, unlike text/CSV. *)
+  let events =
+    [ Event.read 0x1000 4;
+      Event.write ~source:Event.Malloc 0x1004 48;
+      Event.read ~source:Event.Free 0x0ff0 2 ]
+  in
+  let framed =
+    Trace.write Trace.Source.Framed (fun sink ->
+        List.iter sink.Sink.emit events)
+  in
+  let n, back = read_events Trace.Source.Framed framed in
+  Alcotest.(check int) "count" (List.length events) n;
+  Alcotest.(check bool) "events identical" true (back = events);
+  (* A flipped byte in the body is caught by the frame CRC. *)
+  let b = Bytes.of_string framed in
+  Bytes.set b (Bytes.length b - 9) '\xff';
+  Alcotest.(check bool) "corruption detected" true
+    (match read_events Trace.Source.Framed (Bytes.to_string b) with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_source_sniff () =
+  let check what fmt data =
+    Alcotest.(check string) what
+      (Trace.Source.format_to_string fmt)
+      (Trace.Source.format_to_string (Trace.Source.sniff data))
+  in
+  check "binary magic" Trace.Source.Binary
+    (Trace_file.record_to_string (fun _ -> ()));
+  check "framed magic" Trace.Source.Framed
+    (Trace.write Trace.Source.Framed (fun _ -> ()));
+  check "csv header" Trace.Source.Csv "index,op,address\r\n0,R,0x1\n";
+  check "anything else is text" Trace.Source.Text "R 0x10\n";
+  Alcotest.(check bool) "format_of_string is case-insensitive" true
+    (Trace.Source.format_of_string "CSV" = Ok Trace.Source.Csv);
+  Alcotest.(check bool) "unknown format is a typed error" true
+    (match Trace.Source.format_of_string "elf" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let prop_text_csv_text_roundtrip =
+  (* text -> packed -> CSV -> packed -> text is the identity on
+     canonically rendered captures. *)
+  QCheck.Test.make ~name:"text -> csv -> text roundtrip" ~count:200
+    QCheck.(small_list (pair bool (int_bound 0x3fff_ffff_ffff)))
+    (fun accesses ->
+      let text =
+        Trace.write Trace.Source.Text (fun sink ->
+            List.iter
+              (fun (w, addr) ->
+                sink.Sink.emit
+                  (if w then Event.write addr 1 else Event.read addr 1))
+              accesses)
+      in
+      let csv =
+        Trace.write Trace.Source.Csv (fun sink ->
+            ignore (Trace.read Trace.Source.Text text sink))
+      in
+      let text2 =
+        Trace.write Trace.Source.Text (fun sink ->
+            ignore (Trace.read Trace.Source.Csv csv sink))
+      in
+      text2 = text)
+
 (* ------------------------------------------------------------------ *)
 (* Packed events: codec, batches, and packed-vs-boxed differentials   *)
 (* ------------------------------------------------------------------ *)
@@ -775,9 +960,26 @@ let () =
           Alcotest.test_case "truncation detected" `Quick
             test_trace_truncation_detected;
           Alcotest.test_case "compactness" `Quick test_trace_compactness;
+          Alcotest.test_case "corrupt flags located" `Quick
+            test_trace_corrupt_offset;
+          Alcotest.test_case "truncated event located" `Quick
+            test_trace_truncated_offset;
         ]
         @ List.map QCheck_alcotest.to_alcotest [ prop_trace_roundtrip_random ]
       );
+      ( "trace_sources",
+        [
+          Alcotest.test_case "empty text" `Quick test_text_empty;
+          Alcotest.test_case "crlf and mixed case" `Quick
+            test_text_crlf_mixed_case;
+          Alcotest.test_case "wide address" `Quick test_text_wide_address;
+          Alcotest.test_case "errors locate line" `Quick
+            test_text_errors_locate_line;
+          Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "framed roundtrip" `Quick test_framed_roundtrip;
+          Alcotest.test_case "sniff" `Quick test_source_sniff;
+        ]
+        @ qsuite [ prop_text_csv_text_roundtrip ] );
       ( "sim_memory",
         [
           Alcotest.test_case "load/store" `Quick test_mem_load_store;

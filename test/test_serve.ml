@@ -79,6 +79,8 @@ let test_request_round_trips () =
       P.Run_cell { program = "espresso"; allocator = "bsd"; scale = 0.02 };
       P.Run_cell { program = ""; allocator = "\x00\xffbin"; scale = 1e-9 };
       P.Run_experiment { id = "tab4"; scale = 1.0 };
+      P.Ingest { format = "text"; trace = "R 0x1000\nW 0x2000\n" };
+      P.Ingest { format = ""; trace = "\x00\xff raw bytes" };
     ]
 
 let test_response_round_trips () =
@@ -158,6 +160,8 @@ let gen_request =
           (fun program allocator scale -> P.Run_cell { program; allocator; scale })
           string_small string_small gen_scale;
         map2 (fun id scale -> P.Run_experiment { id; scale }) string_small gen_scale;
+        map2 (fun format trace -> P.Ingest { format; trace }) string_small
+          string_small;
       ])
 
 let gen_response =
@@ -431,6 +435,56 @@ let test_integration_lifecycle () =
      socket file must be gone. *)
   ()
 
+let test_integration_ingest () =
+  with_server (fun ~sock ~store _server ->
+      let text = "R 0x1000\nW 0x1020\nR 0x1000\nW 0x20000\n" in
+      Serve.Client.with_connection (P.Unix_path sock) (fun c ->
+          (* Cold ingest: simulated and written through. *)
+          let digest, cold_bytes =
+            match rpc c (P.Ingest { format = "text"; trace = text }) with
+            | P.Cell_ok { digest; artifact } -> (digest, artifact)
+            | r ->
+                Alcotest.failf "cold ingest: unexpected %s"
+                  (P.encode_response r)
+          in
+          (match Store.find store ~digest with
+          | Store.Hit payload ->
+              check_string "store payload = reply" payload cold_bytes
+          | Store.Miss -> Alcotest.fail "ingest not written through"
+          | Store.Corrupt e -> Alcotest.failf "store corrupt: %s" e);
+          (* Warm re-ingest of the same stream in another capture
+             format: same digest, byte-identical artifact. *)
+          let csv =
+            Memsim.Trace.write Memsim.Trace.Source.Csv (fun sink ->
+                ignore
+                  (Memsim.Trace.read Memsim.Trace.Source.Text text sink))
+          in
+          (match rpc c (P.Ingest { format = "csv"; trace = csv }) with
+          | P.Cell_ok { digest = d2; artifact = warm_bytes } ->
+              check_string "warm digest" digest d2;
+              check_string "warm bytes = cold bytes" cold_bytes warm_bytes
+          | r ->
+              Alcotest.failf "warm ingest: unexpected %s"
+                (P.encode_response r));
+          (* Typed errors: unknown format, malformed capture. *)
+          (match rpc c (P.Ingest { format = "elf"; trace = text }) with
+          | P.Error { code = P.Bad_request; _ } -> ()
+          | r ->
+              Alcotest.failf "unknown format: unexpected %s"
+                (P.encode_response r));
+          (match
+             rpc c (P.Ingest { format = "text"; trace = "R 0x10\nbogus\n" })
+           with
+          | P.Error { code = P.Bad_request; _ } -> ()
+          | r ->
+              Alcotest.failf "malformed trace: unexpected %s"
+                (P.encode_response r));
+          match rpc c P.Stats with
+          | P.Stats_ok s ->
+              check_int "one simulated ingest" 1 s.P.simulated_cells;
+              check_int "one warm ingest" 1 s.P.warm_cells
+          | r -> Alcotest.failf "stats: unexpected %s" (P.encode_response r)))
+
 let test_shutdown_removes_socket () =
   let sock_path = ref "" in
   with_server (fun ~sock ~store:_ _ -> sock_path := sock);
@@ -485,6 +539,7 @@ let () =
       ( "server",
         [
           tc "lifecycle: cold, warm, errors, http" test_integration_lifecycle;
+          tc "ingest: cold, warm, typed errors" test_integration_ingest;
           tc "shutdown unlinks the socket" test_shutdown_removes_socket;
           tc "stale socket swept, live refused" test_stale_socket_replaced_live_refused;
         ] );

@@ -196,6 +196,10 @@ let gen_artifact =
   scale >>= fun scale ->
   nonneg >>= fun seed ->
   nonneg >>= fun trace_checksum ->
+  oneofl [ "synthetic"; "text"; "csv"; "binary"; "framed" ]
+  >>= fun source_format ->
+  nonneg >>= fun source_bytes ->
+  nonneg >>= fun source_checksum ->
   map summary_of_list (list_repeat 10 nonneg) >>= fun summary ->
   map alloc_stats_of_list (list_repeat 10 nonneg) >>= fun alloc_stats ->
   int_range 1 (List.length config_pool) >>= fun ncfg ->
@@ -222,6 +226,8 @@ let gen_artifact =
     { Core.Artifact.meta =
         { Core.Artifact.program; allocator; scale; seed;
           schema_version = Core.Artifact.schema_version; trace_checksum };
+      provenance =
+        { Core.Artifact.source_format; source_bytes; source_checksum };
       summary; alloc_stats; caches; hierarchy;
       fault_curve = { Vmsim.Fault_curve.page_bytes; references; cold; hist } }
 
@@ -454,6 +460,34 @@ let test_runs_load_reports_missing () =
   check_int "the warm cell was pulled in" 1 (Core.Runs.store_hits r2);
   check_int "nothing simulated by load" 0 (Core.Runs.simulated r2)
 
+let test_ingest_write_through_and_warm_read () =
+  (* External cells persist like grid cells: a second grid over the
+     same store answers the ingest from disk, byte-identically — even
+     when the re-import arrives in a different capture format. *)
+  let text = "R 0x1000\nW 0x1020\nR 0x1000\nW 0x20000\n" in
+  let dir = fresh_dir () in
+  let cold = Core.Runs.create ~store:(Store.open_ dir) () in
+  let a =
+    Core.Runs.ingest cold ~format:Memsim.Trace.Source.Text ~data:text
+  in
+  check_int "cold ingest simulated" 1 (Core.Runs.simulated cold);
+  let csv =
+    Memsim.Trace.write Memsim.Trace.Source.Csv (fun sink ->
+        ignore (Memsim.Trace.read Memsim.Trace.Source.Text text sink))
+  in
+  let warm = Core.Runs.create ~store:(Store.open_ dir) () in
+  let b =
+    Core.Runs.ingest warm ~format:Memsim.Trace.Source.Csv ~data:csv
+  in
+  check_int "warm ingest simulated nothing" 0 (Core.Runs.simulated warm);
+  check_int "warm ingest hit the store" 1 (Core.Runs.store_hits warm);
+  check_bool "artifacts identical" true (Core.Artifact.equal a b);
+  check_string "encodings identical"
+    (Core.Artifact.encode a) (Core.Artifact.encode b);
+  (* Schema v3 provenance round-trips through the store. *)
+  check_string "provenance format survives" "text"
+    b.Core.Artifact.provenance.Core.Artifact.source_format
+
 (* ------------------------------------------------------------------ *)
 (* Differential: cold vs warm rendering over every experiment         *)
 (* ------------------------------------------------------------------ *)
@@ -560,6 +594,8 @@ let () =
                 test_runs_corrupt_cell_resimulated_and_healed;
               tc "scale partitions the store" test_runs_scale_partitions_store;
               tc "load reports missing cells" test_runs_load_reports_missing;
+              tc "ingest write-through and warm read"
+                test_ingest_write_through_and_warm_read;
             ] );
           ( "differential",
             [ tc "cold vs warm byte-identical" test_differential_cold_vs_warm ] );

@@ -5,10 +5,6 @@
 
 module M = Telemetry.Metrics
 
-(* Several suites here deliberately exercise the deprecated boxed
-   delivery shims (Sink.Compat) to pin them against the packed path. *)
-[@@@alert "-deprecated"]
-
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
@@ -450,17 +446,21 @@ let test_windows_batch () =
         closes := (window, events) :: !closes)
   in
   let s = Telemetry.Probe.Windows.sink w in
+  let deliver n =
+    Memsim.Sink.emit_packed_batch s
+      (Memsim.Event.Batch.of_events (Array.init n mk_event) n)
+  in
   (* Batches are indivisible: a 25-event batch crosses two window edges
      but closes only one window, at the batch boundary. *)
-  Memsim.Sink.Compat.emit_batch s (Array.init 25 mk_event) ~len:25;
+  deliver 25;
   check_bool "one close per delivery" true (List.rev !closes = [ (1, 25) ]);
-  Memsim.Sink.Compat.emit_batch s (Array.init 4 mk_event) ~len:4;
+  deliver 4;
   check_bool "short batch below edge" true (List.rev !closes = [ (1, 25) ]);
   s.Memsim.Sink.emit (mk_event 0);
   (* 30 seen, last close at 25: not yet 10 past. *)
   check_bool "edge is relative to last close" true
     (List.rev !closes = [ (1, 25) ]);
-  Memsim.Sink.Compat.emit_batch s (Array.init 5 mk_event) ~len:5;
+  deliver 5;
   check_bool "next close at 35" true (List.rev !closes = [ (1, 25); (2, 35) ])
 
 let test_windows_rejects () =
