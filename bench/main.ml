@@ -312,6 +312,14 @@ let serve_cold_every = 20
 let serve_levels : (int * int * float * float * float * float) list ref =
   ref []
 
+(* Server-side observability captured from /status after the replay:
+   per-stage latency quantiles, access-log accounting, span drops. *)
+let obs_stages : (string * int * float * float) list ref = ref []
+let obs_access_written = ref 0
+let obs_access_sampled = ref 0
+let obs_spans_dropped = ref 0
+let obs_slow_requests = ref 0
+
 let () =
   if run_serve then begin
     let sock =
@@ -319,9 +327,14 @@ let () =
         (Filename.get_temp_dir_name ())
         (Printf.sprintf "loclab-bench-%d.sock" (Unix.getpid ()))
     in
+    let access_log =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "loclab-bench-%d.access.jsonl" (Unix.getpid ()))
+    in
     let server =
-      Serve.Server.create ~jobs ~store ~listen:(Serve.Protocol.Unix_path sock)
-        ()
+      Serve.Server.create ~jobs ~store ~access_log
+        ~listen:(Serve.Protocol.Unix_path sock) ()
     in
     let server_thread = Thread.create (fun () -> Serve.Server.run server) () in
     let addr = Serve.Server.listen_addr server in
@@ -374,7 +387,9 @@ let () =
                 | Ok (Serve.Protocol.Error { message; _ }) ->
                     failwith ("serve replay: server error: " ^ message)
                 | Ok _ -> failwith "serve replay: unexpected response"
-                | Error msg -> failwith ("serve replay: " ^ msg));
+                | Error err ->
+                    failwith
+                      ("serve replay: " ^ Serve.Client.error_to_string err));
                 latencies.((ci * serve_requests_per_client) + r) <-
                   (Unix.gettimeofday () -. q0) *. 1e6
               done)
@@ -396,8 +411,66 @@ let () =
           clients n wall rps (pct 0.5) (pct 0.99))
       serve_clients;
     serve_levels := List.rev !serve_levels;
+    (* Scrape /status while the server still holds the replay's stage
+       histograms: the per-stage quantiles are the observability data
+       this bench exists to record. *)
+    (match Serve.Client.http_get ~timeout:5.0 addr "/status" with
+    | Error err ->
+        failwith ("serve /status: " ^ Serve.Client.error_to_string err)
+    | Ok body -> (
+        match Metrics.Export.of_string body with
+        | Error msg -> failwith ("serve /status: unparsable JSON: " ^ msg)
+        | Ok status ->
+            let open Metrics.Export in
+            let mem path json =
+              List.fold_left
+                (fun j key -> Option.bind j (fun j -> member key j))
+                (Some json) path
+            in
+            let geti path =
+              Option.bind (mem path status) to_int_opt
+              |> Option.value ~default:0
+            in
+            (match Option.bind (member "stages" status) to_list_opt with
+            | None -> failwith "serve /status: no stages section"
+            | Some stages ->
+                obs_stages :=
+                  List.filter_map
+                    (fun s ->
+                      match
+                        ( Option.bind (member "stage" s) to_string_opt,
+                          Option.bind (member "count" s) to_int_opt,
+                          Option.bind (member "p50_us" s) to_float_opt,
+                          Option.bind (member "p99_us" s) to_float_opt )
+                      with
+                      | Some name, Some count, Some p50, Some p99 ->
+                          Some (name, count, p50, p99)
+                      | _ -> None)
+                    stages);
+            obs_access_written := geti [ "access_log"; "written" ];
+            obs_access_sampled := geti [ "access_log"; "sampled_out" ];
+            obs_spans_dropped := geti [ "spans"; "dropped" ];
+            obs_slow_requests :=
+              (match
+                 Option.bind (member "slow_requests" status) to_list_opt
+               with
+              | Some l -> List.length l
+              | None -> 0);
+            Printf.printf "server-side stage latency (from /status):\n";
+            List.iter
+              (fun (name, count, p50, p99) ->
+                Printf.printf
+                  "  %-18s %6d spans  p50 %8.1f us  p99 %9.1f us\n" name
+                  count p50 p99)
+              !obs_stages;
+            Printf.printf
+              "  access log: %d lines written, %d sampled out; %d slow \
+               requests retained; %d spans dropped\n"
+              !obs_access_written !obs_access_sampled !obs_slow_requests
+              !obs_spans_dropped));
     Serve.Server.shutdown server;
     Thread.join server_thread;
+    (try Sys.remove access_log with Sys_error _ -> ());
     print_newline ()
   end
 
@@ -586,8 +659,9 @@ let bench_json_path =
 
 (* Bench-json format version: bump when the object shape changes, so CI
    consumers can detect files from another era.  4 added the "serve"
-   traffic-replay section; 5 the "ingest" reader-throughput section. *)
-let bench_format = 5
+   traffic-replay section; 5 the "ingest" reader-throughput section;
+   6 the "obs" server-side stage-latency section. *)
+let bench_format = 6
 
 let git_rev () =
   let read cmd =
@@ -743,6 +817,26 @@ let write_bench_json ~rev ~dirty path =
         clients n seconds rps p50 p99)
     !serve_levels;
   if !serve_levels <> [] then Printf.fprintf oc "\n    ";
+  Printf.fprintf oc "]\n";
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"obs\": {\n";
+  Printf.fprintf oc "    \"enabled\": %b,\n" run_serve;
+  Printf.fprintf oc "    \"access_log_written\": %d,\n" !obs_access_written;
+  Printf.fprintf oc "    \"access_log_sampled_out\": %d,\n"
+    !obs_access_sampled;
+  Printf.fprintf oc "    \"slow_requests_retained\": %d,\n"
+    !obs_slow_requests;
+  Printf.fprintf oc "    \"spans_dropped\": %d,\n" !obs_spans_dropped;
+  Printf.fprintf oc "    \"stages\": [";
+  List.iteri
+    (fun i (name, count, p50, p99) ->
+      Printf.fprintf oc
+        "%s\n      { \"stage\": \"%s\", \"count\": %d, \"p50_us\": %.1f, \
+         \"p99_us\": %.1f }"
+        (if i = 0 then "" else ",")
+        (json_escape name) count p50 p99)
+    !obs_stages;
+  if !obs_stages <> [] then Printf.fprintf oc "\n    ";
   Printf.fprintf oc "]\n";
   Printf.fprintf oc "  },\n";
   Printf.fprintf oc "  \"kernels_ns_per_run\": {";

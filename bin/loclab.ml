@@ -973,14 +973,32 @@ let serve_cmd =
     in
     Arg.(value & opt int 32 & info [ "max-pending" ] ~docv:"N" ~doc)
   in
-  let run jobs store_dir listen max_pending =
+  let access_log_arg =
+    let doc =
+      "Write one JSON object per served request to $(docv) ($(b,-) = \
+       stdout): timestamp, request id, peer, kind, per-stage durations, \
+       outcome, bytes, warm/cold, queue depth at admission."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH" ~doc)
+  in
+  let access_sample_arg =
+    let doc =
+      "Write every $(docv)th access-log line (sampling for high QPS; \
+       requests traced with the force-sample flag are always written)."
+    in
+    Arg.(value & opt int 1 & info [ "access-log-sample" ] ~docv:"N" ~doc)
+  in
+  let run jobs store_dir listen max_pending access_log access_log_sample =
     let o = resolve_options ?jobs ?store_dir () in
     let addr = parse_addr listen in
     let store = Option.map open_store o.Core.Context.Options.store_dir in
     let server =
       try
         Serve.Server.create ~max_pending ~jobs:o.Core.Context.Options.jobs
-          ?store ~listen:addr ()
+          ?store ?access_log ~access_log_sample ~listen:addr ()
       with
       | Failure msg | Invalid_argument msg ->
           Printf.eprintf "loclab serve: %s\n" msg;
@@ -1003,12 +1021,16 @@ let serve_cmd =
   in
   let doc =
     "Serve simulations over a versioned binary protocol (plus plain HTTP \
-     $(b,GET /metrics) and $(b,GET /health) on the same address).  Cell \
-     requests are answered from the artifact store when warm and \
-     simulated on worker domains — with store write-through — when cold."
+     $(b,GET /metrics), $(b,GET /health) and $(b,GET /status) on the same \
+     address).  Cell requests are answered from the artifact store when \
+     warm and simulated on worker domains — with store write-through — \
+     when cold.  Every request is traced end to end; see \
+     $(b,--access-log) and $(b,loclab top)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ jobs_arg $ store_arg $ listen_arg $ max_pending_arg)
+    Term.(
+      const run $ jobs_arg $ store_arg $ listen_arg $ max_pending_arg
+      $ access_log_arg $ access_sample_arg)
 
 let client_cmd =
   let connect_arg =
@@ -1029,10 +1051,64 @@ let client_cmd =
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"ACTION" ~doc)
   in
-  let run scale connect out action =
+  let timeout_arg =
+    let doc =
+      "Receive timeout in seconds (0 = wait forever): a wedged server \
+       fails the request instead of hanging the client."
+    in
+    Arg.(
+      value
+      & opt float 0.
+      & info [ "timeout" ]
+          ~env:(Cmd.Env.info "LOCLAB_CLIENT_TIMEOUT")
+          ~docv:"SECONDS" ~doc)
+  in
+  let request_id_arg =
+    let doc =
+      "Send this request id (1-32 hex digits) instead of generating one."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request-id" ] ~docv:"HEX" ~doc)
+  in
+  let no_trace_arg =
+    let doc =
+      "Send a version-1 request without a trace context (as pre-tracing \
+       clients do)."
+    in
+    Arg.(value & flag & info [ "no-trace" ] ~doc)
+  in
+  let run scale connect out timeout request_id no_trace action =
     let o = resolve_options ?scale () in
     let scale = o.Core.Context.Options.scale in
     let addr = parse_addr connect in
+    let timeout = if timeout > 0. then Some timeout else None in
+    let trace =
+      if no_trace then None
+      else begin
+        let trace_id =
+          match request_id with
+          | Some id when Telemetry.Rctx.valid_id id ->
+              String.lowercase_ascii id
+          | Some id ->
+              Printf.eprintf
+                "loclab client: bad request id %S (want 1-32 hex digits)\n" id;
+              exit 2
+          | None -> Telemetry.Rctx.fresh_id ()
+        in
+        (* One-shot interactive requests are always worth a log line;
+           ask the server to bypass access-log sampling. *)
+        Some
+          { Serve.Protocol.trace_id;
+            trace_flags = Serve.Protocol.flag_force_sample }
+      end
+    in
+    (* The id goes to stderr so stdout stays the payload (digests,
+       metrics text, artifacts) scripts already parse. *)
+    (match trace with
+    | Some tc -> Printf.eprintf "request id %s\n%!" tc.Serve.Protocol.trace_id
+    | None -> ());
     let req =
       match action with
       | [ "health" ] -> Serve.Protocol.Health
@@ -1062,7 +1138,19 @@ let client_cmd =
     in
     let reply =
       try
-        Serve.Client.with_connection addr (fun c -> Serve.Client.request c req)
+        Serve.Client.with_connection ?timeout addr (fun c ->
+            let r = Serve.Client.request_traced ?trace c req in
+            (match (trace, r) with
+            | Some sent, Ok (_, Some echoed)
+              when echoed.Serve.Protocol.trace_id
+                   <> sent.Serve.Protocol.trace_id ->
+                Printf.eprintf "request id adopted as %s\n%!"
+                  echoed.Serve.Protocol.trace_id
+            | Some _, _ when Serve.Client.downgraded c ->
+                Printf.eprintf
+                  "note: server predates request tracing; retried untraced\n%!"
+            | _ -> ());
+            Result.map fst r)
       with Unix.Unix_error (err, _, _) ->
         Printf.eprintf "loclab client: cannot connect to %s: %s\n"
           (Serve.Protocol.addr_to_string addr)
@@ -1070,8 +1158,9 @@ let client_cmd =
         exit 1
     in
     match reply with
-    | Error msg ->
-        Printf.eprintf "loclab client: %s\n" msg;
+    | Error err ->
+        Printf.eprintf "loclab client: %s\n"
+          (Serve.Client.error_to_string err);
         exit 1
     | Ok (Serve.Protocol.Error { code; message }) ->
         Printf.eprintf "loclab client: server error (%s): %s\n"
@@ -1115,10 +1204,232 @@ let client_cmd =
   let doc =
     "Query a running $(b,loclab serve): health, stats, a metrics snapshot, \
      one grid cell (printing its digest, optionally saving the artifact \
-     bytes), a rendered experiment, or an external trace ingestion."
+     bytes), a rendered experiment, or an external trace ingestion.  \
+     Requests carry a generated (or $(b,--request-id)) trace id, printed \
+     to stderr, that the server's access log, $(b,/status) slow-request \
+     table and span trace all key on."
   in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const run $ scale_arg $ connect_arg $ out_arg $ action_arg)
+    Term.(
+      const run $ scale_arg $ connect_arg $ out_arg $ timeout_arg
+      $ request_id_arg $ no_trace_arg $ action_arg)
+
+(* ---- top -------------------------------------------------------------- *)
+
+(* A refreshing terminal view over a running server's /status and
+   /metrics endpoints — enough of a dashboard for a terminal, with no
+   scraping stack required. *)
+
+let fmt_us us =
+  if Float.is_nan us || us <= 0. then "-"
+  else if us < 1000. then Printf.sprintf "%.0fus" us
+  else if us < 1e6 then Printf.sprintf "%.1fms" (us /. 1e3)
+  else Printf.sprintf "%.2fs" (us /. 1e6)
+
+(* Pull `name{kind="x"} 42` rows out of the Prometheus text. *)
+let prom_kind_counts text name =
+  let prefix = name ^ "{kind=\"" in
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if not (String.length line > String.length prefix
+                 && String.sub line 0 (String.length prefix) = prefix)
+         then None
+         else
+           match String.index_from_opt line (String.length prefix) '"' with
+           | None -> None
+           | Some q -> (
+               let kind =
+                 String.sub line (String.length prefix)
+                   (q - String.length prefix)
+               in
+               match String.rindex_opt line ' ' with
+               | None -> None
+               | Some sp -> (
+                   match
+                     int_of_string_opt
+                       (String.trim
+                          (String.sub line (sp + 1)
+                             (String.length line - sp - 1)))
+                   with
+                   | Some v -> Some (kind, v)
+                   | None -> None)))
+
+let render_top ~addr_text ~status ~metrics_text b =
+  let open Metrics.Export in
+  let mem path j =
+    List.fold_left (fun acc k -> Option.bind acc (member k)) (Some j) path
+  in
+  let int_at path d = Option.value ~default:d (Option.bind (mem path status) to_int_opt) in
+  let float_at path d =
+    Option.value ~default:d (Option.bind (mem path status) to_float_opt)
+  in
+  let str_at path d =
+    Option.value ~default:d (Option.bind (mem path status) to_string_opt)
+  in
+  let list_at path =
+    Option.value ~default:[] (Option.bind (mem path status) to_list_opt)
+  in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "loclab top — %s — %s" addr_text
+    (Telemetry.Rctx.iso8601 (Unix.gettimeofday ()));
+  line "%s  protocol %d-%d  artifact schema %d  up %.1fs"
+    (str_at [ "server"; "version" ] "?")
+    (int_at [ "server"; "protocol_min" ] 0)
+    (int_at [ "server"; "protocol_max" ] 0)
+    (int_at [ "server"; "artifact_schema" ] 0)
+    (float_at [ "server"; "uptime_seconds" ] 0.);
+  line "";
+  line "requests  total %d  errors %d  inflight %d  warm %d  simulated %d"
+    (int_at [ "requests"; "total" ] 0)
+    (int_at [ "requests"; "errors" ] 0)
+    (int_at [ "requests"; "inflight" ] 0)
+    (int_at [ "requests"; "warm_cells" ] 0)
+    (int_at [ "requests"; "simulated_cells" ] 0);
+  (match prom_kind_counts metrics_text "loclab_serve_requests_total" with
+  | [] -> ()
+  | kinds ->
+      line "kinds     %s"
+        (String.concat "  "
+           (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) kinds)));
+  line "latency   p50 %s  p90 %s  p99 %s  (n=%d, mean %s)"
+    (fmt_us (float_at [ "latency_us"; "p50" ] 0.))
+    (fmt_us (float_at [ "latency_us"; "p90" ] 0.))
+    (fmt_us (float_at [ "latency_us"; "p99" ] 0.))
+    (int_at [ "latency_us"; "count" ] 0)
+    (fmt_us (float_at [ "latency_us"; "mean" ] 0.));
+  line "spans     recorded %d  dropped %d"
+    (int_at [ "spans"; "recorded" ] 0)
+    (int_at [ "spans"; "dropped" ] 0);
+  (match mem [ "access_log" ] status with
+  | Some (Obj _ as a) ->
+      line "access    written %d  sampled_out %d  write_errors %d  (every %d)"
+        (Option.value ~default:0 (Option.bind (member "written" a) to_int_opt))
+        (Option.value ~default:0
+           (Option.bind (member "sampled_out" a) to_int_opt))
+        (Option.value ~default:0
+           (Option.bind (member "write_errors" a) to_int_opt))
+        (Option.value ~default:1 (Option.bind (member "sample" a) to_int_opt))
+  | _ -> ());
+  let stages = list_at [ "stages" ] in
+  if stages <> [] then begin
+    line "";
+    line "%-20s %8s %10s %10s" "stage" "count" "p50" "p99";
+    List.iter
+      (fun s ->
+        line "%-20s %8d %10s %10s"
+          (Option.value ~default:"?"
+             (Option.bind (member "stage" s) to_string_opt))
+          (Option.value ~default:0 (Option.bind (member "count" s) to_int_opt))
+          (fmt_us
+             (Option.value ~default:0.
+                (Option.bind (member "p50_us" s) to_float_opt)))
+          (fmt_us
+             (Option.value ~default:0.
+                (Option.bind (member "p99_us" s) to_float_opt))))
+      stages
+  end;
+  let queues = list_at [ "connections"; "queues" ] in
+  line "";
+  line "connections (%d open)" (int_at [ "connections"; "open" ] 0);
+  List.iter
+    (fun c ->
+      line "  cid %-4d peer %-21s pending %d"
+        (Option.value ~default:0 (Option.bind (member "cid" c) to_int_opt))
+        (Option.value ~default:"?" (Option.bind (member "peer" c) to_string_opt))
+        (Option.value ~default:0
+           (Option.bind (member "pending" c) to_int_opt)))
+    queues;
+  (match list_at [ "single_flight" ] with
+  | [] -> ()
+  | keys ->
+      line "single-flight (%d)" (List.length keys);
+      List.iter
+        (fun k ->
+          line "  %s" (Option.value ~default:"?" (to_string_opt k)))
+        keys);
+  match list_at [ "slow_requests" ] with
+  | [] -> ()
+  | slow ->
+      line "";
+      line "%-18s %9s %-10s %-8s %s" "slowest" "total" "kind" "outcome"
+        "cell";
+      List.iter
+        (fun r ->
+          line "%-18s %9s %-10s %-8s %s"
+            (Option.value ~default:"?"
+               (Option.bind (member "request_id" r) to_string_opt))
+            (fmt_us
+               (Option.value ~default:0.
+                  (Option.bind (member "total_us" r) to_float_opt)))
+            (Option.value ~default:"?"
+               (Option.bind (member "kind" r) to_string_opt))
+            (Option.value ~default:"?"
+               (Option.bind (member "outcome" r) to_string_opt))
+            (match Option.bind (member "cell" r) to_string_opt with
+            | Some c -> c
+            | None -> "-"))
+        slow
+
+let top_cmd =
+  let connect_arg =
+    let doc = "Server address (as $(b,loclab serve --listen))." in
+    Arg.(
+      value & opt string default_listen & info [ "connect" ] ~docv:"ADDR" ~doc)
+  in
+  let interval_arg =
+    let doc = "Refresh interval in seconds." in
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let once_arg =
+    let doc = "Render one snapshot and exit (no screen clearing)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let run connect interval once =
+    let addr = parse_addr connect in
+    let addr_text = Serve.Protocol.addr_to_string addr in
+    let fetch path =
+      match Serve.Client.http_get ~timeout:5.0 addr path with
+      | Ok body -> body
+      | Error err ->
+          Printf.eprintf "loclab top: %s: %s\n" path
+            (Serve.Client.error_to_string err);
+          exit 1
+    in
+    let snapshot () =
+      let status_text = fetch "/status" in
+      let metrics_text = fetch "/metrics" in
+      match Metrics.Export.of_string status_text with
+      | Error msg ->
+          Printf.eprintf "loclab top: undecodable /status: %s\n" msg;
+          exit 1
+      | Ok status ->
+          let b = Buffer.create 1024 in
+          render_top ~addr_text ~status ~metrics_text b;
+          Buffer.contents b
+    in
+    if once then print_string (snapshot ())
+    else begin
+      let rec loop () =
+        let body = snapshot () in
+        (* Clear + home, then the frame: flicker-free enough without a
+           curses dependency. *)
+        Printf.printf "\027[2J\027[H%s%!" body;
+        Unix.sleepf (Float.max 0.1 interval);
+        loop ()
+      in
+      loop ()
+    end
+  in
+  let doc =
+    "Live terminal view of a running $(b,loclab serve): polls \
+     $(b,/status) and $(b,/metrics) over the server's plain-HTTP side \
+     and renders RED counters, latency and per-stage quantiles, open \
+     connections and queue depths, in-flight single-flight keys and the \
+     slowest requests.  $(b,--once) prints a single snapshot (for \
+     scripts and CI)."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(const run $ connect_arg $ interval_arg $ once_arg)
 
 let main =
   let doc =
@@ -1128,7 +1439,8 @@ let main =
   let info = Cmd.info "loclab" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ list_cmd; run_cmd; all_cmd; report_cmd; store_cmd; probe_cmd;
-      profile_cmd; record_cmd; replay_cmd; trace_cmd; serve_cmd; client_cmd ]
+      profile_cmd; record_cmd; replay_cmd; trace_cmd; serve_cmd; client_cmd;
+      top_cmd ]
 
 let () =
   setup_logs ();

@@ -18,6 +18,30 @@ type json =
 val to_string : json -> string
 (** Compact JSON on a single line, keys in the given order. *)
 
+val of_string : string -> (json, string) result
+(** Parse one JSON value (the inverse of {!to_string}, plus
+    insignificant whitespace).  Numbers containing ['.'] or an exponent
+    parse as [Float]; other numbers as [Int] (falling back to [Float]
+    beyond int range).  [\u] escapes decode to UTF-8, surrogate pairs
+    combined.  Trailing non-whitespace is an error.  Never raises. *)
+
+(** {2 Navigation}
+
+    Small total accessors for picking values out of parsed JSON
+    ([None] on shape mismatch, never an exception). *)
+
+val member : string -> json -> json option
+(** Field lookup; [None] when absent or the value is not an [Obj]. *)
+
+val to_float_opt : json -> float option
+(** [Float] or [Int] (widened). *)
+
+val to_int_opt : json -> int option
+(** [Int], or an integral [Float]. *)
+
+val to_string_opt : json -> string option
+val to_list_opt : json -> json list option
+
 val csv_field : string -> string
 (** RFC-4180 quoting: fields containing commas, quotes or newlines are
     double-quoted with inner quotes doubled; other fields pass through. *)

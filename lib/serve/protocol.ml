@@ -11,7 +11,8 @@
 
 module Codec = Store.Codec
 
-let version = 1
+let version = 2
+let min_version = 1
 let magic = "LOCSRV1\n"
 
 (* Cap a frame well above any artifact or rendered report (the largest
@@ -55,6 +56,18 @@ let addr_of_string s =
           invalid
             (Printf.sprintf "unknown address scheme %S (use unix: or tcp:)"
                other))
+
+(* ---- trace context -------------------------------------------------- *)
+
+(* Version 2's addition: an optional trace context ahead of the message
+   tag, carrying a client-chosen request id (hex, 1-32 digits — the
+   server adopts valid ids and mints otherwise) and a flags word.  Flag
+   bit 0 asks the server to log this request regardless of access-log
+   sampling. *)
+
+type trace_context = { trace_id : string; trace_flags : int }
+
+let flag_force_sample = 1
 
 (* ---- requests ------------------------------------------------------- *)
 
@@ -137,9 +150,21 @@ let decode_error_to_string = function
   | Unsupported v -> Printf.sprintf "unsupported protocol version %d" v
   | Malformed msg -> msg
 
-let encode_request req =
+(* Version selection is by presence: a payload without a trace context
+   is encoded exactly as version 1 (byte-identical to what a v1 build
+   emits, so old servers keep answering untraced clients), and a trace
+   context forces version 2, where [flags] then [id] precede the tag. *)
+let write_envelope w trace =
+  match trace with
+  | None -> Codec.Writer.int w min_version
+  | Some { trace_id; trace_flags } ->
+      Codec.Writer.int w version;
+      Codec.Writer.int w trace_flags;
+      Codec.Writer.string w trace_id
+
+let encode_request ?trace req =
   let w = Codec.Writer.create () in
-  Codec.Writer.int w version;
+  write_envelope w trace;
   (match req with
   | Health -> Codec.Writer.int w 0
   | Stats -> Codec.Writer.int w 1
@@ -159,18 +184,28 @@ let encode_request req =
       Codec.Writer.string w trace);
   Codec.Writer.contents w
 
-(* Shared decode shell: version check, tag dispatch, trailing-byte and
-   truncation detection, never an exception. *)
+(* Shared decode shell: version check, optional trace context, tag
+   dispatch, trailing-byte and truncation detection, never an
+   exception.  Yields the message together with the trace context
+   (None for version-1 payloads). *)
 let decode_payload what payload read_tagged =
   let r = Codec.Reader.of_string payload in
   try
     let v = Codec.Reader.int r in
-    if v <> version then Result.Error (Unsupported v)
+    if v < min_version || v > version then Result.Error (Unsupported v)
     else begin
+      let trace =
+        if v >= 2 then begin
+          let trace_flags = Codec.Reader.int r in
+          let trace_id = Codec.Reader.string r in
+          Some { trace_id; trace_flags }
+        end
+        else None
+      in
       let tag = Codec.Reader.int r in
       match read_tagged r tag with
       | Some value ->
-          if Codec.Reader.at_end r then Result.Ok value
+          if Codec.Reader.at_end r then Result.Ok (value, trace)
           else Result.Error (Malformed (what ^ " has trailing bytes"))
       | None ->
           Result.Error (Malformed (Printf.sprintf "unknown %s tag %d" what tag))
@@ -197,9 +232,9 @@ let decode_request payload =
         Some (Ingest { format; trace })
     | _ -> None)
 
-let encode_response resp =
+let encode_response ?trace resp =
   let w = Codec.Writer.create () in
-  Codec.Writer.int w version;
+  write_envelope w trace;
   (match resp with
   | Health_ok { server_version; protocol_version } ->
       Codec.Writer.int w 0;

@@ -12,16 +12,26 @@
     are caught before any typed decoding runs.
 
     {b Versioning.}  The payload itself begins with a protocol version
-    integer (currently {!version} = 1) followed by a message tag.  A
-    well-formed frame carrying an unknown version decodes to
-    [Error (Unsupported v)] — the server answers it with a typed
-    [Unsupported_version] error response (itself version 1, which any
-    client necessarily understands) instead of dropping the connection.
+    integer followed by a message tag.  This build speaks versions
+    {!min_version} (1) through {!version} (2); version 2 inserts an
+    optional {!trace_context} (flags word, then request-id string)
+    between the version and the tag.  Encoders pick the version by
+    presence: no trace context → version-1 bytes, byte-identical to a
+    v1 build's output, so untraced new clients interoperate with old
+    servers; a trace context → version 2.  A well-formed frame carrying
+    an unknown version decodes to [Error (Unsupported v)] — the server
+    answers it with a typed [Unsupported_version] error response
+    (itself version 1, which any client necessarily understands)
+    instead of dropping the connection, and {!Client} reacts by
+    retrying without the trace context.
 
     Decoding never raises: every malformed input is a typed [Error]. *)
 
 val version : int
-(** The protocol version this build speaks (1). *)
+(** The newest protocol version this build speaks (2). *)
+
+val min_version : int
+(** The oldest protocol version this build still decodes (1). *)
 
 val magic : string
 (** The frame magic, ["LOCSRV1\n"]. *)
@@ -41,6 +51,20 @@ val addr_of_string : string -> (addr, string) result
     127.0.0.1), or a bare path (treated as a unix socket). *)
 
 val addr_to_string : addr -> string
+
+(** {1 Trace context} *)
+
+type trace_context = {
+  trace_id : string;
+      (** Hex request id, 1–32 digits ({!Telemetry.Rctx.valid_id});
+          the server adopts valid ids and mints replacements for
+          invalid ones. *)
+  trace_flags : int;  (** Bit 0: {!flag_force_sample}. *)
+}
+
+val flag_force_sample : int
+(** Ask the server to write this request to the access log even when
+    sampling would skip it. *)
 
 (** {1 Messages} *)
 
@@ -101,13 +125,21 @@ type decode_error =
 
 val decode_error_to_string : decode_error -> string
 
-val encode_request : request -> string
-val decode_request : string -> (request, decode_error) result
-(** Never raises: truncation, unknown tags and trailing bytes are all
-    [Malformed]. *)
+val encode_request : ?trace:trace_context -> request -> string
+(** Without [trace]: version-1 bytes (old servers decode them).  With
+    [trace]: version 2. *)
 
-val encode_response : response -> string
-val decode_response : string -> (response, decode_error) result
+val decode_request :
+  string -> (request * trace_context option, decode_error) result
+(** Never raises: truncation, unknown tags and trailing bytes are all
+    [Malformed].  The context is [None] for version-1 payloads. *)
+
+val encode_response : ?trace:trace_context -> response -> string
+(** The server echoes the (possibly adopted) trace context back to
+    version-2 requesters and omits it — version-1 bytes — otherwise. *)
+
+val decode_response :
+  string -> (response * trace_context option, decode_error) result
 
 (** {1 Frame I/O}
 

@@ -10,12 +10,22 @@
    requests are deduplicated to one simulation by a single-flight table
    keyed by the cell digest.
 
+   Every request carries a Telemetry.Rctx from the frame read to the
+   reply write: the reader stamps read_frame/decode and adopts (or
+   mints) the request id, the handler and the execution helpers stamp
+   store_lookup / simulate / single_flight_wait / encode / write_reply,
+   and finish fans the result out to the per-stage histograms, the
+   slow-request table, the span ring, and — when configured — the
+   JSON-lines access log.
+
    Threads suit the connection layer (blocking reads, shared store and
    single-flight state under mutexes); domains suit the simulations
    (compute-bound, no shared state).  The same split the grid prefetch
    uses, now behind a socket. *)
 
+module Export = Metrics.Export  (* the metrics library's JSON values *)
 module Metrics = Telemetry.Metrics
+module Rctx = Telemetry.Rctx
 
 let src = Logs.Src.create "loclab.serve" ~doc:"loclab serve"
 
@@ -35,23 +45,65 @@ let m_duration =
   Metrics.Histogram.family ~name:"loclab_serve_request_duration_us"
     ~help:"Request handling latency in microseconds." ()
 
+let m_stage =
+  Metrics.Histogram.family ~name:"loclab_serve_stage_duration_us"
+    ~help:"Per-stage request latency in microseconds." ~labels:[ "stage" ] ()
+
 let m_connections =
   Metrics.Gauge.family ~name:"loclab_serve_connections"
     ~help:"Open connections." ()
 
+let m_spans_dropped =
+  Metrics.Gauge.family ~name:"loclab_spans_dropped"
+    ~help:"Span-ring events overwritten because the ring was full." ()
+
+let m_access_dropped =
+  Metrics.Counter.family ~name:"loclab_access_log_dropped"
+    ~help:"Access-log lines not written, by reason (sampled, write_error)."
+    ~labels:[ "reason" ] ()
+
+let m_access_written =
+  Metrics.Counter.family ~name:"loclab_access_log_written_total"
+    ~help:"Access-log lines written." ()
+
 let h_duration = Metrics.Histogram.labels m_duration []
 let g_connections = Metrics.Gauge.labels m_connections []
+let g_spans_dropped = Metrics.Gauge.labels m_spans_dropped []
+let c_access_sampled = Metrics.Counter.labels m_access_dropped [ "sampled" ]
+
+let c_access_write_error =
+  Metrics.Counter.labels m_access_dropped [ "write_error" ]
+
+let c_access_written = Metrics.Counter.labels m_access_written []
+
+(* The stage vocabulary is closed (DESIGN.md §11); resolve the handles
+   once. *)
+let stage_names =
+  [ "read_frame"; "decode"; "parse"; "store_lookup"; "simulate";
+    "single_flight_wait"; "encode"; "write_reply" ]
+
+let h_stages =
+  List.map (fun s -> (s, Metrics.Histogram.labels m_stage [ s ])) stage_names
+
+let observe_stage (s : Rctx.stage) =
+  match List.assoc_opt s.Rctx.sname h_stages with
+  | Some h -> Metrics.Histogram.observe h (int_of_float s.Rctx.sdur_us)
+  | None -> ()
+
+(* Everything around the payload: magic, length word, CRC word. *)
+let frame_overhead = String.length Protocol.magic + 16
 
 (* ---- bounded per-connection queue ----------------------------------- *)
 
 type queue_item =
-  | Handle of Protocol.request
-  | Refuse of Protocol.error_code * string
+  | Handle of Protocol.request * Protocol.trace_context option * Rctx.t
+  | Refuse of Protocol.error_code * string * Rctx.t
       (** Reply with a typed error without executing anything. *)
 
 type conn = {
   cid : int;
   fd : Unix.file_descr;
+  peer : string;
   q : queue_item Queue.t;
   qmu : Mutex.t;
   not_full : Condition.t;
@@ -61,16 +113,30 @@ type conn = {
   mutable dead : bool;  (* write side failed; both sides stop *)
 }
 
+(* Returns the queue depth at admission (0 = handler was idle) — the
+   congestion signal the access log records per request. *)
 let enqueue conn item =
   Mutex.lock conn.qmu;
   while Queue.length conn.q >= conn.max_pending && not conn.dead do
     Condition.wait conn.not_full conn.qmu
   done;
-  if not conn.dead then begin
-    Queue.add item conn.q;
-    Condition.signal conn.not_empty
-  end;
-  Mutex.unlock conn.qmu
+  let depth =
+    if conn.dead then 0
+    else begin
+      let depth = Queue.length conn.q in
+      Queue.add item conn.q;
+      Condition.signal conn.not_empty;
+      depth
+    end
+  in
+  Mutex.unlock conn.qmu;
+  depth
+
+let queue_depth conn =
+  Mutex.lock conn.qmu;
+  let d = Queue.length conn.q in
+  Mutex.unlock conn.qmu;
+  d
 
 let close_queue conn =
   Mutex.lock conn.qmu;
@@ -103,6 +169,25 @@ let kill_conn conn =
   (* Wake a reader blocked in [read]. *)
   try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
 
+(* ---- access log ----------------------------------------------------- *)
+
+type access = {
+  ach : out_channel;
+  aclose : bool;  (* close on shutdown ("-" = stdout stays open) *)
+  amu : Mutex.t;
+  asample : int;  (* write every Nth request (1 = all) *)
+  mutable aseq : int;
+}
+
+let open_access_log ~path ~sample =
+  if sample < 1 then
+    invalid_arg "Serve.Server.create: access_log_sample must be >= 1";
+  let ach, aclose =
+    if path = "-" then (stdout, false)
+    else (open_out_gen [ Open_append; Open_creat ] 0o644 path, true)
+  in
+  { ach; aclose; amu = Mutex.create (); asample = sample; aseq = 0 }
+
 (* ---- server state --------------------------------------------------- *)
 
 type t = {
@@ -114,6 +199,7 @@ type t = {
   max_pending : int;
   server_version : string;
   started : float;
+  access : access option;
   stopping : bool Atomic.t;
   conns_mu : Mutex.t;
   mutable conns : (conn * Thread.t) list;
@@ -158,14 +244,20 @@ let clear_stale_unix_socket path =
   end
 
 let create ?(server_version = "loclab/1.0.0")
-    ?(max_pending = default_max_pending) ?(jobs = 1) ?store
-    ~listen:requested () =
+    ?(max_pending = default_max_pending) ?(jobs = 1) ?store ?access_log
+    ?(access_log_sample = 1) ?(slow_capacity = 8) ~listen:requested () =
   if max_pending < 1 then
     invalid_arg "Serve.Server.create: max_pending must be >= 1";
   (* A dead client mid-write must surface as EPIPE, not kill the
      process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Metrics.set_enabled Metrics.default true;
+  Rctx.set_enabled true;
+  Rctx.Slow.configure ~capacity:slow_capacity ();
+  let access =
+    Option.map (fun path -> open_access_log ~path ~sample:access_log_sample)
+      access_log
+  in
   let listen_fd, listen_addr, sock_path =
     match requested with
     | Protocol.Unix_path path ->
@@ -196,6 +288,7 @@ let create ?(server_version = "loclab/1.0.0")
     max_pending;
     server_version;
     started = Unix.gettimeofday ();
+    access;
     stopping = Atomic.make false;
     conns_mu = Mutex.create ();
     conns = [];
@@ -222,6 +315,31 @@ let stats t =
     p50_us = Metrics.Histogram.quantile h_duration 0.50;
     p99_us = Metrics.Histogram.quantile h_duration 0.99 }
 
+let access_log_write t ?(force = false) fin =
+  match t.access with
+  | None -> ()
+  | Some a ->
+      Mutex.lock a.amu;
+      let n = a.aseq in
+      a.aseq <- n + 1;
+      let take = force || a.asample <= 1 || n mod a.asample = 0 in
+      (if not take then Metrics.Counter.inc c_access_sampled
+       else
+         match
+           output_string a.ach (Export.to_string (Rctx.to_json fin));
+           output_char a.ach '\n';
+           flush a.ach
+         with
+         | () -> Metrics.Counter.inc c_access_written
+         | exception Sys_error _ -> Metrics.Counter.inc c_access_write_error);
+      Mutex.unlock a.amu
+
+(* The single place every scrape funnels through, so derived gauges are
+   fresh on both the binary Metrics request and HTTP GET /metrics. *)
+let prometheus_text () =
+  Metrics.Gauge.set g_spans_dropped (Telemetry.Span.dropped ());
+  Metrics.to_prometheus (Metrics.snapshot Metrics.default)
+
 (* ---- request execution ---------------------------------------------- *)
 
 let check_scale scale =
@@ -234,28 +352,43 @@ let check_scale scale =
 (* Deduplicate identical concurrent work: the first arrival schedules
    the computation on the pool, later arrivals await the same future.
    The table entry lives exactly as long as the computation, so a
-   completed (or failed) key recomputes freshly next time. *)
-let single_flight t key compute =
+   completed (or failed) key recomputes freshly next time.  The await
+   is the request's dominant stage: "simulate" for the leader,
+   "single_flight_wait" for a deduplicated follower. *)
+let single_flight t rctx key compute =
   Mutex.lock t.sf_mu;
-  let fut, mine =
-    match Hashtbl.find_opt t.sf key with
-    | Some fut -> (fut, false)
-    | None ->
-        let fut = Exec.Pool.async t.pool compute in
-        Hashtbl.replace t.sf key fut;
-        (fut, true)
-  in
-  Mutex.unlock t.sf_mu;
-  Fun.protect
-    ~finally:(fun () ->
-      if mine then begin
-        Mutex.lock t.sf_mu;
-        Hashtbl.remove t.sf key;
-        Mutex.unlock t.sf_mu
-      end)
-    (fun () -> Exec.Pool.await fut)
+  match Hashtbl.find_opt t.sf key with
+  | Some fut ->
+      Mutex.unlock t.sf_mu;
+      Rctx.stage rctx "single_flight_wait" (fun () -> Exec.Pool.await fut)
+  | None ->
+      (* The leader's stage must wrap the dispatch too: a pool without
+         worker domains (jobs = 1) runs the task inline in [async], so
+         timing only the [await] would attribute the whole simulation
+         to nothing. *)
+      Rctx.stage rctx "simulate" (fun () ->
+          let fut = Exec.Pool.async t.pool compute in
+          Hashtbl.replace t.sf key fut;
+          Mutex.unlock t.sf_mu;
+          Fun.protect
+            ~finally:(fun () ->
+              Mutex.lock t.sf_mu;
+              Hashtbl.remove t.sf key;
+              Mutex.unlock t.sf_mu)
+            (fun () -> Exec.Pool.await fut))
 
-let run_cell t ~program ~allocator ~scale =
+(* Store consult shared by the warm fast paths: answer straight from
+   the handler thread without touching the pool. *)
+let store_find t rctx ~digest =
+  Rctx.stage rctx "store_lookup" (fun () ->
+      match t.store with
+      | None -> None
+      | Some store -> (
+          match Store.find store ~digest with
+          | Store.Hit payload -> Some payload
+          | Store.Miss | Store.Corrupt _ -> None))
+
+let run_cell t rctx ~program ~allocator ~scale =
   match check_scale scale with
   | Result.Error _ as e -> e
   | Result.Ok () -> (
@@ -279,38 +412,50 @@ let run_cell t ~program ~allocator ~scale =
               Core.Artifact.digest ~program ~allocator ~scale
                 ~seed:profile.Workload.Profile.seed
             in
-            let artifact, was_warm =
-              single_flight t digest (fun () ->
-                  (* Warm path: hand back the store's verified payload
-                     bytes themselves.  Cold path: simulate through
-                     Core.Runs (which writes the same bytes through the
-                     store), then encode — Artifact.encode is exactly
-                     what the store persists, so warm and cold replies
-                     are byte-identical for the same cell. *)
-                  let stored =
-                    match t.store with
-                    | None -> None
-                    | Some store -> (
-                        match Store.find store ~digest with
-                        | Store.Hit payload -> Some payload
-                        | Store.Miss | Store.Corrupt _ -> None)
-                  in
-                  match stored with
-                  | Some payload -> (payload, true)
-                  | None ->
-                      let runs =
-                        Core.Runs.create ~scale ?store:t.store ()
+            Rctx.set_cell rctx digest;
+            (* Warm path: hand back the store's verified payload bytes
+               themselves, no pool dispatch.  Cold path: single-flight
+               a simulation through Core.Runs (which writes the same
+               bytes through the store), then encode — Artifact.encode
+               is exactly what the store persists, so warm and cold
+               replies are byte-identical for the same cell. *)
+            match store_find t rctx ~digest with
+            | Some payload ->
+                Atomic.incr t.warm;
+                Rctx.set_warm rctx true;
+                Result.Ok (Protocol.Cell_ok { digest; artifact = payload })
+            | None ->
+                let artifact, was_warm =
+                  single_flight t rctx digest (fun () ->
+                      (* Re-check inside the flight: a follower that
+                         becomes a fresh leader after the previous
+                         flight completed finds the store warm. *)
+                      let stored =
+                        match t.store with
+                        | None -> None
+                        | Some store -> (
+                            match Store.find store ~digest with
+                            | Store.Hit payload -> Some payload
+                            | Store.Miss | Store.Corrupt _ -> None)
                       in
-                      let art =
-                        Core.Runs.get runs ~profile:program ~allocator
-                      in
-                      (Core.Artifact.encode art, false))
-            in
-            if was_warm then Atomic.incr t.warm else Atomic.incr t.simulated;
-            Result.Ok (Protocol.Cell_ok { digest; artifact })
+                      match stored with
+                      | Some payload -> (payload, true)
+                      | None ->
+                          let runs =
+                            Core.Runs.create ~scale ?store:t.store ()
+                          in
+                          let art =
+                            Core.Runs.get runs ~profile:program ~allocator
+                          in
+                          (Core.Artifact.encode art, false))
+                in
+                if was_warm then Atomic.incr t.warm
+                else Atomic.incr t.simulated;
+                Rctx.set_warm rctx was_warm;
+                Result.Ok (Protocol.Cell_ok { digest; artifact })
           end)
 
-let run_experiment t ~id ~scale =
+let run_experiment t rctx ~id ~scale =
   match check_scale scale with
   | Result.Error _ as e -> e
   | Result.Ok () -> (
@@ -320,8 +465,9 @@ let run_experiment t ~id ~scale =
             (Protocol.Unknown_key, Printf.sprintf "unknown experiment %S" id)
       | _ ->
           let key = Printf.sprintf "exp:%s:%h" id scale in
+          Rctx.set_cell rctx key;
           let text, _ =
-            single_flight t key (fun () ->
+            single_flight t rctx key (fun () ->
                 (* jobs:1 inside the request: the request itself already
                    occupies a pool worker, so nesting another fan-out
                    would oversubscribe the machine. *)
@@ -332,43 +478,57 @@ let run_experiment t ~id ~scale =
           in
           Result.Ok (Protocol.Report_ok text))
 
-let run_ingest t ~format ~trace =
+let run_ingest t rctx ~format ~trace =
   match Memsim.Trace.Source.format_of_string format with
   | Result.Error msg -> Result.Error (Protocol.Bad_request, msg)
   | Result.Ok fmt -> (
       (* Parse once up front so a malformed capture is a typed
          Bad_request, not an Internal from inside the single-flight. *)
-      match Core.Runs.trace_ident ~format:fmt ~data:trace with
+      match
+        Rctx.stage rctx "parse" (fun () ->
+            Core.Runs.trace_ident ~format:fmt ~data:trace)
+      with
       | exception Failure msg -> Result.Error (Protocol.Bad_request, msg)
-      | _events, ident ->
+      | _events, ident -> (
           let digest = Core.Runs.trace_digest ~ident in
-          let artifact, was_warm =
-            single_flight t digest (fun () ->
-                (* Same warm/cold contract as run_cell: the store's
-                   verified bytes when the event stream was seen before
-                   (under any capture format), a fresh simulation
-                   written through otherwise. *)
-                let stored =
-                  match t.store with
-                  | None -> None
-                  | Some store -> (
-                      match Store.find store ~digest with
-                      | Store.Hit payload -> Some payload
-                      | Store.Miss | Store.Corrupt _ -> None)
-                in
-                match stored with
-                | Some payload -> (payload, true)
-                | None ->
-                    (* jobs:1 inside the request: the request already
-                       occupies a pool worker (see run_experiment). *)
-                    let runs = Core.Runs.create ?store:t.store () in
-                    let art = Core.Runs.ingest runs ~format:fmt ~data:trace in
-                    (Core.Artifact.encode art, false))
-          in
-          if was_warm then Atomic.incr t.warm else Atomic.incr t.simulated;
-          Result.Ok (Protocol.Cell_ok { digest; artifact }))
+          Rctx.set_cell rctx digest;
+          (* Same warm/cold contract as run_cell: the store's verified
+             bytes when the event stream was seen before (under any
+             capture format), a fresh simulation written through
+             otherwise. *)
+          match store_find t rctx ~digest with
+          | Some payload ->
+              Atomic.incr t.warm;
+              Rctx.set_warm rctx true;
+              Result.Ok (Protocol.Cell_ok { digest; artifact = payload })
+          | None ->
+              let artifact, was_warm =
+                single_flight t rctx digest (fun () ->
+                    let stored =
+                      match t.store with
+                      | None -> None
+                      | Some store -> (
+                          match Store.find store ~digest with
+                          | Store.Hit payload -> Some payload
+                          | Store.Miss | Store.Corrupt _ -> None)
+                    in
+                    match stored with
+                    | Some payload -> (payload, true)
+                    | None ->
+                        (* jobs:1 inside the request: the request
+                           already occupies a pool worker (see
+                           run_experiment). *)
+                        let runs = Core.Runs.create ?store:t.store () in
+                        let art =
+                          Core.Runs.ingest runs ~format:fmt ~data:trace
+                        in
+                        (Core.Artifact.encode art, false))
+              in
+              if was_warm then Atomic.incr t.warm else Atomic.incr t.simulated;
+              Rctx.set_warm rctx was_warm;
+              Result.Ok (Protocol.Cell_ok { digest; artifact })))
 
-let execute t (req : Protocol.request) : Protocol.response =
+let execute t rctx (req : Protocol.request) : Protocol.response =
   match
     match req with
     | Protocol.Health ->
@@ -377,14 +537,11 @@ let execute t (req : Protocol.request) : Protocol.response =
              { server_version = t.server_version;
                protocol_version = Protocol.version })
     | Protocol.Stats -> Result.Ok (Protocol.Stats_ok (stats t))
-    | Protocol.Metrics ->
-        Result.Ok
-          (Protocol.Metrics_ok
-             (Metrics.to_prometheus (Metrics.snapshot Metrics.default)))
+    | Protocol.Metrics -> Result.Ok (Protocol.Metrics_ok (prometheus_text ()))
     | Protocol.Run_cell { program; allocator; scale } ->
-        run_cell t ~program ~allocator ~scale
-    | Protocol.Run_experiment { id; scale } -> run_experiment t ~id ~scale
-    | Protocol.Ingest { format; trace } -> run_ingest t ~format ~trace
+        run_cell t rctx ~program ~allocator ~scale
+    | Protocol.Run_experiment { id; scale } -> run_experiment t rctx ~id ~scale
+    | Protocol.Ingest { format; trace } -> run_ingest t rctx ~format ~trace
   with
   | Result.Ok resp -> resp
   | Result.Error (code, message) -> Protocol.Error { code; message }
@@ -397,7 +554,7 @@ let execute t (req : Protocol.request) : Protocol.response =
 
 (* ---- connection threads --------------------------------------------- *)
 
-let send_response t conn resp =
+let send_response t conn rctx ?trace resp =
   (match resp with
   | Protocol.Error { code; _ } ->
       Atomic.incr t.errors;
@@ -406,7 +563,12 @@ let send_response t conn resp =
            [ Protocol.error_code_to_string code ])
   | _ -> ());
   Atomic.incr t.requests;
-  try Protocol.write_frame conn.fd (Protocol.encode_response resp)
+  let payload =
+    Rctx.stage rctx "encode" (fun () -> Protocol.encode_response ?trace resp)
+  in
+  Rctx.add_bytes_out rctx (String.length payload + frame_overhead);
+  try Rctx.stage rctx "write_reply" (fun () ->
+          Protocol.write_frame conn.fd payload)
   with Unix.Unix_error _ | Sys_error _ -> kill_conn conn
 
 let handler_loop t conn =
@@ -414,71 +576,124 @@ let handler_loop t conn =
     match dequeue conn with
     | None -> ()
     | Some item ->
-        let t0 = Unix.gettimeofday () in
         Atomic.incr t.inflight;
-        let kind, resp =
+        let kind, resp, trace, rctx =
           match item with
-          | Refuse (code, message) ->
-              ("refused", Protocol.Error { code; message })
-          | Handle req -> (Protocol.request_kind req, execute t req)
+          | Refuse (code, message, rctx) ->
+              ("refused", Protocol.Error { code; message }, None, rctx)
+          | Handle (req, trace, rctx) ->
+              (Protocol.request_kind req, execute t rctx req, trace, rctx)
         in
         Atomic.decr t.inflight;
         Metrics.Counter.inc (Metrics.Counter.labels m_requests [ kind ]);
-        Metrics.Histogram.observe h_duration
-          (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
-        send_response t conn resp;
+        Rctx.set_outcome rctx
+          (match resp with
+          | Protocol.Error { code; _ } -> Protocol.error_code_to_string code
+          | _ -> "ok");
+        (* Echo the trace context — with the adopted (possibly
+           re-minted) id — to version-2 requesters only; version-1
+           clients get version-1 bytes. *)
+        let echo =
+          Option.map
+            (fun (tc : Protocol.trace_context) ->
+              { tc with Protocol.trace_id = Rctx.id rctx })
+            trace
+        in
+        send_response t conn rctx ?trace:echo resp;
+        let fin = Rctx.finish rctx in
+        Metrics.Histogram.observe h_duration (int_of_float fin.Rctx.total_us);
+        List.iter observe_stage fin.Rctx.stages;
+        let force =
+          match trace with
+          | Some tc ->
+              tc.Protocol.trace_flags land Protocol.flag_force_sample <> 0
+          | None -> false
+        in
+        access_log_write t ~force fin;
         go ()
   in
   go ()
 
 let reader_loop t conn ~first =
+  (* Stamp the pre-context stages (the id isn't known until decode) and
+     hand the context to the handler through the queue — the mutex
+     gives the happens-before the Rctx ownership contract needs. *)
+  let admit rctx item =
+    let depth = enqueue conn item in
+    Rctx.set_queue_depth rctx depth
+  in
+  let refuse ?(read_span = None) code reason =
+    let rctx = Rctx.create ~kind:"refused" ~peer:conn.peer () in
+    (match read_span with
+    | Some (start_us, dur_us) ->
+        Rctx.record_stage rctx "read_frame" ~start_us ~dur_us
+    | None -> ());
+    admit rctx (Refuse (code, reason, rctx))
+  in
   let rec go first =
-    if not conn.dead then
+    if not conn.dead then begin
+      let r0 = Telemetry.Span.now_us () in
       match Protocol.read_frame ~first conn.fd with
       | Result.Ok None -> () (* clean EOF *)
       | Result.Error reason ->
           (* A torn or garbage frame leaves the stream unsynchronised:
              answer with a typed error, then stop reading. *)
-          enqueue conn (Refuse (Protocol.Bad_request, reason))
+          refuse
+            ~read_span:(Some (r0, Telemetry.Span.now_us () -. r0))
+            Protocol.Bad_request reason
       | Result.Ok (Some payload) -> (
-          match Protocol.decode_request payload with
+          let r1 = Telemetry.Span.now_us () in
+          let decoded = Protocol.decode_request payload in
+          let r2 = Telemetry.Span.now_us () in
+          match decoded with
           | Result.Error (Protocol.Unsupported v) ->
               (* The frame was sound — only the payload version is
                  foreign — so the stream is still synchronised and the
                  connection survives. *)
-              enqueue conn
-                (Refuse
-                   (Protocol.Unsupported_version,
-                    Printf.sprintf
-                      "this server speaks protocol version %d, not %d"
-                      Protocol.version v));
+              refuse
+                ~read_span:(Some (r0, r1 -. r0))
+                Protocol.Unsupported_version
+                (Printf.sprintf
+                   "this server speaks protocol versions %d-%d, not %d"
+                   Protocol.min_version Protocol.version v);
               go ""
           | Result.Error (Protocol.Malformed msg) ->
-              enqueue conn (Refuse (Protocol.Bad_request, msg));
+              refuse ~read_span:(Some (r0, r1 -. r0)) Protocol.Bad_request msg;
               go ""
-          | Result.Ok req ->
+          | Result.Ok (req, trace) ->
+              let rctx =
+                Rctx.create
+                  ?id:(Option.map (fun tc -> tc.Protocol.trace_id) trace)
+                  ~kind:(Protocol.request_kind req) ~peer:conn.peer ()
+              in
+              Rctx.record_stage rctx "read_frame" ~start_us:r0
+                ~dur_us:(r1 -. r0);
+              Rctx.record_stage rctx "decode" ~start_us:r1 ~dur_us:(r2 -. r1);
+              Rctx.add_bytes_in rctx (String.length payload + frame_overhead);
               if Atomic.get t.stopping then
-                enqueue conn
-                  (Refuse (Protocol.Overloaded, "server is shutting down"))
+                admit rctx
+                  (Refuse
+                     (Protocol.Overloaded, "server is shutting down", rctx))
                 (* and stop: drain what was accepted, refuse the rest *)
               else begin
-                enqueue conn (Handle req);
+                admit rctx (Handle (req, trace, rctx));
                 go ""
               end)
+    end
   in
   go first
 
 (* ---- plain-HTTP observability --------------------------------------- *)
 
-(* GET /metrics and GET /health answer plain HTTP on the same port, so
-   a Prometheus scraper or a shell `curl --unix-socket` needs no custom
-   client.  Everything else about the connection stays the binary
-   protocol. *)
-let http_response status body =
+(* GET /metrics, /health and /status answer plain HTTP on the same
+   port, so a Prometheus scraper, `loclab top` or a shell
+   `curl --unix-socket` needs no custom client.  Everything else about
+   the connection stays the binary protocol. *)
+let http_response ?(content_type = "text/plain; version=0.0.4") status body =
   Printf.sprintf
-    "HTTP/1.1 %s\r\nContent-Type: text/plain; version=0.0.4\r\n\
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\n\
      Content-Length: %d\r\nConnection: close\r\n\r\n%s"
-    status (String.length body) body
+    status content_type (String.length body) body
 
 let rec write_all fd s pos len =
   if len > 0 then begin
@@ -499,9 +714,103 @@ let contains_blank_line s =
   in
   go 0
 
+(* The live-introspection document behind GET /status: everything a
+   dashboard needs in one scrape, rendered from the same counters the
+   binary Stats request reads plus the request-scoped state (per-stage
+   quantiles, slowest requests, per-connection queue depths, in-flight
+   single-flight keys). *)
+let status_json t =
+  let stats = stats t in
+  let q h p = Metrics.Histogram.quantile h p in
+  let stages =
+    List.filter_map
+      (fun (name, h) ->
+        let count = Metrics.Histogram.count h in
+        if count = 0 then None
+        else
+          Some
+            (Export.Obj
+               [ ("stage", Export.String name);
+                 ("count", Export.Int count);
+                 ("p50_us", Export.Float (q h 0.50));
+                 ("p99_us", Export.Float (q h 0.99)) ]))
+      h_stages
+  in
+  let queues =
+    Mutex.lock t.conns_mu;
+    let conns = t.conns in
+    Mutex.unlock t.conns_mu;
+    List.rev_map
+      (fun (c, _) ->
+        Export.Obj
+          [ ("cid", Export.Int c.cid);
+            ("peer", Export.String c.peer);
+            ("pending", Export.Int (queue_depth c)) ])
+      conns
+  in
+  let single_flight =
+    Mutex.lock t.sf_mu;
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.sf [] in
+    Mutex.unlock t.sf_mu;
+    List.map (fun k -> Export.String k) keys
+  in
+  let slow =
+    List.map (fun fin -> Rctx.to_json fin) (Rctx.Slow.snapshot ())
+  in
+  let access =
+    match t.access with
+    | None -> Export.Null
+    | Some a ->
+        Export.Obj
+          [ ("sample", Export.Int a.asample);
+            ("written", Export.Int (Metrics.Counter.value c_access_written));
+            ( "sampled_out",
+              Export.Int (Metrics.Counter.value c_access_sampled) );
+            ( "write_errors",
+              Export.Int (Metrics.Counter.value c_access_write_error) ) ]
+  in
+  Export.to_string
+    (Export.Obj
+       [ ( "server",
+           Export.Obj
+             [ ("version", Export.String t.server_version);
+               ("protocol_min", Export.Int Protocol.min_version);
+               ("protocol_max", Export.Int Protocol.version);
+               ( "artifact_schema",
+                 Export.Int Core.Artifact.schema_version );
+               ("started", Export.String (Rctx.iso8601 t.started));
+               ("uptime_seconds", Export.Float stats.Protocol.uptime_seconds)
+             ] );
+         ( "requests",
+           Export.Obj
+             [ ("total", Export.Int stats.Protocol.requests);
+               ("errors", Export.Int stats.Protocol.errors);
+               ("warm_cells", Export.Int stats.Protocol.warm_cells);
+               ("simulated_cells", Export.Int stats.Protocol.simulated_cells);
+               ("inflight", Export.Int stats.Protocol.inflight) ] );
+         ( "latency_us",
+           Export.Obj
+             [ ("count", Export.Int (Metrics.Histogram.count h_duration));
+               ("mean", Export.Float (Metrics.Histogram.mean h_duration));
+               ("p50", Export.Float (q h_duration 0.50));
+               ("p90", Export.Float (q h_duration 0.90));
+               ("p99", Export.Float (q h_duration 0.99)) ] );
+         ("stages", Export.List stages);
+         ( "connections",
+           Export.Obj
+             [ ("open", Export.Int stats.Protocol.connections);
+               ("queues", Export.List queues) ] );
+         ("single_flight", Export.List single_flight);
+         ("slow_requests", Export.List slow);
+         ( "spans",
+           Export.Obj
+             [ ("recorded", Export.Int (Telemetry.Span.recorded ()));
+               ("dropped", Export.Int (Telemetry.Span.dropped ())) ] );
+         ("access_log", access) ])
+
 let serve_http t conn ~first =
   (* Drain the request head (bounded) so the client sees our response
-     rather than a reset, then answer by path. *)
+     rather than a reset, then answer by method and path. *)
   let buf = Buffer.create 256 in
   Buffer.add_string buf first;
   let chunk = Bytes.create 1024 in
@@ -517,34 +826,68 @@ let serve_http t conn ~first =
   in
   drain ();
   let head = Buffer.contents buf in
-  let path =
-    match String.split_on_char ' ' head with
-    | _meth :: path :: _ -> path
-    | _ -> "/"
+  let request_line =
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> head
   in
-  let resp =
-    match path with
-    | "/metrics" ->
-        Metrics.Counter.inc (Metrics.Counter.labels m_requests [ "http" ]);
-        Atomic.incr t.requests;
-        http_response "200 OK"
-          (Metrics.to_prometheus (Metrics.snapshot Metrics.default))
-    | "/health" ->
-        Metrics.Counter.inc (Metrics.Counter.labels m_requests [ "http" ]);
-        Atomic.incr t.requests;
-        http_response "200 OK" "ok\n"
-    | _ -> http_response "404 Not Found" "only /metrics and /health live here\n"
+  let meth, path =
+    match String.split_on_char ' ' request_line with
+    | meth :: path :: _ when path <> "" -> (meth, path)
+    | _ -> ("", "")
   in
-  try write_all conn.fd resp 0 (String.length resp)
-  with Unix.Unix_error _ -> ()
+  let rctx = Rctx.create ~kind:"http" ~peer:conn.peer () in
+  Rctx.add_bytes_in rctx (String.length head);
+  Rctx.set_cell rctx (if path = "" then request_line else path);
+  let status, resp =
+    if path = "" then
+      ("400", http_response "400 Bad Request" "malformed request line\n")
+    else if meth <> "GET" then
+      ( "405",
+        http_response "405 Method Not Allowed"
+          (Printf.sprintf "method %s not allowed (GET only)\n" meth) )
+    else
+      match path with
+      | "/metrics" -> ("200", http_response "200 OK" (prometheus_text ()))
+      | "/health" -> ("200", http_response "200 OK" "ok\n")
+      | "/status" ->
+          ( "200",
+            http_response ~content_type:"application/json" "200 OK"
+              (status_json t ^ "\n") )
+      | _ ->
+          ( "404",
+            http_response "404 Not Found"
+              "only /metrics, /health and /status live here\n" )
+  in
+  Metrics.Counter.inc (Metrics.Counter.labels m_requests [ "http" ]);
+  Atomic.incr t.requests;
+  Rctx.set_outcome rctx status;
+  Rctx.add_bytes_out rctx (String.length resp);
+  (try Rctx.stage rctx "write_reply" (fun () ->
+           write_all conn.fd resp 0 (String.length resp))
+   with Unix.Unix_error _ -> ());
+  access_log_write t (Rctx.finish rctx)
 
 (* ---- connection lifecycle ------------------------------------------- *)
 
-(* Each connection starts as one thread that sniffs the first bytes:
-   "GET " means plain HTTP (answered inline, then close); anything else
-   is treated as the binary protocol — the thread becomes the reader
-   and spawns its handler twin. *)
+(* Each connection starts as one thread that sniffs the first bytes: an
+   HTTP method prefix means plain HTTP (answered inline, then close);
+   anything else is treated as the binary protocol — the thread becomes
+   the reader and spawns its handler twin. *)
 let sniff_bytes = 4
+
+(* The 4-byte prefixes of the HTTP methods worth answering (GET with a
+   response, the rest with a 405); none collides with the binary magic
+   "LOCS...". *)
+let http_prefixes =
+  [ "GET "; "HEAD"; "POST"; "PUT "; "DELE"; "OPTI"; "PATC" ]
+
+let peer_string fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | exception Unix.Unix_error _ -> "unknown"
 
 let conn_main t conn =
   let finally () =
@@ -567,7 +910,8 @@ let conn_main t conn =
       in
       match sniff 0 with
       | None -> () (* connected and left *)
-      | Some "GET " -> serve_http t conn ~first:"GET "
+      | Some first when List.mem first http_prefixes ->
+          serve_http t conn ~first
       | Some first ->
           let handler = Thread.create (fun () -> handler_loop t conn) () in
           reader_loop t conn ~first;
@@ -582,6 +926,7 @@ let accept_conn t fd =
     let conn =
       { cid;
         fd;
+        peer = peer_string fd;
         q = Queue.create ();
         qmu = Mutex.create ();
         not_full = Condition.create ();
@@ -622,6 +967,10 @@ let drain_and_close t =
   List.iter (fun (_, thread) -> Thread.join thread) conns;
   Exec.Pool.shutdown t.pool;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.access with
+  | Some a when a.aclose -> ( try close_out a.ach with Sys_error _ -> ())
+  | Some a -> ( try flush a.ach with Sys_error _ -> ())
+  | None -> ());
   match t.sock_path with
   | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | None -> ()

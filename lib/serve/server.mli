@@ -16,10 +16,23 @@
     replies for the same cell are byte-identical, because the store
     persists exactly [Core.Artifact.encode].
 
-    The same port also answers plain [GET /metrics] (Prometheus text)
-    and [GET /health], so a scraper or shell needs no custom client:
-    the first bytes of each connection decide HTTP versus the binary
-    protocol. *)
+    {b Request-scoped tracing.}  Every request is tracked by a
+    {!Telemetry.Rctx}: the reader stamps [read_frame]/[decode] and
+    adopts the client's request id (or mints one), the execution path
+    stamps [parse]/[store_lookup]/[simulate]/[single_flight_wait], and
+    the reply path stamps [encode]/[write_reply].  Completed requests
+    feed the per-stage latency histograms
+    ([loclab_serve_stage_duration_us]), the slow-request table, the
+    span ring, and — when configured — a JSON-lines access log.
+
+    The same port also answers plain [GET /metrics] (Prometheus text),
+    [GET /health], and [GET /status] (a JSON introspection document:
+    versions, RED counters, latency and per-stage quantiles,
+    per-connection queue depths, the single-flight table, the slowest
+    requests), so a scraper, [loclab top] or a shell needs no custom
+    client: the first bytes of each connection decide HTTP versus the
+    binary protocol.  Non-GET HTTP methods get a [405], unknown paths a
+    [404]. *)
 
 type t
 
@@ -28,19 +41,28 @@ val create :
   ?max_pending:int ->
   ?jobs:int ->
   ?store:Store.t ->
+  ?access_log:string ->
+  ?access_log_sample:int ->
+  ?slow_capacity:int ->
   listen:Protocol.addr ->
   unit ->
   t
 (** Bind and listen (the socket accepts from the moment [create]
     returns; {!run} starts answering).  [max_pending] (default 32)
     bounds each connection's decoded-but-unanswered requests; [jobs]
-    (default 1) sizes the worker-domain pool.  A stale AF_UNIX socket
-    file (nothing answering on it) is replaced; a live one is an error.
-    Enables the default metrics registry and ignores [SIGPIPE]
-    (process-wide).
+    (default 1) sizes the worker-domain pool.  [access_log] names the
+    JSON-lines access-log destination ([-] = stdout; absent = no log);
+    [access_log_sample] (default 1) writes every Nth request — a
+    request whose trace context sets {!Protocol.flag_force_sample} is
+    always written.  [slow_capacity] (default 8) sizes the
+    slowest-requests table served under [/status].  A stale AF_UNIX
+    socket file (nothing answering on it) is replaced; a live one is an
+    error.  Enables the default metrics registry and request tracing,
+    and ignores [SIGPIPE] (process-wide).
     @raise Unix.Unix_error when binding fails,
     @raise Failure when the unix socket is already being served,
-    @raise Invalid_argument when [max_pending < 1]. *)
+    @raise Invalid_argument when [max_pending < 1] or
+    [access_log_sample < 1]. *)
 
 val listen_addr : t -> Protocol.addr
 (** The bound address — for [Tcp] with port 0, the real port. *)
@@ -49,8 +71,9 @@ val run : t -> unit
 (** Accept and answer until {!shutdown}, then drain: open connections
     stop reading, already-accepted requests complete and their replies
     are written, worker domains and connection threads are joined, the
-    listen socket is closed and an AF_UNIX socket file unlinked.
-    Blocks until the drain completes. *)
+    listen socket is closed, an AF_UNIX socket file unlinked and the
+    access log closed (flushed, for stdout).  Blocks until the drain
+    completes. *)
 
 val shutdown : t -> unit
 (** Ask {!run} to stop.  Idempotent, lock-free and async-signal-safe —
@@ -59,3 +82,8 @@ val shutdown : t -> unit
 
 val stats : t -> Protocol.stats
 (** The live counters the [Stats] request answers with. *)
+
+val status_json : t -> string
+(** The [/status] introspection document (one compact JSON object) —
+    exposed for the CLI and tests; the HTTP route serves exactly
+    this. *)

@@ -104,6 +104,11 @@ let instant ?(args = []) ~cat name =
   if st.on then
     push { name; cat; ph = 'i'; ts = now_us (); dur = 0.; tid = tid (); args }
 
+(* A complete span whose interval was measured elsewhere (e.g. a
+   request stage timed on another thread and recorded at finish). *)
+let complete ?(args = []) ~cat name ~ts ~dur =
+  if st.on then push { name; cat; ph = 'X'; ts; dur; tid = tid (); args }
+
 (* ---- Chrome trace-event export ------------------------------------- *)
 
 (* Ring contents, oldest first. *)

@@ -30,6 +30,13 @@ val with_span :
 val instant : ?args:(string * string) list -> cat:string -> string -> unit
 (** A zero-duration marker event. *)
 
+val complete :
+  ?args:(string * string) list ->
+  cat:string -> string -> ts:float -> dur:float -> unit
+(** Record a complete ("X") span whose interval was already measured
+    (timestamps in {!now_us} microseconds) — for work timed on another
+    thread and recorded after the fact, like request stages. *)
+
 val recorded : unit -> int
 (** Events currently held in the ring. *)
 

@@ -3,6 +3,7 @@
 module Metrics = Tmetrics
 module Span = Span
 module Probe = Probe
+module Rctx = Rctx
 
 let level_of_string = function
   | "quiet" -> Some None

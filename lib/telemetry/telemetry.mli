@@ -8,7 +8,9 @@
     - {!Span} — wall-clock spans in a ring buffer, exported as Chrome
       trace-event JSON for Perfetto;
     - {!Probe} — sink-pipeline taps producing trace-position time series
-      (windowed miss rates, footprint growth, reference mix).
+      (windowed miss rates, footprint growth, reference mix);
+    - {!Rctx} — request-scoped tracing for the serve layer: per-request
+      ids, stage breakdowns, and a bounded slowest-requests table.
 
     Instrumentation only counts — it never emits trace events, charges
     simulated instructions, or touches simulated memory — so enabling
@@ -18,6 +20,7 @@
 module Metrics = Tmetrics
 module Span = Span
 module Probe = Probe
+module Rctx = Rctx
 
 val setup_logging :
   ?env:string -> ?default:Logs.level option -> unit -> unit

@@ -152,6 +152,95 @@ let test_series_csv () =
   Series.add s ~name:"a" [ (1., 10.) ];
   check_str "csv" "series,x,y\na,1,10\n" (Series.to_csv s)
 
+(* ------------------------------------------------------------------ *)
+(* JSON parser (Export.of_string)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok s =
+  match Export.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%S should parse: %s" s e
+
+let parse_err s =
+  check_bool (s ^ " rejected") true
+    (match Export.of_string s with Error _ -> true | Ok _ -> false)
+
+let test_parse_scalars () =
+  check_bool "null" true (parse_ok "null" = Export.Null);
+  check_bool "true" true (parse_ok "true" = Export.Bool true);
+  check_bool "false" true (parse_ok " false " = Export.Bool false);
+  check_bool "int" true (parse_ok "42" = Export.Int 42);
+  check_bool "negative int" true (parse_ok "-7" = Export.Int (-7));
+  check_bool "float" true (parse_ok "1.5" = Export.Float 1.5);
+  check_bool "exponent is float" true (parse_ok "1e3" = Export.Float 1000.);
+  check_bool "string" true (parse_ok "\"hi\"" = Export.String "hi");
+  check_bool "escapes" true
+    (parse_ok "\"a\\n\\t\\\"b\\\\\"" = Export.String "a\n\t\"b\\");
+  check_bool "unicode escape" true
+    (parse_ok "\"\\u00e9\"" = Export.String "\xc3\xa9");
+  check_bool "surrogate pair" true
+    (parse_ok "\"\\ud83d\\ude00\"" = Export.String "\xf0\x9f\x98\x80")
+
+let test_parse_structures () =
+  check_bool "empty list" true (parse_ok "[]" = Export.List []);
+  check_bool "empty obj" true (parse_ok "{}" = Export.Obj []);
+  check_bool "nested" true
+    (parse_ok "{\"a\": [1, 2.5, null], \"b\": {\"c\": true}}"
+    = Export.Obj
+        [
+          ("a", Export.List [ Export.Int 1; Export.Float 2.5; Export.Null ]);
+          ("b", Export.Obj [ ("c", Export.Bool true) ]);
+        ])
+
+let test_parse_rejects () =
+  List.iter parse_err
+    [ ""; "nul"; "{"; "[1,"; "[1 2]"; "{\"a\"}"; "\"unterminated";
+      "1 2" (* trailing bytes *); "{'a': 1}"; "+1" ]
+
+let test_parse_round_trip () =
+  (* to_string then of_string is the identity on every shape the repo
+     emits (finite floats print with enough digits to survive). *)
+  let samples =
+    [
+      Export.Null;
+      Export.Bool true;
+      Export.Int (-123456789);
+      Export.Float 0.0625;
+      Export.String "tab\tand \"quote\" and \x01";
+      Export.List [ Export.Int 1; Export.String "x"; Export.Null ];
+      Export.Obj
+        [
+          ("stage", Export.String "simulate");
+          ("p50_us", Export.Float 131.5);
+          ("count", Export.Int 40);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      check_bool
+        ("round trip: " ^ Export.to_string j)
+        true
+        (Export.of_string (Export.to_string j) = Ok j))
+    samples
+
+let test_navigation () =
+  let j = parse_ok "{\"a\": {\"b\": 2}, \"l\": [1], \"s\": \"x\", \"f\": 3.0}" in
+  check_bool "member hit" true
+    (Option.bind (Export.member "a" j) (Export.member "b") = Some (Export.Int 2));
+  check_bool "member miss" true (Export.member "zz" j = None);
+  check_bool "to_int of float" true
+    (Option.bind (Export.member "f" j) Export.to_int_opt = Some 3);
+  check_bool "to_float of int" true
+    (Option.bind (Export.member "a" j)
+       (fun a -> Option.bind (Export.member "b" a) Export.to_float_opt)
+    = Some 2.);
+  check_bool "to_string" true
+    (Option.bind (Export.member "s" j) Export.to_string_opt = Some "x");
+  check_bool "to_list" true
+    (Option.bind (Export.member "l" j) Export.to_list_opt
+    = Some [ Export.Int 1 ])
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let () =
@@ -179,5 +268,13 @@ let () =
           tc "columns" test_series_columns;
           tc "plot renders" test_series_plot_renders;
           tc "csv" test_series_csv;
+        ] );
+      ( "json_parse",
+        [
+          tc "scalars" test_parse_scalars;
+          tc "structures" test_parse_structures;
+          tc "rejects junk" test_parse_rejects;
+          tc "round trip" test_parse_round_trip;
+          tc "navigation" test_navigation;
         ] );
     ]

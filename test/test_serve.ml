@@ -49,12 +49,14 @@ let test_addr_round_trip () =
 
 let req_round_trip r =
   match P.decode_request (P.encode_request r) with
-  | Ok r' -> check_bool "request round-trips" true (r = r')
+  | Ok (r', None) -> check_bool "request round-trips" true (r = r')
+  | Ok (_, Some _) -> Alcotest.fail "untraced request grew a trace context"
   | Error e -> Alcotest.failf "decode failed: %s" (P.decode_error_to_string e)
 
 let resp_round_trip r =
   match P.decode_response (P.encode_response r) with
-  | Ok r' -> check_bool "response round-trips" true (r = r')
+  | Ok (r', None) -> check_bool "response round-trips" true (r = r')
+  | Ok (_, Some _) -> Alcotest.fail "untraced response grew a trace context"
   | Error e -> Alcotest.failf "decode failed: %s" (P.decode_error_to_string e)
 
 let sample_stats =
@@ -107,7 +109,7 @@ let test_decode_rejects_junk () =
   check_bool "empty response payload" true (malformed (P.decode_response ""));
   (* Right version, unknown tag. *)
   let w = Codec.Writer.create () in
-  Codec.Writer.int w P.version;
+  Codec.Writer.int w P.min_version;
   Codec.Writer.int w 99;
   check_bool "unknown request tag" true
     (malformed (P.decode_request (Codec.Writer.contents w)));
@@ -142,6 +144,39 @@ let test_version_negotiation () =
     (match P.decode_response payload with
     | Error (P.Unsupported 99) -> true
     | _ -> false)
+
+let test_trace_context_round_trip () =
+  let trace = { P.trace_id = "deadbeef00112233"; trace_flags = 1 } in
+  (match P.decode_request (P.encode_request ~trace P.Health) with
+  | Ok (P.Health, Some tc) ->
+      check_string "request trace id" trace.P.trace_id tc.P.trace_id;
+      check_int "request trace flags" trace.P.trace_flags tc.P.trace_flags
+  | _ -> Alcotest.fail "traced request did not round-trip");
+  let resp = P.Report_ok "table\n" in
+  match P.decode_response (P.encode_response ~trace resp) with
+  | Ok (r, Some tc) ->
+      check_bool "traced response value" true (r = resp);
+      check_string "response trace id" trace.P.trace_id tc.P.trace_id
+  | _ -> Alcotest.fail "traced response did not round-trip"
+
+let test_untraced_encoding_is_version1 () =
+  (* Version selection is by presence: without a trace context the
+     encoder must emit byte-identical version-1 payloads, which is the
+     whole backward-compatibility story.  Pin the bytes. *)
+  let v1 tag =
+    let w = Codec.Writer.create () in
+    Codec.Writer.int w 1;
+    Codec.Writer.int w tag;
+    Codec.Writer.contents w
+  in
+  check_string "untraced Health = v1 bytes" (v1 0) (P.encode_request P.Health);
+  check_string "untraced Stats = v1 bytes" (v1 1) (P.encode_request P.Stats);
+  (* And a traced encoding announces version 2. *)
+  let traced =
+    P.encode_request ~trace:{ P.trace_id = "ab"; trace_flags = 0 } P.Health
+  in
+  let r = Codec.Reader.of_string traced in
+  check_int "traced payload version" 2 (Codec.Reader.int r)
 
 (* ------------------------------------------------------------------ *)
 (* Payload codec: properties                                          *)
@@ -183,15 +218,30 @@ let gen_response =
           string_small;
       ])
 
+let gen_trace =
+  QCheck.Gen.(
+    oneof
+      [
+        return None;
+        map2
+          (fun id flags -> Some { P.trace_id = id; trace_flags = flags })
+          (map
+             (fun n -> Printf.sprintf "%x" (abs n))
+             (int_range 0 max_int))
+          (int_range 0 3);
+      ])
+
 let prop_request_round_trip =
   QCheck.Test.make ~count:200 ~name:"request encode/decode round-trips"
-    (QCheck.make gen_request)
-    (fun r -> P.decode_request (P.encode_request r) = Ok r)
+    (QCheck.make QCheck.Gen.(pair gen_request gen_trace))
+    (fun (r, trace) ->
+      P.decode_request (P.encode_request ?trace r) = Ok (r, trace))
 
 let prop_response_round_trip =
   QCheck.Test.make ~count:200 ~name:"response encode/decode round-trips"
-    (QCheck.make gen_response)
-    (fun r -> P.decode_response (P.encode_response r) = Ok r)
+    (QCheck.make QCheck.Gen.(pair gen_response gen_trace))
+    (fun (r, trace) ->
+      P.decode_response (P.encode_response ?trace r) = Ok (r, trace))
 
 let prop_garbage_never_raises =
   (* decode_* must answer arbitrary bytes with a typed error (or, by
@@ -305,11 +355,12 @@ let fresh_paths () =
   ( Filename.concat (Filename.get_temp_dir_name ()) (tag ^ ".sock"),
     Filename.concat (Filename.get_temp_dir_name ()) (tag ^ "-store") )
 
-let with_server f =
+let with_server ?access_log ?access_log_sample f =
   let sock, store_dir = fresh_paths () in
   let store = Store.open_ store_dir in
   let server =
-    Serve.Server.create ~jobs:1 ~store ~listen:(P.Unix_path sock) ()
+    Serve.Server.create ~jobs:1 ~store ?access_log ?access_log_sample
+      ~listen:(P.Unix_path sock) ()
   in
   let runner = Thread.create Serve.Server.run server in
   Fun.protect
@@ -321,7 +372,8 @@ let with_server f =
 let rpc client req =
   match Serve.Client.request client req with
   | Ok resp -> resp
-  | Error e -> Alcotest.failf "transport error: %s" e
+  | Error e ->
+      Alcotest.failf "transport error: %s" (Serve.Client.error_to_string e)
 
 let test_integration_lifecycle () =
   with_server (fun ~sock ~store server ->
@@ -386,7 +438,7 @@ let test_integration_lifecycle () =
       (match P.read_frame fd with
       | Ok (Some payload) -> (
           match P.decode_response payload with
-          | Ok (P.Error { code = P.Unsupported_version; _ }) -> ()
+          | Ok (P.Error { code = P.Unsupported_version; _ }, _) -> ()
           | _ -> Alcotest.fail "expected Unsupported_version reply")
       | _ -> Alcotest.fail "no reply to future-version request");
       (* A torn/garbage frame gets Bad_request before the hangup. *)
@@ -397,7 +449,7 @@ let test_integration_lifecycle () =
       (match P.read_frame fd with
       | Ok (Some payload) -> (
           match P.decode_response payload with
-          | Ok (P.Error { code = P.Bad_request; _ }) -> ()
+          | Ok (P.Error { code = P.Bad_request; _ }, _) -> ()
           | _ -> Alcotest.fail "expected Bad_request reply")
       | _ -> Alcotest.fail "no reply to garbage");
       Unix.close fd;
@@ -485,6 +537,232 @@ let test_integration_ingest () =
               check_int "one warm ingest" 1 s.P.warm_cells
           | r -> Alcotest.failf "stats: unexpected %s" (P.encode_response r)))
 
+(* ------------------------------------------------------------------ *)
+(* Request tracing end to end                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* The tentpole contract: a client-supplied request id must surface in
+   the echoed trace context, the access log, the /status slow-request
+   table and the span ring — one id, four observability surfaces. *)
+let test_trace_propagation () =
+  let access_log =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "loclab-test-%d-%d-access.jsonl" (Unix.getpid ())
+         (Random.bits ()))
+  in
+  Telemetry.Rctx.Slow.reset ();
+  Telemetry.Span.reset ();
+  Telemetry.Span.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Span.set_enabled false;
+      try Sys.remove access_log with Sys_error _ -> ())
+    (fun () ->
+      with_server ~access_log (fun ~sock ~store:_ server ->
+          let id = "feedface01234567" in
+          let trace = { P.trace_id = id; trace_flags = P.flag_force_sample } in
+          Serve.Client.with_connection (P.Unix_path sock) (fun c ->
+              (match
+                 Serve.Client.request_traced ~trace c
+                   (P.Run_cell
+                      { program = "espresso"; allocator = "bsd"; scale = 0.02 })
+               with
+              | Ok (P.Cell_ok _, Some echo) ->
+                  check_string "server echoes the client id" id echo.P.trace_id
+              | Ok (P.Cell_ok _, None) ->
+                  Alcotest.fail "traced request answered without a context"
+              | Ok (r, _) ->
+                  Alcotest.failf "unexpected %s" (P.encode_response r)
+              | Error e ->
+                  Alcotest.failf "transport: %s"
+                    (Serve.Client.error_to_string e));
+              check_bool "no downgrade against our own server" false
+                (Serve.Client.downgraded c);
+              (* The handler thread writes the access-log line after the
+                 reply; a second request on the same connection
+                 serializes behind it, so once this answers the first
+                 line is on disk. *)
+              ignore (rpc c P.Health));
+          let lines =
+            let ic = open_in access_log in
+            let acc = ref [] in
+            (try
+               while true do
+                 acc := input_line ic :: !acc
+               done
+             with End_of_file -> ());
+            close_in ic;
+            !acc
+          in
+          (match List.filter (fun l -> contains l id) lines with
+          | [] -> Alcotest.fail "no access-log line carries the id"
+          | line :: _ -> (
+              match Metrics.Export.of_string line with
+              | Error msg -> Alcotest.failf "access line unparsable: %s" msg
+              | Ok json ->
+                  let field k = Metrics.Export.member k json in
+                  let str k =
+                    Option.bind (field k) Metrics.Export.to_string_opt
+                  in
+                  check_bool "request_id field" true (str "request_id" = Some id);
+                  check_bool "kind field" true (str "kind" = Some "cell");
+                  check_bool "outcome field" true (str "outcome" = Some "ok");
+                  check_bool "total_us present" true
+                    (Option.bind (field "total_us") Metrics.Export.to_float_opt
+                    <> None);
+                  check_bool "stages carries simulate" true
+                    (match field "stages" with
+                    | Some (Metrics.Export.Obj fields) ->
+                        List.mem_assoc "simulate" fields
+                        && List.mem_assoc "encode" fields
+                    | _ -> false)));
+          let status = Serve.Server.status_json server in
+          check_bool "/status slow-request table carries the id" true
+            (contains status id);
+          check_bool "span ring carries the id" true
+            (contains (Telemetry.Span.to_chrome_json ()) id)))
+
+let test_v1_client_round_trip () =
+  (* An old client is byte-for-byte an untraced encode: the v2 server
+     must answer it with a plain v1 reply, no trace context. *)
+  with_server (fun ~sock ~store:_ _server ->
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX sock);
+          P.write_frame fd (P.encode_request P.Health);
+          match P.read_frame fd with
+          | Ok (Some payload) -> (
+              match P.decode_response payload with
+              | Ok (P.Health_ok { protocol_version; _ }, None) ->
+                  check_int "server announces v2" P.version protocol_version;
+                  let r = Codec.Reader.of_string payload in
+                  check_int "reply encoded as v1" P.min_version
+                    (Codec.Reader.int r)
+              | Ok (_, Some _) ->
+                  Alcotest.fail "v1 request drew a traced reply"
+              | _ -> Alcotest.fail "undecodable reply to a v1 request")
+          | _ -> Alcotest.fail "no reply to a v1 request"))
+
+(* ------------------------------------------------------------------ *)
+(* The plain-HTTP side                                                *)
+(* ------------------------------------------------------------------ *)
+
+let http_exchange sock payload =
+  let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      ignore (Unix.write_substring fd payload 0 (String.length payload));
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_http_paths () =
+  with_server (fun ~sock ~store:_ _server ->
+      (* A method prefix with a malformed request line: 400. *)
+      let resp = http_exchange sock "GET \r\n\r\n" in
+      check_bool "malformed line -> 400" true (contains resp "400 Bad Request");
+      (* Non-GET methods are sniffed as HTTP and answered 405. *)
+      let resp = http_exchange sock "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n" in
+      check_bool "POST -> 405" true (contains resp "405 Method Not Allowed");
+      let resp = http_exchange sock "HEAD / HTTP/1.0\r\n\r\n" in
+      check_bool "HEAD -> 405" true (contains resp "405 Method Not Allowed");
+      (* Unknown path: 404 with a hint at the real routes. *)
+      let resp = http_exchange sock "GET /nope HTTP/1.0\r\n\r\n" in
+      check_bool "unknown path -> 404" true (contains resp "404 Not Found");
+      check_bool "404 names the routes" true (contains resp "/status");
+      (* /status: parseable JSON with the introspection sections. *)
+      let resp = http_exchange sock "GET /status HTTP/1.0\r\n\r\n" in
+      check_bool "/status -> 200" true (contains resp "200 OK");
+      check_bool "/status is JSON" true (contains resp "application/json");
+      let body =
+        let rec find i =
+          if i + 4 > String.length resp then
+            Alcotest.fail "no header/body split in /status response"
+          else if String.sub resp i 4 = "\r\n\r\n" then
+            String.sub resp (i + 4) (String.length resp - i - 4)
+          else find (i + 1)
+        in
+        find 0
+      in
+      match Metrics.Export.of_string body with
+      | Error msg -> Alcotest.failf "/status unparsable: %s" msg
+      | Ok json ->
+          let has k =
+            check_bool (k ^ " section") true (Metrics.Export.member k json <> None)
+          in
+          List.iter has
+            [
+              "server"; "requests"; "latency_us"; "stages"; "connections";
+              "single_flight"; "slow_requests"; "spans"; "access_log";
+            ];
+          let protocol_max =
+            Option.bind
+              (Metrics.Export.member "server" json)
+              (Metrics.Export.member "protocol_max")
+          in
+          check_bool "protocol_max = version" true
+            (Option.bind protocol_max Metrics.Export.to_int_opt
+            = Some P.version))
+
+(* ------------------------------------------------------------------ *)
+(* Client receive timeout                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_client_receive_timeout () =
+  (* A half-open peer: accepts the connection, reads the request, never
+     replies.  The client must surface a typed Timeout, not hang. *)
+  let sock, _ = fresh_paths () in
+  let listener = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX sock);
+  Unix.listen listener 1;
+  let accepted = ref None in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listener in
+        accepted := Some fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join acceptor;
+      (match !accepted with Some fd -> Unix.close fd | None -> ());
+      Unix.close listener;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      let c = Serve.Client.connect ~timeout:0.3 (P.Unix_path sock) in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          (match Serve.Client.request c P.Health with
+          | Error (Serve.Client.Timeout _) -> ()
+          | Ok _ -> Alcotest.fail "a mute server answered?"
+          | Error e ->
+              Alcotest.failf "expected Timeout, got %s"
+                (Serve.Client.error_to_string e));
+          check_bool "timed out promptly" true
+            (Unix.gettimeofday () -. t0 < 5.0)))
+
 let test_shutdown_removes_socket () =
   let sock_path = ref "" in
   with_server (fun ~sock ~store:_ _ -> sock_path := sock);
@@ -522,6 +800,8 @@ let () =
           tc "response round-trips" test_response_round_trips;
           tc "junk rejected" test_decode_rejects_junk;
           tc "version negotiation" test_version_negotiation;
+          tc "trace context round-trips" test_trace_context_round_trip;
+          tc "untraced encoding is v1" test_untraced_encoding_is_version1;
           qt prop_request_round_trip;
           qt prop_response_round_trip;
           qt prop_garbage_never_raises;
@@ -543,4 +823,13 @@ let () =
           tc "shutdown unlinks the socket" test_shutdown_removes_socket;
           tc "stale socket swept, live refused" test_stale_socket_replaced_live_refused;
         ] );
+      ( "tracing",
+        [
+          tc "id propagates to log, status and spans" test_trace_propagation;
+          tc "v1 client round-trips untraced" test_v1_client_round_trip;
+        ] );
+      ( "http",
+        [ tc "400, 405, 404 and /status" test_http_paths ] );
+      ( "client",
+        [ tc "receive timeout on a mute server" test_client_receive_timeout ] );
     ]

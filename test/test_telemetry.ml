@@ -415,6 +415,128 @@ let test_span_ring_overflow () =
       check_bool "newest kept" true (contains ~sub:"\"name\":\"7\"" json))
 
 (* ------------------------------------------------------------------ *)
+(* Request contexts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Rctx = Telemetry.Rctx
+
+let with_rctx f =
+  Rctx.Slow.reset ();
+  Rctx.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Rctx.set_enabled false;
+      Rctx.Slow.reset ();
+      Rctx.Slow.configure ())
+    f
+
+let is_hex s =
+  s <> ""
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+let test_rctx_ids () =
+  let id = Rctx.fresh_id () in
+  check_int "fresh id is 16 digits" 16 (String.length id);
+  check_bool "fresh id is lowercase hex" true (is_hex id);
+  check_bool "fresh ids differ" true (Rctx.fresh_id () <> id);
+  check_bool "valid: 1 digit" true (Rctx.valid_id "a");
+  check_bool "valid: 32 digits" true (Rctx.valid_id (String.make 32 'f'));
+  check_bool "valid: uppercase accepted" true (Rctx.valid_id "DEADBEEF");
+  check_bool "invalid: empty" false (Rctx.valid_id "");
+  check_bool "invalid: 33 digits" false (Rctx.valid_id (String.make 33 'f'));
+  check_bool "invalid: non-hex" false (Rctx.valid_id "xyz");
+  with_rctx @@ fun () ->
+  let t = Rctx.create ~id:"DEADbeef" ~kind:"cell" ~peer:"unix" () in
+  check_string "valid id adopted lowercased" "deadbeef" (Rctx.id t);
+  let t = Rctx.create ~id:"not-hex!" ~kind:"cell" ~peer:"unix" () in
+  check_bool "invalid id replaced by a mint" true (is_hex (Rctx.id t));
+  let t = Rctx.create ~kind:"cell" ~peer:"unix" () in
+  check_int "absent id minted" 16 (String.length (Rctx.id t))
+
+let test_rctx_stages () =
+  with_rctx @@ fun () ->
+  let t = Rctx.create ~kind:"cell" ~peer:"unix" () in
+  Rctx.record_stage t "read_frame" ~start_us:0. ~dur_us:12.;
+  check_int "staged thunk result" 7 (Rctx.stage t "simulate" (fun () -> 7));
+  check_bool "raising stage re-raises and records" true
+    (match Rctx.stage t "encode" (fun () -> failwith "boom") with
+    | _ -> false
+    | exception Failure _ -> true);
+  Rctx.set_outcome t "ok";
+  Rctx.set_warm t false;
+  Rctx.add_bytes_in t 10;
+  Rctx.add_bytes_out t 20;
+  Rctx.set_queue_depth t 3;
+  let fin = Rctx.finish t in
+  check_bool "stages in execution order" true
+    (List.map (fun (s : Rctx.stage) -> s.sname) fin.stages
+    = [ "read_frame"; "simulate"; "encode" ]);
+  check_bool "recorded duration kept" true
+    ((List.hd fin.stages).sdur_us = 12.);
+  check_bool "total covers the request" true (fin.total_us >= 0.);
+  check_bool "warm carried" true (fin.warm = Some false);
+  check_int "bytes in" 10 fin.bytes_in;
+  check_int "bytes out" 20 fin.bytes_out;
+  check_int "queue depth" 3 fin.queue_depth
+
+let test_rctx_disabled_is_free () =
+  Rctx.set_enabled false;
+  let t = Rctx.create ~kind:"cell" ~peer:"unix" () in
+  check_int "disabled stage runs thunk" 9 (Rctx.stage t "simulate" (fun () -> 9));
+  let fin = Rctx.finish t in
+  check_int "no stages recorded" 0 (List.length fin.stages);
+  check_bool "zero total" true (fin.total_us = 0.)
+
+let fin_with ~id ~total_us : Rctx.finished =
+  {
+    id;
+    kind = "cell";
+    peer = "unix";
+    cell = "";
+    outcome = "ok";
+    warm = None;
+    bytes_in = 0;
+    bytes_out = 0;
+    queue_depth = 0;
+    wall_start = 0.;
+    total_us;
+    stages = [];
+  }
+
+let test_rctx_slow_ring () =
+  with_rctx @@ fun () ->
+  Rctx.Slow.configure ~capacity:2 ();
+  Rctx.Slow.note (fin_with ~id:"a" ~total_us:10.);
+  Rctx.Slow.note (fin_with ~id:"b" ~total_us:30.);
+  Rctx.Slow.note (fin_with ~id:"c" ~total_us:20.);
+  let ids = List.map (fun (f : Rctx.finished) -> f.id) (Rctx.Slow.snapshot ()) in
+  check_bool "keeps the slowest, slowest first" true (ids = [ "b"; "c" ])
+
+let test_rctx_json () =
+  check_string "epoch" "1970-01-01T00:00:00.000000Z" (Rctx.iso8601 0.);
+  check_string "fractional seconds" "1970-01-01T00:00:01.500000Z"
+    (Rctx.iso8601 1.5);
+  let fin =
+    {
+      (fin_with ~id:"cafe" ~total_us:42.5) with
+      cell = "digest123";
+      warm = Some true;
+      stages = [ { Rctx.sname = "simulate"; sstart_us = 0.; sdur_us = 40. } ];
+    }
+  in
+  let s = Metrics.Export.to_string (Rctx.to_json fin) in
+  check_bool "json has the id" true (contains ~sub:"\"request_id\":\"cafe\"" s);
+  check_bool "json has the stage" true (contains ~sub:"\"simulate\":40" s);
+  check_bool "json has warm" true (contains ~sub:"\"warm\":true" s);
+  check_bool "json has the ts" true
+    (contains ~sub:"\"ts\":\"1970-01-01T00:00:00.000000Z\"" s);
+  check_bool "json well-formed" true (json_well_formed s);
+  let empty_cell = Metrics.Export.to_string (Rctx.to_json (fin_with ~id:"x" ~total_us:0.)) in
+  check_bool "empty cell is null" true (contains ~sub:"\"cell\":null" empty_cell)
+
+(* ------------------------------------------------------------------ *)
 (* Probes                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -582,6 +704,16 @@ let () =
           Alcotest.test_case "records and exports" `Quick test_span_records;
           Alcotest.test_case "exception safety" `Quick test_span_exception;
           Alcotest.test_case "ring overflow" `Quick test_span_ring_overflow;
+        ] );
+      ( "rctx",
+        [
+          Alcotest.test_case "ids: mint, validate, adopt" `Quick test_rctx_ids;
+          Alcotest.test_case "stages record in order" `Quick test_rctx_stages;
+          Alcotest.test_case "disabled is free" `Quick
+            test_rctx_disabled_is_free;
+          Alcotest.test_case "slow ring keeps the slowest" `Quick
+            test_rctx_slow_ring;
+          Alcotest.test_case "access-log json shape" `Quick test_rctx_json;
         ] );
       ( "probe",
         [
